@@ -1,0 +1,98 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments <id>... [--runs N] [--hours N] [--seed N] [--full]
+//!
+//!   ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology
+//!        table1 table2 table3 table4 all
+//! ```
+//!
+//! Run with `--release`; the quick defaults finish in minutes, `--full`
+//! uses paper-scale sweeps.
+
+use jcr_bench::exp::{self, ExpConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--runs" => {
+                cfg.runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--runs needs a number"));
+            }
+            "--hours" => {
+                cfg.hours = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--hours needs a number"));
+            }
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--full" => cfg.full = true,
+            "--help" | "-h" => usage(""),
+            id if !id.starts_with('-') => ids.push(id.to_string()),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if ids.is_empty() {
+        usage("no experiment id given");
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = [
+            "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12",
+            "fig13", "fig15", "cases", "zipf", "convergence", "online", "ablation", "sim", "gap", "table2", "table3", "table4",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    for id in &ids {
+        eprintln!("[experiments] running {id} (runs={}, hours={}, full={})", cfg.runs, cfg.hours, cfg.full);
+        match id.as_str() {
+            "fig4" => exp::fig4(cfg),
+            "fig5" => exp::fig5(cfg),
+            "fig6" => exp::fig6(cfg),
+            "fig7" => exp::fig7(cfg),
+            "fig8" => exp::fig8(cfg),
+            "fig9" => exp::fig9(cfg),
+            "fig11" => exp::fig11(cfg),
+            "fig12" => exp::fig12(cfg),
+            "fig13" => exp::fig13(cfg),
+            "fig15" => exp::fig15(cfg),
+            "cases" => exp::cases(cfg),
+            "convergence" => exp::convergence(cfg),
+            "online" => exp::online(cfg),
+            "ablation" => exp::ablation(cfg),
+            "topology" => exp::topology(cfg),
+            "sim" => exp::sim(cfg),
+            "gap" => exp::gap(cfg),
+            "zipf" => exp::zipf(cfg),
+            "table1" => exp::table1(cfg),
+            "table2" => exp::table2(cfg),
+            "table3" => exp::table3(cfg),
+            "table4" => exp::table4(cfg),
+            other => usage(&format!("unknown experiment {other}")),
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: experiments <id>... [--runs N] [--hours N] [--seed N] [--full]\n\
+         ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology \
+         table1 table2 table3 table4 all"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

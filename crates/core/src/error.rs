@@ -1,0 +1,47 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by the joint caching and routing algorithms.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JcrError {
+    /// The instance itself is malformed (mismatched lengths, negative
+    /// rates, unreachable requesters, …).
+    InvalidInstance(String),
+    /// No feasible joint solution exists (demands exceed capacities even
+    /// with the origin fallback).
+    Infeasible,
+    /// A substrate solver lost numerical precision.
+    Numerical(String),
+}
+
+impl fmt::Display for JcrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JcrError::InvalidInstance(msg) => write!(f, "invalid instance: {msg}"),
+            JcrError::Infeasible => write!(f, "no feasible joint caching/routing solution"),
+            JcrError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JcrError {}
+
+impl From<jcr_flow::FlowError> for JcrError {
+    fn from(e: jcr_flow::FlowError) -> Self {
+        match e {
+            jcr_flow::FlowError::Infeasible => JcrError::Infeasible,
+            jcr_flow::FlowError::Numerical(m) => JcrError::Numerical(m),
+        }
+    }
+}
+
+impl From<jcr_lp::LpError> for JcrError {
+    fn from(e: jcr_lp::LpError) -> Self {
+        match e {
+            jcr_lp::LpError::Infeasible => JcrError::Infeasible,
+            jcr_lp::LpError::Unbounded => JcrError::Numerical("unexpected unbounded LP".into()),
+            jcr_lp::LpError::Numerical(m) => JcrError::Numerical(m),
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Content placement `x` and its feasibility/occupancy metrics.
+
+use jcr_graph::NodeId;
+
+use crate::instance::Instance;
+
+/// An integral content placement: `x_{vi} ∈ {0, 1}` for every node and
+/// item. The origin's implicit full copy is *not* part of the placement
+/// (use [`Placement::has_with_origin`] where the origin counts as a
+/// replica).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    stored: Vec<Vec<bool>>, // [node][item]
+    n_items: usize,
+}
+
+impl Placement {
+    /// An empty placement for the given instance.
+    pub fn empty(inst: &Instance) -> Self {
+        Placement {
+            stored: vec![vec![false; inst.num_items()]; inst.graph.node_count()],
+            n_items: inst.num_items(),
+        }
+    }
+
+    /// Builds a placement from a fractional/integral matrix
+    /// `x[node][item]` by thresholding at 0.5.
+    pub fn from_matrix(x: &[Vec<f64>]) -> Self {
+        let n_items = x.first().map_or(0, Vec::len);
+        Placement {
+            stored: x
+                .iter()
+                .map(|row| row.iter().map(|&v| v >= 0.5).collect())
+                .collect(),
+            n_items,
+        }
+    }
+
+    /// Whether node `v` stores item `i`.
+    pub fn has(&self, v: NodeId, i: usize) -> bool {
+        self.stored[v.index()][i]
+    }
+
+    /// Like [`Placement::has`], but the instance's origin always counts as
+    /// storing everything.
+    pub fn has_with_origin(&self, inst: &Instance, v: NodeId, i: usize) -> bool {
+        inst.origin == Some(v) || self.has(v, i)
+    }
+
+    /// Stores (or evicts) item `i` at node `v`.
+    pub fn set(&mut self, v: NodeId, i: usize, stored: bool) {
+        self.stored[v.index()][i] = stored;
+    }
+
+    /// The items stored at `v`.
+    pub fn items_at(&self, v: NodeId) -> impl Iterator<Item = usize> + '_ {
+        self.stored[v.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(i, _)| i)
+    }
+
+    /// Nodes storing item `i` (excluding the implicit origin copy).
+    pub fn holders(&self, i: usize) -> impl Iterator<Item = NodeId> + '_ {
+        self.stored
+            .iter()
+            .enumerate()
+            .filter(move |(_, row)| row[i])
+            .map(|(v, _)| NodeId::new(v))
+    }
+
+    /// Size-weighted occupancy of node `v`'s cache.
+    pub fn occupancy(&self, inst: &Instance, v: NodeId) -> f64 {
+        self.items_at(v).map(|i| inst.item_size[i]).sum()
+    }
+
+    /// Maximum occupancy-to-capacity ratio over nodes with positive cache
+    /// capacity — the paper's "maximum cache occupancy" metric (Fig. 5).
+    pub fn max_occupancy_ratio(&self, inst: &Instance) -> f64 {
+        inst.graph
+            .nodes()
+            .filter(|&v| inst.cache_cap[v.index()] > 0.0)
+            .map(|v| self.occupancy(inst, v) / inst.cache_cap[v.index()])
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every node's occupancy is within its cache capacity
+    /// (constraint (1f) / (16)).
+    pub fn is_feasible(&self, inst: &Instance) -> bool {
+        inst.graph.nodes().all(|v| {
+            self.occupancy(inst, v) <= inst.cache_cap[v.index()] + 1e-9
+        })
+    }
+
+    /// Total number of stored (node, item) pairs.
+    pub fn len(&self) -> usize {
+        self.stored.iter().map(|row| row.iter().filter(|&&s| s).count()).sum()
+    }
+
+    /// Whether nothing is stored anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use jcr_topo::{Topology, TopologyKind};
+
+    fn inst() -> Instance {
+        InstanceBuilder::new(Topology::generate(TopologyKind::Abovenet, 2).unwrap())
+            .items(4)
+            .cache_capacity(2.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn set_and_query() {
+        let inst = inst();
+        let mut p = Placement::empty(&inst);
+        let v = inst.cache_nodes()[0];
+        assert!(p.is_empty());
+        p.set(v, 1, true);
+        p.set(v, 3, true);
+        assert!(p.has(v, 1));
+        assert!(!p.has(v, 0));
+        assert_eq!(p.items_at(v).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(p.holders(1).collect::<Vec<_>>(), vec![v]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn origin_counts_as_holder() {
+        let inst = inst();
+        let p = Placement::empty(&inst);
+        let o = inst.origin.unwrap();
+        assert!(p.has_with_origin(&inst, o, 2));
+        assert!(!p.has(o, 2));
+    }
+
+    #[test]
+    fn feasibility_and_occupancy() {
+        let inst = inst();
+        let v = inst.cache_nodes()[0];
+        let mut p = Placement::empty(&inst);
+        p.set(v, 0, true);
+        p.set(v, 1, true);
+        assert!(p.is_feasible(&inst));
+        assert_eq!(p.occupancy(&inst, v), 2.0);
+        assert!((p.max_occupancy_ratio(&inst) - 1.0).abs() < 1e-12);
+        p.set(v, 2, true);
+        assert!(!p.is_feasible(&inst));
+        assert!(p.max_occupancy_ratio(&inst) > 1.0);
+    }
+
+    #[test]
+    fn from_matrix_thresholds() {
+        let x = vec![vec![0.9, 0.1], vec![0.5, 0.49]];
+        let p = Placement::from_matrix(&x);
+        assert!(p.has(NodeId::new(0), 0));
+        assert!(!p.has(NodeId::new(0), 1));
+        assert!(p.has(NodeId::new(1), 0));
+        assert!(!p.has(NodeId::new(1), 1));
+    }
+}

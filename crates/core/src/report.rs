@@ -1,0 +1,135 @@
+//! Human-readable solution reports: what an operator would inspect after
+//! a re-optimization round.
+
+use crate::instance::Instance;
+use crate::routing::Solution;
+
+/// A formatted multi-section report of a joint caching/routing solution.
+///
+/// # Examples
+///
+/// ```
+/// use jcr_core::prelude::*;
+/// use jcr_core::report;
+/// use jcr_topo::{Topology, TopologyKind};
+///
+/// let topo = Topology::generate(TopologyKind::Abovenet, 1).unwrap();
+/// let inst = InstanceBuilder::new(topo)
+///     .items(6)
+///     .cache_capacity(2.0)
+///     .zipf_demand(0.8, 100.0, 3)
+///     .build()
+///     .unwrap();
+/// let solution = Algorithm1::new().solve(&inst).unwrap();
+/// let text = report::solution_report(&inst, &solution);
+/// assert!(text.contains("routing cost"));
+/// ```
+pub fn solution_report(inst: &Instance, solution: &Solution) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let cost = solution.cost(inst);
+    let congestion = solution.congestion(inst);
+    writeln!(out, "== joint caching/routing solution ==").expect("write to string");
+    writeln!(
+        out,
+        "requests: {}   items: {}   total rate: {:.3}",
+        inst.requests.len(),
+        inst.num_items(),
+        inst.total_rate()
+    )
+    .expect("write to string");
+    writeln!(out, "routing cost: {cost:.3}").expect("write to string");
+    if inst.link_cap.iter().any(|c| c.is_finite()) {
+        writeln!(out, "congestion (max load/capacity): {congestion:.3}").expect("write to string");
+    } else {
+        writeln!(out, "congestion: n/a (uncapacitated links)").expect("write to string");
+    }
+
+    writeln!(out, "\n-- placement --").expect("write to string");
+    for v in inst.cache_nodes() {
+        let items: Vec<String> = solution
+            .placement
+            .items_at(v)
+            .map(|i| i.to_string())
+            .collect();
+        writeln!(
+            out,
+            "  {v}: [{}]  ({:.2}/{:.2} used)",
+            items.join(", "),
+            solution.placement.occupancy(inst, v),
+            inst.cache_cap[v.index()]
+        )
+        .expect("write to string");
+    }
+
+    // Top loaded links.
+    let loads = solution.routing.link_loads(inst);
+    let mut ranked: Vec<(usize, f64)> = loads
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(_, l)| *l > 0.0)
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    writeln!(out, "\n-- busiest links --").expect("write to string");
+    for (e, load) in ranked.into_iter().take(5) {
+        let edge = jcr_graph::EdgeId::new(e);
+        let (u, v) = inst.graph.endpoints(edge);
+        let cap = inst.link_cap[e];
+        if cap.is_finite() {
+            writeln!(
+                out,
+                "  {u} -> {v}: load {load:.2} / cap {cap:.2} ({:.0}%)",
+                100.0 * load / cap
+            )
+            .expect("write to string");
+        } else {
+            writeln!(out, "  {u} -> {v}: load {load:.2} (uncapacitated)").expect("write to string");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg1::Algorithm1;
+    use crate::instance::InstanceBuilder;
+    use jcr_topo::{Topology, TopologyKind};
+
+    #[test]
+    fn report_mentions_all_sections() {
+        let inst = InstanceBuilder::new(Topology::generate(TopologyKind::Abovenet, 2).unwrap())
+            .items(5)
+            .cache_capacity(2.0)
+            .zipf_demand(0.8, 100.0, 2)
+            .link_capacity_fraction(0.05)
+            .build()
+            .unwrap();
+        let sol = Algorithm1::new().solve(&inst).unwrap();
+        let text = solution_report(&inst, &sol);
+        assert!(text.contains("routing cost"));
+        assert!(text.contains("-- placement --"));
+        assert!(text.contains("-- busiest links --"));
+        assert!(text.contains("congestion"));
+        // One placement line per cache node.
+        let placement_lines = text
+            .lines()
+            .skip_while(|l| !l.contains("-- placement --"))
+            .take_while(|l| !l.contains("busiest"))
+            .filter(|l| l.trim_start().starts_with('n'))
+            .count();
+        assert_eq!(placement_lines, inst.cache_nodes().len());
+    }
+
+    #[test]
+    fn uncapacitated_report_says_so() {
+        let inst = InstanceBuilder::new(Topology::generate(TopologyKind::Abovenet, 2).unwrap())
+            .items(3)
+            .build()
+            .unwrap();
+        let sol = Algorithm1::new().solve(&inst).unwrap();
+        let text = solution_report(&inst, &sol);
+        assert!(text.contains("uncapacitated"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Route-to-nearest-replica (RNR): the optimal routing under unlimited
+//! link capacities (§4.1).
+
+use jcr_graph::{NodeId, Path};
+
+use crate::instance::Instance;
+use crate::placement::Placement;
+use crate::routing::Routing;
+
+/// The least-cost replica of item `i` for requester `s` under `placement`
+/// (the origin counts), together with its cost.
+pub fn nearest_replica(
+    inst: &Instance,
+    placement: &Placement,
+    item: usize,
+    s: NodeId,
+) -> Option<(NodeId, f64)> {
+    let ap = inst.all_pairs();
+    let mut best: Option<(NodeId, f64)> = None;
+    let consider = |v: NodeId, best: &mut Option<(NodeId, f64)>| {
+        let d = ap.dist(v, s);
+        if d.is_finite() && best.is_none_or(|(_, bd)| d < bd) {
+            *best = Some((v, d));
+        }
+    };
+    for v in placement.holders(item) {
+        consider(v, &mut best);
+    }
+    if let Some(o) = inst.origin {
+        consider(o, &mut best);
+    }
+    best
+}
+
+/// The least-cost path serving `(item, s)` under `placement`, if any
+/// replica is reachable.
+pub fn nearest_replica_path(
+    inst: &Instance,
+    placement: &Placement,
+    item: usize,
+    s: NodeId,
+) -> Option<Path> {
+    let (v, _) = nearest_replica(inst, placement, item, s)?;
+    inst.all_pairs().path(v, s)
+}
+
+/// Routes every request to its nearest replica (single least-cost path).
+///
+/// Returns `None` if some request has no reachable replica (no origin and
+/// nothing cached).
+pub fn route_to_nearest_replica(inst: &Instance, placement: &Placement) -> Option<Routing> {
+    let mut paths = Vec::with_capacity(inst.requests.len());
+    for r in &inst.requests {
+        paths.push(nearest_replica_path(inst, placement, r.item, r.node)?);
+    }
+    Some(Routing::from_paths(inst, paths))
+}
+
+/// The RNR routing cost of a placement — the objective `C_RNR` of (2)
+/// restricted to nodes that actually store content.
+pub fn rnr_cost(inst: &Instance, placement: &Placement) -> Option<f64> {
+    let mut cost = 0.0;
+    for r in &inst.requests {
+        let (_, d) = nearest_replica(inst, placement, r.item, r.node)?;
+        cost += r.rate * d;
+    }
+    Some(cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use jcr_topo::{Topology, TopologyKind};
+
+    fn inst() -> Instance {
+        InstanceBuilder::new(Topology::generate(TopologyKind::Abovenet, 9).unwrap())
+            .items(4)
+            .cache_capacity(2.0)
+            .zipf_demand(0.8, 50.0, 3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_placement_serves_from_origin() {
+        let inst = inst();
+        let p = Placement::empty(&inst);
+        let routing = route_to_nearest_replica(&inst, &p).unwrap();
+        assert!(routing.serves_all(&inst));
+        let o = inst.origin.unwrap();
+        for flows in &routing.per_request {
+            assert_eq!(flows[0].path.source(&inst.graph), Some(o));
+        }
+    }
+
+    #[test]
+    fn caching_at_requester_gives_zero_cost() {
+        let inst = inst();
+        let mut p = Placement::empty(&inst);
+        // Store every item at every edge node (ignore capacity for the test).
+        for v in inst.cache_nodes() {
+            for i in 0..inst.num_items() {
+                p.set(v, i, true);
+            }
+        }
+        let cost = rnr_cost(&inst, &p).unwrap();
+        assert!(cost.abs() < 1e-9, "local hits should cost nothing, got {cost}");
+    }
+
+    #[test]
+    fn caching_strictly_reduces_cost() {
+        let inst = inst();
+        let empty_cost = rnr_cost(&inst, &Placement::empty(&inst)).unwrap();
+        let mut p = Placement::empty(&inst);
+        let v = inst.cache_nodes()[0];
+        p.set(v, 0, true);
+        let cached_cost = rnr_cost(&inst, &p).unwrap();
+        assert!(cached_cost < empty_cost);
+    }
+
+    #[test]
+    fn rnr_matches_routing_cost() {
+        let inst = inst();
+        let mut p = Placement::empty(&inst);
+        p.set(inst.cache_nodes()[1], 2, true);
+        let routing = route_to_nearest_replica(&inst, &p).unwrap();
+        let direct = rnr_cost(&inst, &p).unwrap();
+        assert!((routing.cost(&inst) - direct).abs() < 1e-9);
+        assert!(routing.sources_valid(&inst, &p));
+    }
+
+    #[test]
+    fn no_origin_no_replica_fails() {
+        let inst0 = inst();
+        let inst = Instance::new(
+            inst0.graph.clone(),
+            inst0.link_cost.clone(),
+            inst0.link_cap.clone(),
+            inst0.cache_cap.clone(),
+            inst0.item_size.clone(),
+            inst0.requests.clone(),
+            None,
+        )
+        .unwrap();
+        let p = Placement::empty(&inst);
+        assert!(route_to_nearest_replica(&inst, &p).is_none());
+        assert!(rnr_cost(&inst, &p).is_none());
+    }
+}

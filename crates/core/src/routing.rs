@@ -1,0 +1,307 @@
+//! Routing `(r, f)` — per-request path flows — and solution metrics.
+
+use jcr_flow::PathFlow;
+use jcr_graph::Path;
+
+use crate::instance::Instance;
+use crate::placement::Placement;
+use crate::rnr;
+
+/// A routing decision: for every request, the response paths (from the
+/// selected source(s) to the requester) and the rate carried on each.
+///
+/// Integral routing has exactly one path per request carrying its full
+/// rate; fractional routing may split a request across paths.
+#[derive(Clone, Debug, Default)]
+pub struct Routing {
+    /// `per_request[r]` — path flows serving request `r` (amounts in rate
+    /// units, summing to the request's rate when fully served).
+    pub per_request: Vec<Vec<PathFlow>>,
+}
+
+impl Routing {
+    /// Single-path routing from a list of paths (one per request).
+    pub fn from_paths(inst: &Instance, paths: Vec<Path>) -> Self {
+        assert_eq!(paths.len(), inst.requests.len(), "one path per request");
+        Routing {
+            per_request: paths
+                .into_iter()
+                .zip(&inst.requests)
+                .map(|(path, r)| vec![PathFlow { path, amount: r.rate }])
+                .collect(),
+        }
+    }
+
+    /// Total routing cost `Σ λ_p · cost(p)` — objective (1a).
+    pub fn cost(&self, inst: &Instance) -> f64 {
+        self.per_request
+            .iter()
+            .flatten()
+            .map(|pf| pf.amount * pf.path.cost(&inst.link_cost))
+            .sum()
+    }
+
+    /// Load on each link.
+    pub fn link_loads(&self, inst: &Instance) -> Vec<f64> {
+        let mut loads = vec![0.0; inst.graph.edge_count()];
+        for pf in self.per_request.iter().flatten() {
+            for e in pf.path.edges() {
+                loads[e.index()] += pf.amount;
+            }
+        }
+        loads
+    }
+
+    /// Maximum load-to-capacity ratio over finite-capacity links — the
+    /// paper's congestion metric. Zero when all links are uncapacitated.
+    pub fn congestion(&self, inst: &Instance) -> f64 {
+        self.link_loads(inst)
+            .iter()
+            .zip(&inst.link_cap)
+            .filter(|(_, c)| c.is_finite() && **c > 0.0)
+            .map(|(l, c)| l / c)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every request is fully served (amounts sum to the rate).
+    pub fn serves_all(&self, inst: &Instance) -> bool {
+        self.per_request.len() == inst.requests.len()
+            && self
+                .per_request
+                .iter()
+                .zip(&inst.requests)
+                .all(|(flows, r)| {
+                    let served: f64 = flows.iter().map(|f| f.amount).sum();
+                    (served - r.rate).abs() <= 1e-6 * r.rate.max(1.0)
+                })
+    }
+
+    /// Whether each request uses a single path (integral routing).
+    pub fn is_integral(&self) -> bool {
+        self.per_request.iter().all(|flows| flows.len() <= 1)
+    }
+
+    /// Whether every path's first node stores the requested item under
+    /// `placement` (constraint (1e): selected sources must hold the
+    /// content; the origin always does).
+    pub fn sources_valid(&self, inst: &Instance, placement: &Placement) -> bool {
+        self.per_request
+            .iter()
+            .zip(&inst.requests)
+            .all(|(flows, r)| {
+                flows.iter().all(|pf| match pf.path.source(&inst.graph) {
+                    Some(src) => placement.has_with_origin(inst, src, r.item),
+                    // An empty path means the requester itself is the source.
+                    None => placement.has_with_origin(inst, r.node, r.item),
+                })
+            })
+    }
+}
+
+/// A joint caching and routing solution with its evaluation metrics.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// The content placement `x`.
+    pub placement: Placement,
+    /// The routing `(r, f)`.
+    pub routing: Routing,
+}
+
+impl Solution {
+    /// Routing cost under the instance's demand.
+    pub fn cost(&self, inst: &Instance) -> f64 {
+        self.routing.cost(inst)
+    }
+
+    /// Congestion under the instance's demand.
+    pub fn congestion(&self, inst: &Instance) -> f64 {
+        self.routing.congestion(inst)
+    }
+
+    /// Re-evaluates the solution against *true* demand when the decisions
+    /// were made on predicted demand: each request's path distribution is
+    /// scaled to the true rate; requests the decision never anticipated
+    /// (predicted rate 0 but true rate > 0) fall back to
+    /// route-to-nearest-replica under the decided placement.
+    ///
+    /// `true_rates[r]` pairs with `decision_inst.requests[r]` (the same
+    /// request types in the same order). Returns `(cost, congestion)`.
+    pub fn evaluate_under(&self, decision_inst: &Instance, true_rates: &[f64]) -> (f64, f64) {
+        assert_eq!(true_rates.len(), decision_inst.requests.len());
+        let mut loads = vec![0.0; decision_inst.graph.edge_count()];
+        let mut cost = 0.0;
+        for (ri, req) in decision_inst.requests.iter().enumerate() {
+            let truth = true_rates[ri];
+            if truth <= 0.0 {
+                continue;
+            }
+            let flows = &self.routing.per_request[ri];
+            let decided: f64 = flows.iter().map(|f| f.amount).sum();
+            if decided > 1e-12 {
+                for pf in flows {
+                    let amount = truth * pf.amount / decided;
+                    cost += amount * pf.path.cost(&decision_inst.link_cost);
+                    for e in pf.path.edges() {
+                        loads[e.index()] += amount;
+                    }
+                }
+            } else {
+                // Unanticipated demand: nearest replica under the placement.
+                if let Some(path) =
+                    rnr::nearest_replica_path(decision_inst, &self.placement, req.item, req.node)
+                {
+                    cost += truth * path.cost(&decision_inst.link_cost);
+                    for e in path.edges() {
+                        loads[e.index()] += truth;
+                    }
+                }
+            }
+        }
+        let congestion = loads
+            .iter()
+            .zip(&decision_inst.link_cap)
+            .filter(|(_, c)| c.is_finite() && **c > 0.0)
+            .map(|(l, c)| l / c)
+            .fold(0.0, f64::max);
+        (cost, congestion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use jcr_topo::{Topology, TopologyKind};
+
+    fn inst() -> Instance {
+        InstanceBuilder::new(Topology::generate(TopologyKind::Abovenet, 4).unwrap())
+            .items(3)
+            .cache_capacity(1.0)
+            .zipf_demand(1.0, 100.0, 5)
+            .build()
+            .unwrap()
+    }
+
+    fn origin_paths(inst: &Instance) -> Vec<Path> {
+        let o = inst.origin.unwrap();
+        inst.requests
+            .iter()
+            .map(|r| inst.all_pairs().path(o, r.node).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn origin_routing_metrics() {
+        let inst = inst();
+        let routing = Routing::from_paths(&inst, origin_paths(&inst));
+        assert!(routing.serves_all(&inst));
+        assert!(routing.is_integral());
+        assert!(routing.cost(&inst) > 0.0);
+        // Uncapacitated instance: congestion is zero by definition.
+        assert_eq!(routing.congestion(&inst), 0.0);
+        let placement = Placement::empty(&inst);
+        assert!(routing.sources_valid(&inst, &placement));
+    }
+
+    #[test]
+    fn loads_accumulate_on_shared_links() {
+        let inst = inst();
+        let routing = Routing::from_paths(&inst, origin_paths(&inst));
+        let loads = routing.link_loads(&inst);
+        // The origin's single outgoing link carries everything.
+        let o = inst.origin.unwrap();
+        let out = inst.graph.out_edges(o)[0];
+        assert!((loads[out.index()] - inst.total_rate()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluate_under_scales_to_true_demand() {
+        let inst = inst();
+        let routing = Routing::from_paths(&inst, origin_paths(&inst));
+        let placement = Placement::empty(&inst);
+        let sol = Solution { placement, routing };
+        let decided_cost = sol.cost(&inst);
+        // Doubling every rate doubles cost.
+        let double: Vec<f64> = inst.requests.iter().map(|r| 2.0 * r.rate).collect();
+        let (cost, _) = sol.evaluate_under(&inst, &double);
+        assert!((cost - 2.0 * decided_cost).abs() < 1e-6 * decided_cost);
+    }
+
+    #[test]
+    fn unanticipated_demand_falls_back_to_nearest_replica() {
+        // A request the decision never routed (empty flow list) must be
+        // served via RNR under the decided placement when true demand
+        // materializes.
+        let inst = inst();
+        let mut routing = Routing::from_paths(&inst, origin_paths(&inst));
+        routing.per_request[0] = Vec::new(); // decision anticipated nothing
+        let mut placement = Placement::empty(&inst);
+        // Cache the item at the requester: the fallback should cost 0.
+        let req = inst.requests[0];
+        placement.set(req.node, req.item, true);
+        let sol = Solution { placement, routing };
+        let truth: Vec<f64> = inst.requests.iter().map(|r| r.rate).collect();
+        let (cost_with_cache, _) = sol.evaluate_under(&inst, &truth);
+        // Same but without the cache: fallback goes to the origin, which
+        // costs strictly more.
+        let mut routing2 = Routing::from_paths(&inst, origin_paths(&inst));
+        routing2.per_request[0] = Vec::new();
+        let sol2 = Solution { placement: Placement::empty(&inst), routing: routing2 };
+        let (cost_without_cache, _) = sol2.evaluate_under(&inst, &truth);
+        assert!(cost_with_cache < cost_without_cache);
+    }
+
+    #[test]
+    fn zero_true_rate_contributes_nothing() {
+        let inst = inst();
+        let routing = Routing::from_paths(&inst, origin_paths(&inst));
+        let sol = Solution { placement: Placement::empty(&inst), routing };
+        let mut truth: Vec<f64> = inst.requests.iter().map(|r| r.rate).collect();
+        let full = sol.evaluate_under(&inst, &truth).0;
+        let removed = inst.requests[0].rate * sol.routing.per_request[0][0]
+            .path
+            .cost(&inst.link_cost);
+        truth[0] = 0.0;
+        let reduced = sol.evaluate_under(&inst, &truth).0;
+        assert!((full - reduced - removed).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractional_routing_detected() {
+        let inst = inst();
+        let mut routing = Routing::from_paths(&inst, origin_paths(&inst));
+        assert!(routing.is_integral());
+        // Split the first request across two copies of its path.
+        let pf = routing.per_request[0][0].clone();
+        routing.per_request[0] = vec![
+            jcr_flow::PathFlow { path: pf.path.clone(), amount: pf.amount / 2.0 },
+            jcr_flow::PathFlow { path: pf.path, amount: pf.amount / 2.0 },
+        ];
+        assert!(!routing.is_integral());
+        assert!(routing.serves_all(&inst));
+    }
+
+    #[test]
+    fn under_serving_detected() {
+        let inst = inst();
+        let mut routing = Routing::from_paths(&inst, origin_paths(&inst));
+        routing.per_request[0][0].amount *= 0.5;
+        assert!(!routing.serves_all(&inst));
+    }
+
+    #[test]
+    fn invalid_source_detected() {
+        let inst = inst();
+        // Route the first request from a non-storing edge node.
+        let mut paths = origin_paths(&inst);
+        let wrong_src = inst.cache_nodes()[0];
+        if let Some(p) = inst.all_pairs().path(wrong_src, inst.requests[0].node) {
+            if !p.is_empty() {
+                paths[0] = p;
+                let routing = Routing::from_paths(&inst, paths);
+                let placement = Placement::empty(&inst);
+                assert!(!routing.sources_valid(&inst, &placement));
+            }
+        }
+    }
+}

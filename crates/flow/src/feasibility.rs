@@ -1,0 +1,162 @@
+//! Feasibility diagnostics for demand sets: can the demands be routed at
+//! all, and if not, which cut is binding? Used for capacity planning (the
+//! paper's §6 augmentation keeps instances feasible; these helpers verify
+//! and explain that).
+
+use jcr_graph::{DiGraph, EdgeId, NodeId};
+
+use crate::maxflow::max_flow;
+use crate::FLOW_EPS;
+
+/// Result of a feasibility check.
+#[derive(Clone, Debug)]
+pub struct Feasibility {
+    /// Whether all demands fit within the capacities (splittably).
+    pub feasible: bool,
+    /// Total demand.
+    pub demand: f64,
+    /// Maximum routable amount.
+    pub routable: f64,
+    /// When infeasible: the binding cut's edges (a certificate — their
+    /// capacity sum equals `routable`).
+    pub binding_cut: Vec<EdgeId>,
+}
+
+impl Feasibility {
+    /// Shortfall `demand − routable` (zero when feasible).
+    pub fn deficit(&self) -> f64 {
+        (self.demand - self.routable).max(0.0)
+    }
+}
+
+/// Checks whether single-source demands `(dest, amount)` are splittably
+/// routable from `source` within `cap`, by max-flow against a super-sink.
+///
+/// The binding cut is reported in terms of the *original* edges (the
+/// virtual sink edges never bind, having capacity exactly equal to the
+/// demands).
+pub fn check_single_source(
+    g: &DiGraph,
+    cap: &[f64],
+    source: NodeId,
+    demands: &[(NodeId, f64)],
+) -> Feasibility {
+    let total: f64 = demands.iter().map(|d| d.1).sum();
+    if total <= 0.0 {
+        return Feasibility {
+            feasible: true,
+            demand: 0.0,
+            routable: 0.0,
+            binding_cut: Vec::new(),
+        };
+    }
+    // Super-sink construction.
+    let mut aug = g.clone();
+    let sink = aug.add_node();
+    let mut aug_cap = cap.to_vec();
+    for &(d, amount) in demands {
+        aug.add_edge(d, sink);
+        aug_cap.push(amount);
+    }
+    let mf = max_flow(&aug, &aug_cap, source, sink);
+    let feasible = mf.value + FLOW_EPS * total.max(1.0) >= total;
+    let binding_cut = if feasible {
+        Vec::new()
+    } else {
+        mf.min_cut(&aug, &aug_cap, source)
+            .into_iter()
+            .filter(|e| e.index() < g.edge_count())
+            .collect()
+    };
+    Feasibility { feasible, demand: total, routable: mf.value, binding_cut }
+}
+
+/// The minimum uniform capacity κ (same on every original edge) that makes
+/// the demands routable, found by bisection; returns `None` if even
+/// unbounded capacity does not help (disconnected).
+pub fn min_uniform_capacity(
+    g: &DiGraph,
+    source: NodeId,
+    demands: &[(NodeId, f64)],
+    tol: f64,
+) -> Option<f64> {
+    let total: f64 = demands.iter().map(|d| d.1).sum();
+    if total <= 0.0 {
+        return Some(0.0);
+    }
+    let feasible_at = |kappa: f64| {
+        let cap = vec![kappa; g.edge_count()];
+        check_single_source(g, &cap, source, demands).feasible
+    };
+    if !feasible_at(total) {
+        return None; // some destination is unreachable
+    }
+    let (mut lo, mut hi) = (0.0f64, total);
+    while hi - lo > tol.max(1e-12) * total {
+        let mid = 0.5 * (lo + hi);
+        if feasible_at(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> (DiGraph, [NodeId; 3]) {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let m = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, m);
+        g.add_edge(m, t);
+        (g, [s, m, t])
+    }
+
+    #[test]
+    fn feasible_when_capacity_suffices() {
+        let (g, [s, m, t]) = path_graph();
+        let f = check_single_source(&g, &[5.0, 5.0], s, &[(m, 2.0), (t, 3.0)]);
+        assert!(f.feasible);
+        assert_eq!(f.deficit(), 0.0);
+        assert!(f.binding_cut.is_empty());
+    }
+
+    #[test]
+    fn infeasible_reports_the_binding_cut() {
+        let (g, [s, _, t]) = path_graph();
+        let f = check_single_source(&g, &[1.0, 1.0], s, &[(t, 3.0)]);
+        assert!(!f.feasible);
+        assert!((f.deficit() - 2.0).abs() < 1e-9);
+        // The cut is the saturated first (or second) hop.
+        assert_eq!(f.binding_cut.len(), 1);
+    }
+
+    #[test]
+    fn zero_demand_is_trivially_feasible() {
+        let (g, [s, _, _]) = path_graph();
+        let f = check_single_source(&g, &[0.0, 0.0], s, &[]);
+        assert!(f.feasible);
+    }
+
+    #[test]
+    fn min_uniform_capacity_bisects_correctly() {
+        // Both hops carry everything: κ* = total demand on the shared hop.
+        let (g, [s, m, t]) = path_graph();
+        let kappa = min_uniform_capacity(&g, s, &[(m, 1.0), (t, 2.0)], 1e-9).unwrap();
+        // First hop carries 3, second hop carries 2 → κ* = 3.
+        assert!((kappa - 3.0).abs() < 1e-6, "kappa = {kappa}");
+    }
+
+    #[test]
+    fn disconnected_destination_is_hopeless() {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let island = g.add_node();
+        assert_eq!(min_uniform_capacity(&g, s, &[(island, 1.0)], 1e-9), None);
+    }
+}

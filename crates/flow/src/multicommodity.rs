@@ -1,0 +1,444 @@
+//! Minimum-cost multicommodity flow: the splittable problem (MMSFP) solved
+//! exactly by column generation, and the NP-hard unsplittable variant
+//! (MMUFP) approached with the heuristics the paper evaluates
+//! (LP relaxation + randomized rounding, and greedy sequential routing).
+
+use rand::Rng;
+
+use jcr_graph::{shortest, DiGraph, NodeId, Path};
+use jcr_lp::{Model, Sense};
+
+use crate::{FlowError, PathFlow, FLOW_EPS};
+
+/// A commodity: `demand` units to route from `source` to `dest`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Commodity {
+    /// Origin of the commodity's flow.
+    pub source: NodeId,
+    /// Destination of the commodity's flow.
+    pub dest: NodeId,
+    /// Demand (must be positive).
+    pub demand: f64,
+}
+
+/// An optimal splittable multicommodity flow, path-decomposed.
+#[derive(Clone, Debug)]
+pub struct McfSolution {
+    /// Per-commodity path flows (same order as the input commodities).
+    pub path_flows: Vec<Vec<PathFlow>>,
+    /// Total routing cost.
+    pub cost: f64,
+}
+
+impl McfSolution {
+    /// Load imposed on each link.
+    pub fn link_loads(&self, edge_count: usize) -> Vec<f64> {
+        let mut loads = vec![0.0; edge_count];
+        for flows in &self.path_flows {
+            for pf in flows {
+                for e in pf.path.edges() {
+                    loads[e.index()] += pf.amount;
+                }
+            }
+        }
+        loads
+    }
+}
+
+/// Solves the minimum-cost multicommodity *splittable* flow problem by
+/// column generation: the master LP selects flow on generated paths
+/// subject to link capacities and per-commodity demands, and the pricing
+/// step finds a new least-reduced-cost path per commodity with Dijkstra.
+///
+/// Links with infinite capacity impose no master row. Costs must be
+/// non-negative.
+///
+/// # Errors
+///
+/// [`FlowError::Infeasible`] if the demands cannot be routed within the
+/// capacities (including unreachable destinations), and
+/// [`FlowError::Numerical`] if the LP loses precision.
+pub fn min_cost_multicommodity(
+    g: &DiGraph,
+    cost: &[f64],
+    cap: &[f64],
+    commodities: &[Commodity],
+) -> Result<McfSolution, FlowError> {
+    debug_assert!(cost.iter().all(|c| *c >= 0.0));
+    if commodities.is_empty() {
+        return Ok(McfSolution { path_flows: Vec::new(), cost: 0.0 });
+    }
+    let big = 1e3
+        + 10.0
+            * cost.iter().copied().filter(|c| c.is_finite()).sum::<f64>()
+            * g.node_count() as f64;
+
+    // Master rows: one capacity row per finitely-capacitated edge, one
+    // demand row per commodity.
+    let mut model = Model::new(Sense::Minimize);
+    let mut cap_row = vec![None; g.edge_count()];
+    for e in g.edges() {
+        let c = cap[e.index()];
+        if c.is_finite() {
+            cap_row[e.index()] = Some(model.add_row(f64::NEG_INFINITY, c, &[]));
+        }
+    }
+    let mut demand_rows = Vec::with_capacity(commodities.len());
+    for c in commodities {
+        assert!(c.demand > 0.0, "demands must be positive");
+        demand_rows.push(model.add_row(c.demand, c.demand, &[]));
+    }
+    // Artificial columns keep the master feasible; positive artificials at
+    // optimality certify infeasibility.
+    let mut artificials = Vec::with_capacity(commodities.len());
+    for &row in &demand_rows {
+        artificials.push(model.add_var_with_column(0.0, f64::INFINITY, big, &[(row, 1.0)]));
+    }
+    let mut solver = model.into_solver();
+
+    // Track the generated paths per column.
+    let mut col_paths: Vec<(usize, Path)> = Vec::new(); // (commodity idx, path)
+
+    // Group commodities by source to share Dijkstra runs.
+    let mut by_source: Vec<Vec<usize>> = vec![Vec::new(); g.node_count()];
+    for (i, c) in commodities.iter().enumerate() {
+        by_source[c.source.index()].push(i);
+    }
+
+    let max_rounds = 40 * commodities.len() + 2000;
+    let mut solution = solver.solve()?;
+    for _round in 0..max_rounds {
+        // Pricing: reduced cost of path p for commodity i is
+        //   Σ_{e∈p} (w_e − y_e) − σ_i
+        // with y_e the (non-positive) capacity duals and σ_i the demand
+        // dual, so a Dijkstra under weights w_e − y_e prices all
+        // commodities of a common source at once.
+        let mut weights = vec![0.0; g.edge_count()];
+        for e in g.edges() {
+            let y = cap_row[e.index()]
+                .map(|r| solution.duals[r.index()])
+                .unwrap_or(0.0);
+            weights[e.index()] = (cost[e.index()] - y).max(0.0);
+        }
+        let mut added = false;
+        for (src, members) in by_source.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let tree = shortest::dijkstra(g, NodeId::new(src), &weights);
+            for &i in members {
+                let sigma = solution.duals[demand_rows[i].index()];
+                let Some(path) = tree.path(commodities[i].dest) else {
+                    continue;
+                };
+                let reduced = path.cost(&weights) - sigma;
+                if reduced < -1e-7 * (1.0 + sigma.abs()) {
+                    // Column: 1 on the demand row, 1 per capacitated edge.
+                    let mut column = vec![(demand_rows[i], 1.0)];
+                    for e in path.edges() {
+                        if let Some(r) = cap_row[e.index()] {
+                            // Accumulate in case of repeated rows (paths are
+                            // simple, so each edge appears once).
+                            column.push((r, 1.0));
+                        }
+                    }
+                    let obj = path.cost(cost);
+                    solver.add_column(0.0, f64::INFINITY, obj, &column);
+                    col_paths.push((i, path));
+                    added = true;
+                }
+            }
+        }
+        if !added {
+            break;
+        }
+        solution = solver.solve()?;
+    }
+
+    // Check artificials.
+    for &a in &artificials {
+        if solution.x[a.index()] > 1e-6 {
+            return Err(FlowError::Infeasible);
+        }
+    }
+
+    let n_art = artificials.len();
+    let mut path_flows: Vec<Vec<PathFlow>> = vec![Vec::new(); commodities.len()];
+    let mut total = 0.0;
+    for (k, (i, path)) in col_paths.iter().enumerate() {
+        let x = solution.x[n_art + k];
+        if x > FLOW_EPS {
+            total += x * path.cost(cost);
+            path_flows[*i].push(PathFlow { path: path.clone(), amount: x });
+        }
+    }
+    Ok(McfSolution { path_flows, cost: total })
+}
+
+/// An unsplittable routing: one path per commodity.
+#[derive(Clone, Debug)]
+pub struct UnsplittableSolution {
+    /// One path per commodity, in input order.
+    pub paths: Vec<Path>,
+    /// Total routing cost under the commodity demands.
+    pub cost: f64,
+    /// Load on each link.
+    pub link_loads: Vec<f64>,
+}
+
+impl UnsplittableSolution {
+    fn from_paths(
+        g: &DiGraph,
+        cost: &[f64],
+        commodities: &[Commodity],
+        paths: Vec<Path>,
+    ) -> Self {
+        let mut link_loads = vec![0.0; g.edge_count()];
+        let mut total = 0.0;
+        for (p, c) in paths.iter().zip(commodities) {
+            total += c.demand * p.cost(cost);
+            for e in p.edges() {
+                link_loads[e.index()] += c.demand;
+            }
+        }
+        UnsplittableSolution { paths, cost: total, link_loads }
+    }
+
+    /// Maximum load-to-capacity ratio over finite-capacity links.
+    pub fn congestion(&self, cap: &[f64]) -> f64 {
+        self.link_loads
+            .iter()
+            .zip(cap)
+            .filter(|(_, c)| c.is_finite() && **c > 0.0)
+            .map(|(l, c)| l / c)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// MMUFP heuristic: randomized rounding of the splittable LP relaxation.
+///
+/// For each of `draws` trials, every commodity independently picks one of
+/// its fractional paths with probability proportional to its flow; the
+/// trial with the lexicographically best `(congestion capped at 1, cost)`
+/// is kept (i.e. feasible routings are preferred, then cheaper ones; if
+/// none is feasible, the least congested wins).
+///
+/// # Panics
+///
+/// Panics if a commodity has no fractional path (e.g. `mcf` from a
+/// different instance).
+pub fn randomized_rounding<R: Rng>(
+    g: &DiGraph,
+    cost: &[f64],
+    cap: &[f64],
+    commodities: &[Commodity],
+    mcf: &McfSolution,
+    draws: usize,
+    rng: &mut R,
+) -> UnsplittableSolution {
+    assert!(draws >= 1, "at least one draw required");
+    let mut best: Option<(f64, f64, Vec<Path>)> = None;
+    for _ in 0..draws {
+        let mut paths = Vec::with_capacity(commodities.len());
+        for (i, _c) in commodities.iter().enumerate() {
+            let flows = &mcf.path_flows[i];
+            assert!(!flows.is_empty(), "commodity {i} has no fractional path");
+            let total: f64 = flows.iter().map(|f| f.amount).sum();
+            let mut pick = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+            let mut chosen = flows.len() - 1;
+            for (k, f) in flows.iter().enumerate() {
+                if pick <= f.amount {
+                    chosen = k;
+                    break;
+                }
+                pick -= f.amount;
+            }
+            paths.push(flows[chosen].path.clone());
+        }
+        let candidate = UnsplittableSolution::from_paths(g, cost, commodities, paths);
+        let congestion = candidate.congestion(cap).max(1.0);
+        let key = (congestion, candidate.cost);
+        if best
+            .as_ref()
+            .is_none_or(|(bc, bcost, _)| key < (*bc, *bcost))
+        {
+            best = Some((key.0, key.1, candidate.paths));
+        }
+    }
+    let (_, _, paths) = best.expect("at least one draw");
+    UnsplittableSolution::from_paths(g, cost, commodities, paths)
+}
+
+/// MMUFP heuristic: greedy sequential routing.
+///
+/// Commodities are processed in decreasing demand order; each is routed on
+/// the cheapest path whose residual capacity fits its demand, falling back
+/// to the cheapest path outright (overloading links) when none fits.
+///
+/// Returns `None` for a commodity whose destination is unreachable — in
+/// that case the whole call returns [`FlowError::Infeasible`].
+pub fn greedy_unsplittable(
+    g: &DiGraph,
+    cost: &[f64],
+    cap: &[f64],
+    commodities: &[Commodity],
+) -> Result<UnsplittableSolution, FlowError> {
+    let mut order: Vec<usize> = (0..commodities.len()).collect();
+    order.sort_by(|&a, &b| {
+        commodities[b]
+            .demand
+            .partial_cmp(&commodities[a].demand)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut residual: Vec<f64> = cap.to_vec();
+    let mut paths: Vec<Option<Path>> = vec![None; commodities.len()];
+    for &i in &order {
+        let c = commodities[i];
+        let fits = shortest::dijkstra_filtered(g, c.source, cost, |e| {
+            residual[e.index()] + FLOW_EPS >= c.demand
+        });
+        let path = match fits.path(c.dest) {
+            Some(p) => p,
+            None => {
+                // Overload: cheapest path regardless of capacity.
+                let any = shortest::dijkstra(g, c.source, cost);
+                match any.path(c.dest) {
+                    Some(p) => p,
+                    None => return Err(FlowError::Infeasible),
+                }
+            }
+        };
+        for e in path.edges() {
+            residual[e.index()] -= c.demand;
+        }
+        paths[i] = Some(path);
+    }
+    let paths = paths.into_iter().map(|p| p.expect("routed")).collect();
+    Ok(UnsplittableSolution::from_paths(g, cost, commodities, paths))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Two commodities sharing a bottleneck: the LP must split around it.
+    fn bottleneck_instance() -> (DiGraph, Vec<f64>, Vec<f64>, Vec<Commodity>) {
+        let mut g = DiGraph::new();
+        let s1 = g.add_node();
+        let s2 = g.add_node();
+        let m = g.add_node();
+        let t = g.add_node();
+        let mut cost = Vec::new();
+        let mut cap = Vec::new();
+        g.add_edge(s1, m); // 0
+        cost.push(1.0);
+        cap.push(10.0);
+        g.add_edge(s2, m); // 1
+        cost.push(1.0);
+        cap.push(10.0);
+        g.add_edge(m, t); // 2: cheap but narrow
+        cost.push(1.0);
+        cap.push(1.5);
+        g.add_edge(s1, t); // 3: expensive direct
+        cost.push(10.0);
+        cap.push(10.0);
+        g.add_edge(s2, t); // 4: expensive direct
+        cost.push(10.0);
+        cap.push(10.0);
+        let commodities = vec![
+            Commodity { source: s1, dest: t, demand: 1.0 },
+            Commodity { source: s2, dest: t, demand: 1.0 },
+        ];
+        (g, cost, cap, commodities)
+    }
+
+    #[test]
+    fn splits_around_bottleneck() {
+        let (g, cost, cap, commodities) = bottleneck_instance();
+        let sol = min_cost_multicommodity(&g, &cost, &cap, &commodities).unwrap();
+        // 1.5 units through the cheap route (cost 2/unit), 0.5 direct
+        // (cost 10/unit) → 1.5·2 + 0.5·10 = 8.
+        assert!((sol.cost - 8.0).abs() < 1e-6, "cost = {}", sol.cost);
+        let loads = sol.link_loads(g.edge_count());
+        assert!(loads[2] <= 1.5 + 1e-6);
+        for (i, c) in commodities.iter().enumerate() {
+            let total: f64 = sol.path_flows[i].iter().map(|f| f.amount).sum();
+            assert!((total - c.demand).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn uncapacitated_reduces_to_shortest_paths() {
+        let (g, cost, _, commodities) = bottleneck_instance();
+        let cap = vec![f64::INFINITY; g.edge_count()];
+        let sol = min_cost_multicommodity(&g, &cost, &cap, &commodities).unwrap();
+        assert!((sol.cost - 4.0).abs() < 1e-6); // both use the cheap route
+    }
+
+    #[test]
+    fn infeasible_demand_detected() {
+        let (g, cost, mut cap, commodities) = bottleneck_instance();
+        // Shrink the direct routes so total capacity into t is 1.9 < 2.
+        cap[3] = 0.4;
+        cap[4] = 0.0;
+        let err = min_cost_multicommodity(&g, &cost, &cap, &commodities).unwrap_err();
+        assert_eq!(err, FlowError::Infeasible);
+    }
+
+    #[test]
+    fn unreachable_destination_is_infeasible() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let commodities = [Commodity { source: a, dest: b, demand: 1.0 }];
+        let err = min_cost_multicommodity(&g, &[], &[], &commodities).unwrap_err();
+        assert_eq!(err, FlowError::Infeasible);
+    }
+
+    #[test]
+    fn randomized_rounding_respects_flow_support() {
+        let (g, cost, cap, commodities) = bottleneck_instance();
+        let mcf = min_cost_multicommodity(&g, &cost, &cap, &commodities).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let sol = randomized_rounding(&g, &cost, &cap, &commodities, &mcf, 20, &mut rng);
+        assert_eq!(sol.paths.len(), 2);
+        for (p, c) in sol.paths.iter().zip(&commodities) {
+            assert_eq!(p.source(&g), Some(c.source));
+            assert_eq!(p.target(&g), Some(c.dest));
+        }
+        // Every chosen path appears in the fractional support.
+        for (i, p) in sol.paths.iter().enumerate() {
+            assert!(mcf.path_flows[i].iter().any(|f| &f.path == p));
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_capacity_fitting_paths() {
+        let (g, cost, cap, commodities) = bottleneck_instance();
+        let sol = greedy_unsplittable(&g, &cost, &cap, &commodities).unwrap();
+        // First commodity takes the cheap route (fits 1.0 ≤ 1.5); second
+        // cannot fit and must go direct.
+        let congestion = sol.congestion(&cap);
+        assert!(congestion <= 1.0 + 1e-9, "congestion = {congestion}");
+        assert!((sol.cost - 12.0).abs() < 1e-6, "cost = {}", sol.cost);
+    }
+
+    #[test]
+    fn greedy_overloads_when_nothing_fits() {
+        let mut g = DiGraph::new();
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, t);
+        let commodities = [Commodity { source: s, dest: t, demand: 2.0 }];
+        let sol = greedy_unsplittable(&g, &[1.0], &[1.0], &commodities).unwrap();
+        assert!((sol.congestion(&[1.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_commodities_ok() {
+        let g = DiGraph::new();
+        let sol = min_cost_multicommodity(&g, &[], &[], &[]).unwrap();
+        assert_eq!(sol.cost, 0.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! The core directed multigraph type.
+
+use std::fmt;
+
+/// Handle to a node of a [`DiGraph`].
+///
+/// Node ids are dense indices `0..node_count()`, so they can be used to
+/// index caller-side attribute slices via [`NodeId::index`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+/// Handle to an edge of a [`DiGraph`].
+///
+/// Edge ids are dense indices `0..edge_count()`, so they can be used to
+/// index caller-side attribute slices via [`EdgeId::index`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// The caller is responsible for the index being in range for the graph
+    /// it is used with; out-of-range ids cause panics when dereferenced.
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+
+    /// The dense index of this node, suitable for slice indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    pub fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index exceeds u32 range"))
+    }
+
+    /// The dense index of this edge, suitable for slice indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Edge {
+    src: NodeId,
+    dst: NodeId,
+}
+
+/// A compact directed multigraph with stable, dense node and edge indices.
+///
+/// Parallel edges and self-loops are permitted (the flow layers rely on
+/// parallel edges when building auxiliary graphs with virtual links).
+/// Nodes and edges cannot be removed; the optimization stack only ever
+/// grows graphs (e.g. by adding virtual sources), which keeps ids stable.
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    edges: Vec<Edge>,
+    out: Vec<Vec<EdgeId>>,
+    inc: Vec<Vec<EdgeId>>,
+}
+
+impl DiGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with capacity reserved for `nodes` nodes and
+    /// `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        DiGraph {
+            edges: Vec::with_capacity(edges),
+            out: Vec::with_capacity(nodes),
+            inc: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Adds a node and returns its handle.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.out.len());
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` nodes and returns their handles in insertion order.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Adds a directed edge `src -> dst` and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> EdgeId {
+        assert!(src.index() < self.out.len(), "src node out of range");
+        assert!(dst.index() < self.out.len(), "dst node out of range");
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(Edge { src, dst });
+        self.out[src.index()].push(id);
+        self.inc[dst.index()].push(id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node handles.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.out.len()).map(NodeId::new)
+    }
+
+    /// Iterator over all edge handles.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId::new)
+    }
+
+    /// Source node of an edge.
+    pub fn src(&self, e: EdgeId) -> NodeId {
+        self.edges[e.index()].src
+    }
+
+    /// Destination node of an edge.
+    pub fn dst(&self, e: EdgeId) -> NodeId {
+        self.edges[e.index()].dst
+    }
+
+    /// Both endpoints `(src, dst)` of an edge.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        let edge = &self.edges[e.index()];
+        (edge.src, edge.dst)
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.out[v.index()]
+    }
+
+    /// Incoming edges of a node.
+    pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.inc[v.index()]
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out[v.index()].len()
+    }
+
+    /// In-degree of a node.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.inc[v.index()].len()
+    }
+
+    /// Total (undirected) degree of a node, counting each incident edge once
+    /// per direction.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Finds an edge `src -> dst`, if one exists (first of possibly many
+    /// parallel edges).
+    pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
+        self.out[src.index()]
+            .iter()
+            .copied()
+            .find(|&e| self.dst(e) == dst)
+    }
+
+    /// Whether every node can reach every other node ignoring edge
+    /// directions (weak connectivity).
+    pub fn is_weakly_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId::new(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for &e in self.out_edges(v).iter().chain(self.in_edges(v)) {
+                let (s, d) = self.endpoints(e);
+                let w = if s == v { d } else { s };
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// The set of nodes reachable from `src` following edge directions,
+    /// restricted to edges for which `usable` returns `true`.
+    pub fn reachable_from<F: FnMut(EdgeId) -> bool>(
+        &self,
+        src: NodeId,
+        mut usable: F,
+    ) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![src];
+        seen[src.index()] = true;
+        while let Some(v) = stack.pop() {
+            for &e in self.out_edges(v) {
+                let d = self.dst(e);
+                if !seen[d.index()] && usable(e) {
+                    seen[d.index()] = true;
+                    stack.push(d);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let e = g.add_edge(a, b);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.src(e), a);
+        assert_eq!(g.dst(e), b);
+        assert_eq!(g.endpoints(e), (a, b));
+        assert_eq!(g.out_edges(a), &[e]);
+        assert_eq!(g.in_edges(b), &[e]);
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(a), 0);
+        assert_eq!(g.degree(a), 1);
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let e1 = g.add_edge(a, b);
+        let e2 = g.add_edge(a, b);
+        let loop_e = g.add_edge(a, a);
+        assert_ne!(e1, e2);
+        assert_eq!(g.out_degree(a), 3);
+        assert_eq!(g.in_degree(a), 1);
+        assert_eq!(g.find_edge(a, b), Some(e1));
+        assert_eq!(g.find_edge(a, a), Some(loop_e));
+        assert_eq!(g.find_edge(b, a), None);
+    }
+
+    #[test]
+    fn weak_connectivity() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b);
+        assert!(!g.is_weakly_connected());
+        g.add_edge(c, b);
+        assert!(g.is_weakly_connected());
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs_are_connected() {
+        let g = DiGraph::new();
+        assert!(g.is_weakly_connected());
+        let mut g = DiGraph::new();
+        g.add_node();
+        assert!(g.is_weakly_connected());
+    }
+
+    #[test]
+    fn reachability_respects_filter() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let ab = g.add_edge(a, b);
+        let bc = g.add_edge(b, c);
+        let all = g.reachable_from(a, |_| true);
+        assert_eq!(all, vec![true, true, true]);
+        let without_bc = g.reachable_from(a, |e| e != bc);
+        assert_eq!(without_bc, vec![true, true, false]);
+        let without_ab = g.reachable_from(a, |e| e != ab);
+        assert_eq!(without_ab, vec![true, false, false]);
+    }
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{:?}", NodeId::new(3)), "n3");
+        assert_eq!(format!("{}", EdgeId::new(7)), "e7");
+    }
+}

@@ -1,0 +1,164 @@
+//! Directed paths and path arithmetic.
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+
+/// A directed path, stored as the sequence of edges traversed.
+///
+/// The empty path is a valid path that starts and ends at the same
+/// (unspecified) node; callers that need the trivial path at a concrete node
+/// should track the node separately.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Path {
+    edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Creates a path from a sequence of edges.
+    ///
+    /// Use [`Path::is_valid`] to verify that consecutive edges chain
+    /// head-to-tail in a given graph.
+    pub fn new(edges: Vec<EdgeId>) -> Self {
+        Path { edges }
+    }
+
+    /// The edges of the path, in traversal order.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges (hops).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the path has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// First node of the path, if non-empty.
+    pub fn source(&self, g: &DiGraph) -> Option<NodeId> {
+        self.edges.first().map(|&e| g.src(e))
+    }
+
+    /// Last node of the path, if non-empty.
+    pub fn target(&self, g: &DiGraph) -> Option<NodeId> {
+        self.edges.last().map(|&e| g.dst(e))
+    }
+
+    /// The node sequence visited, source first (empty for an empty path).
+    pub fn nodes(&self, g: &DiGraph) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.edges.len() + 1);
+        if let Some(&first) = self.edges.first() {
+            out.push(g.src(first));
+            for &e in &self.edges {
+                out.push(g.dst(e));
+            }
+        }
+        out
+    }
+
+    /// Sum of `cost[e]` over the path's edges.
+    pub fn cost(&self, cost: &[f64]) -> f64 {
+        self.edges.iter().map(|e| cost[e.index()]).sum()
+    }
+
+    /// Checks that consecutive edges chain head-to-tail in `g`.
+    pub fn is_valid(&self, g: &DiGraph) -> bool {
+        self.edges
+            .windows(2)
+            .all(|w| g.dst(w[0]) == g.src(w[1]))
+    }
+
+    /// Whether the path visits any node more than once.
+    pub fn has_repeated_node(&self, g: &DiGraph) -> bool {
+        let nodes = self.nodes(g);
+        let mut seen = vec![false; g.node_count()];
+        for v in nodes {
+            if seen[v.index()] {
+                return true;
+            }
+            seen[v.index()] = true;
+        }
+        false
+    }
+
+    /// Consumes the path, returning its edges.
+    pub fn into_edges(self) -> Vec<EdgeId> {
+        self.edges
+    }
+}
+
+impl From<Vec<EdgeId>> for Path {
+    fn from(edges: Vec<EdgeId>) -> Self {
+        Path::new(edges)
+    }
+}
+
+impl FromIterator<EdgeId> for Path {
+    fn from_iter<T: IntoIterator<Item = EdgeId>>(iter: T) -> Self {
+        Path::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (DiGraph, [NodeId; 3], [EdgeId; 3]) {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let ab = g.add_edge(a, b);
+        let bc = g.add_edge(b, c);
+        let ca = g.add_edge(c, a);
+        (g, [a, b, c], [ab, bc, ca])
+    }
+
+    #[test]
+    fn nodes_and_endpoints() {
+        let (g, [a, b, c], [ab, bc, _]) = triangle();
+        let p = Path::new(vec![ab, bc]);
+        assert!(p.is_valid(&g));
+        assert_eq!(p.source(&g), Some(a));
+        assert_eq!(p.target(&g), Some(c));
+        assert_eq!(p.nodes(&g), vec![a, b, c]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.has_repeated_node(&g));
+    }
+
+    #[test]
+    fn invalid_chain_detected() {
+        let (g, _, [ab, _, ca]) = triangle();
+        let p = Path::new(vec![ab, ca]);
+        assert!(!p.is_valid(&g));
+    }
+
+    #[test]
+    fn cycle_has_repeated_node() {
+        let (g, _, [ab, bc, ca]) = triangle();
+        let p = Path::new(vec![ab, bc, ca]);
+        assert!(p.is_valid(&g));
+        assert!(p.has_repeated_node(&g));
+    }
+
+    #[test]
+    fn cost_sums_edge_costs() {
+        let (_, _, [ab, bc, _]) = triangle();
+        let p = Path::new(vec![ab, bc]);
+        let cost = [1.5, 2.5, 10.0];
+        assert_eq!(p.cost(&cost), 4.0);
+        assert_eq!(Path::default().cost(&cost), 0.0);
+    }
+
+    #[test]
+    fn empty_path_behaviour() {
+        let (g, _, _) = triangle();
+        let p = Path::default();
+        assert!(p.is_empty());
+        assert!(p.is_valid(&g));
+        assert_eq!(p.source(&g), None);
+        assert_eq!(p.nodes(&g), Vec::<NodeId>::new());
+    }
+}

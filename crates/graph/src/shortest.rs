@@ -1,0 +1,448 @@
+//! Shortest-path algorithms: Dijkstra, Bellman–Ford, all-pairs least costs,
+//! and Yen's k-shortest simple paths.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+use crate::path::Path;
+
+/// A shortest-path tree rooted at a source node, as produced by
+/// [`dijkstra`] or [`bellman_ford`].
+#[derive(Clone, Debug)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    dist: Vec<f64>,
+    parent: Vec<Option<EdgeId>>,
+    /// Source node of the parent edge, per node (so path reconstruction
+    /// does not need the graph).
+    parent_src: Vec<Option<NodeId>>,
+}
+
+impl ShortestPathTree {
+    /// The source node the tree is rooted at.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Least cost from the source to `v`; `f64::INFINITY` if unreachable.
+    pub fn dist(&self, v: NodeId) -> f64 {
+        self.dist[v.index()]
+    }
+
+    /// All distances, indexed by node index.
+    pub fn dists(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Whether `v` is reachable from the source.
+    pub fn is_reachable(&self, v: NodeId) -> bool {
+        self.dist[v.index()].is_finite()
+    }
+
+    /// The tree edge entering `v`, if `v` is reachable and not the source.
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent[v.index()]
+    }
+
+    /// A least-cost path from the source to `t`, or `None` if unreachable.
+    ///
+    /// Returns the empty path for `t == source`.
+    pub fn path_to(&self, t: NodeId) -> Option<Vec<EdgeId>> {
+        if !self.is_reachable(t) {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut v = t;
+        while let Some(e) = self.parent[v.index()] {
+            edges.push(e);
+            v = self.parent_src[v.index()].expect("parent edge implies parent source");
+        }
+        edges.reverse();
+        Some(edges)
+    }
+
+    /// Like [`ShortestPathTree::path_to`], returning a [`Path`].
+    pub fn path(&self, t: NodeId) -> Option<Path> {
+        self.path_to(t).map(Path::new)
+    }
+
+    fn from_parts(
+        source: NodeId,
+        dist: Vec<f64>,
+        parent: Vec<Option<EdgeId>>,
+        g: &DiGraph,
+    ) -> Self {
+        let parent_src = parent.iter().map(|p| p.map(|e| g.src(e))).collect();
+        ShortestPathTree {
+            source,
+            dist,
+            parent,
+            parent_src,
+        }
+    }
+}
+
+/// Min-heap entry ordered by distance.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so BinaryHeap (a max-heap) pops the smallest distance.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.index().cmp(&self.node.index()))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra's algorithm from `source` under non-negative edge costs.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if any edge cost is negative or NaN.
+pub fn dijkstra(g: &DiGraph, source: NodeId, cost: &[f64]) -> ShortestPathTree {
+    dijkstra_filtered(g, source, cost, |_| true)
+}
+
+/// Dijkstra restricted to edges for which `usable` returns `true`.
+///
+/// Used by Yen's algorithm and by flow decompositions that walk
+/// positive-flow subgraphs.
+pub fn dijkstra_filtered<F: FnMut(EdgeId) -> bool>(
+    g: &DiGraph,
+    source: NodeId,
+    cost: &[f64],
+    mut usable: F,
+) -> ShortestPathTree {
+    debug_assert_eq!(cost.len(), g.edge_count(), "cost slice length mismatch");
+    debug_assert!(
+        cost.iter().all(|c| *c >= 0.0),
+        "dijkstra requires non-negative costs"
+    );
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<EdgeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
+        if done[v.index()] {
+            continue;
+        }
+        done[v.index()] = true;
+        for &e in g.out_edges(v) {
+            if !usable(e) {
+                continue;
+            }
+            let w = g.dst(e);
+            let nd = d + cost[e.index()];
+            if nd < dist[w.index()] {
+                dist[w.index()] = nd;
+                parent[w.index()] = Some(e);
+                heap.push(HeapEntry { dist: nd, node: w });
+            }
+        }
+    }
+    ShortestPathTree::from_parts(source, dist, parent, g)
+}
+
+/// The error returned by [`bellman_ford`] when a negative-cost cycle is
+/// reachable from the source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NegativeCycle;
+
+impl std::fmt::Display for NegativeCycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "negative-cost cycle reachable from source")
+    }
+}
+
+impl std::error::Error for NegativeCycle {}
+
+/// Bellman–Ford from `source`; edge costs may be negative.
+///
+/// # Errors
+///
+/// Returns [`NegativeCycle`] if a negative-cost cycle is reachable from the
+/// source.
+pub fn bellman_ford(
+    g: &DiGraph,
+    source: NodeId,
+    cost: &[f64],
+) -> Result<ShortestPathTree, NegativeCycle> {
+    debug_assert_eq!(cost.len(), g.edge_count(), "cost slice length mismatch");
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<EdgeId>> = vec![None; n];
+    dist[source.index()] = 0.0;
+    for round in 0..n {
+        let mut changed = false;
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            let du = dist[u.index()];
+            if du.is_finite() {
+                let nd = du + cost[e.index()];
+                if nd < dist[v.index()] - 1e-12 {
+                    dist[v.index()] = nd;
+                    parent[v.index()] = Some(e);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        if round == n.saturating_sub(1) && changed {
+            return Err(NegativeCycle);
+        }
+    }
+    Ok(ShortestPathTree::from_parts(source, dist, parent, g))
+}
+
+/// All-pairs least costs `w[v][s]` computed by one Dijkstra run per source.
+///
+/// Entry `[v.index()][s.index()]` is the least cost of a `v -> s` path
+/// (`f64::INFINITY` if none exists).
+pub fn all_pairs(g: &DiGraph, cost: &[f64]) -> Vec<Vec<f64>> {
+    g.nodes()
+        .map(|v| dijkstra(g, v, cost).dist.clone())
+        .collect()
+}
+
+/// Yen's algorithm: up to `k` least-cost *simple* paths from `src` to `dst`.
+///
+/// Returns fewer than `k` paths when fewer simple paths exist. Paths are
+/// returned in non-decreasing cost order. Requires non-negative costs.
+pub fn k_shortest_paths(
+    g: &DiGraph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    cost: &[f64],
+) -> Vec<Path> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let tree = dijkstra(g, src, cost);
+    let Some(first) = tree.path(dst) else {
+        return Vec::new();
+    };
+    let mut result: Vec<Path> = vec![first];
+    // Candidate pool of (cost, path), deduplicated by edge sequence.
+    let mut candidates: Vec<(f64, Path)> = Vec::new();
+
+    while result.len() < k {
+        let prev = result.last().expect("at least one accepted path").clone();
+        let prev_nodes = prev.nodes(g);
+        // Spur from each node of the previous path.
+        for i in 0..prev.len() {
+            let spur_node = prev_nodes[i];
+            let root_edges = &prev.edges()[..i];
+
+            // Edges banned: the next edge of any accepted path sharing the root.
+            let mut banned_edges = vec![false; g.edge_count()];
+            for p in &result {
+                if p.len() > i && p.edges()[..i] == *root_edges {
+                    banned_edges[p.edges()[i].index()] = true;
+                }
+            }
+            // Nodes banned: every root node except the spur node, to keep
+            // paths simple.
+            let mut banned_nodes = vec![false; g.node_count()];
+            for v in &prev_nodes[..i] {
+                banned_nodes[v.index()] = true;
+            }
+
+            let spur_tree = dijkstra_filtered(g, spur_node, cost, |e| {
+                !banned_edges[e.index()]
+                    && !banned_nodes[g.src(e).index()]
+                    && !banned_nodes[g.dst(e).index()]
+            });
+            if let Some(spur_path) = spur_tree.path_to(dst) {
+                let mut edges = root_edges.to_vec();
+                edges.extend(spur_path);
+                let total = Path::new(edges);
+                if total.has_repeated_node(g) {
+                    continue;
+                }
+                let c = total.cost(cost);
+                if !result.contains(&total)
+                    && !candidates.iter().any(|(_, p)| *p == total)
+                {
+                    candidates.push((c, total));
+                }
+            }
+        }
+        // Accept the cheapest candidate.
+        let Some((best_idx, _)) = candidates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(Ordering::Equal))
+        else {
+            break;
+        };
+        let (_, path) = candidates.swap_remove(best_idx);
+        result.push(path);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (DiGraph, [NodeId; 4], Vec<f64>) {
+        // a -> b -> d and a -> c -> d, plus direct a -> d.
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        g.add_edge(a, b); // 0: cost 1
+        g.add_edge(b, d); // 1: cost 1
+        g.add_edge(a, c); // 2: cost 2
+        g.add_edge(c, d); // 3: cost 2
+        g.add_edge(a, d); // 4: cost 5
+        (g, [a, b, c, d], vec![1.0, 1.0, 2.0, 2.0, 5.0])
+    }
+
+    #[test]
+    fn dijkstra_finds_least_costs() {
+        let (g, [a, b, c, d], cost) = diamond();
+        let t = dijkstra(&g, a, &cost);
+        assert_eq!(t.dist(a), 0.0);
+        assert_eq!(t.dist(b), 1.0);
+        assert_eq!(t.dist(c), 2.0);
+        assert_eq!(t.dist(d), 2.0);
+        let p = t.path(d).unwrap();
+        assert_eq!(p.nodes(&g), vec![a, b, d]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_infinite() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let t = dijkstra(&g, a, &[]);
+        assert!(!t.is_reachable(b));
+        assert!(t.path_to(b).is_none());
+        assert_eq!(t.path_to(a).unwrap(), Vec::<EdgeId>::new());
+    }
+
+    #[test]
+    fn dijkstra_handles_zero_cost_edges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        let t = dijkstra(&g, a, &[0.0, 0.0]);
+        assert_eq!(t.dist(c), 0.0);
+        assert_eq!(t.path_to(c).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn bellman_ford_matches_dijkstra_on_nonnegative() {
+        let (g, [a, _, _, d], cost) = diamond();
+        let bf = bellman_ford(&g, a, &cost).unwrap();
+        let dj = dijkstra(&g, a, &cost);
+        for v in g.nodes() {
+            assert!((bf.dist(v) - dj.dist(v)).abs() < 1e-12);
+        }
+        assert_eq!(bf.path_to(d).unwrap(), dj.path_to(d).unwrap());
+    }
+
+    #[test]
+    fn bellman_ford_accepts_negative_edges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b); // 3
+        g.add_edge(b, c); // -2
+        g.add_edge(a, c); // 2
+        let t = bellman_ford(&g, a, &[3.0, -2.0, 2.0]).unwrap();
+        assert_eq!(t.dist(c), 1.0);
+    }
+
+    #[test]
+    fn bellman_ford_detects_negative_cycle() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        assert!(matches!(bellman_ford(&g, a, &[1.0, -2.0]), Err(NegativeCycle)));
+    }
+
+    #[test]
+    fn all_pairs_is_square_and_symmetric_for_symmetric_graphs() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        let d = all_pairs(&g, &[4.0, 4.0]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[a.index()][b.index()], 4.0);
+        assert_eq!(d[b.index()][a.index()], 4.0);
+        assert_eq!(d[a.index()][a.index()], 0.0);
+    }
+
+    #[test]
+    fn yen_enumerates_paths_in_cost_order() {
+        let (g, [a, _, _, d], cost) = diamond();
+        let paths = k_shortest_paths(&g, a, d, 5, &cost);
+        assert_eq!(paths.len(), 3);
+        let costs: Vec<f64> = paths.iter().map(|p| p.cost(&cost)).collect();
+        assert_eq!(costs, vec![2.0, 4.0, 5.0]);
+        for p in &paths {
+            assert!(p.is_valid(&g));
+            assert!(!p.has_repeated_node(&g));
+        }
+    }
+
+    #[test]
+    fn yen_k_zero_and_unreachable() {
+        let (g, [a, _, _, d], cost) = diamond();
+        assert!(k_shortest_paths(&g, a, d, 0, &cost).is_empty());
+        let mut g2 = DiGraph::new();
+        let x = g2.add_node();
+        let y = g2.add_node();
+        assert!(k_shortest_paths(&g2, x, y, 3, &[]).is_empty());
+    }
+
+    #[test]
+    fn yen_respects_simplicity_in_cyclic_graphs() {
+        // a <-> b -> c with a cheap cycle; paths must stay simple.
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b); // 1
+        g.add_edge(b, a); // 0.1
+        g.add_edge(b, c); // 1
+        let paths = k_shortest_paths(&g, a, c, 10, &[1.0, 0.1, 1.0]);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].cost(&[1.0, 0.1, 1.0]), 2.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Structural decompositions: strongly connected components (Tarjan) and
+//! topological ordering.
+//!
+//! The flow layers use these to certify that decomposed flows are acyclic
+//! and to order DAG computations; they are also generally useful to
+//! downstream users inspecting cache-network topologies.
+
+use crate::graph::{DiGraph, EdgeId, NodeId};
+
+/// Strongly connected components in reverse topological order (Tarjan's
+/// algorithm, iterative). Each component lists its member nodes.
+pub fn strongly_connected_components(g: &DiGraph) -> Vec<Vec<NodeId>> {
+    scc_filtered(g, |_| true)
+}
+
+/// SCCs of the subgraph containing only edges for which `usable` returns
+/// `true`.
+pub fn scc_filtered<F: Fn(EdgeId) -> bool>(g: &DiGraph, usable: F) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    // Iterative Tarjan: (node, out-edge cursor).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&(v, cursor)) = call_stack.last() {
+            let out = g.out_edges(NodeId::new(v));
+            if cursor < out.len() {
+                call_stack.last_mut().expect("non-empty").1 += 1;
+                let e = out[cursor];
+                if !usable(e) {
+                    continue;
+                }
+                let w = g.dst(e).index();
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("stack non-empty");
+                        on_stack[w] = false;
+                        component.push(NodeId::new(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Whether the (filtered) subgraph is a DAG — i.e. every SCC is a single
+/// node without a usable self-loop.
+pub fn is_acyclic<F: Fn(EdgeId) -> bool>(g: &DiGraph, usable: F) -> bool {
+    let has_self_loop = g
+        .edges()
+        .any(|e| usable(e) && g.src(e) == g.dst(e));
+    if has_self_loop {
+        return false;
+    }
+    scc_filtered(g, usable).iter().all(|c| c.len() == 1)
+}
+
+/// A topological order of the nodes, or `None` if the graph has a cycle.
+pub fn topological_order(g: &DiGraph) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut indegree = vec![0usize; n];
+    for e in g.edges() {
+        indegree[g.dst(e).index()] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop() {
+        order.push(NodeId::new(v));
+        for &e in g.out_edges(NodeId::new(v)) {
+            let w = g.dst(e).index();
+            indegree[w] -= 1;
+            if indegree[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cycles_and_tail() -> DiGraph {
+        // 0 <-> 1, 2 <-> 3, 1 -> 2, 3 -> 4.
+        let mut g = DiGraph::new();
+        let nodes = g.add_nodes(5);
+        g.add_edge(nodes[0], nodes[1]);
+        g.add_edge(nodes[1], nodes[0]);
+        g.add_edge(nodes[2], nodes[3]);
+        g.add_edge(nodes[3], nodes[2]);
+        g.add_edge(nodes[1], nodes[2]);
+        g.add_edge(nodes[3], nodes[4]);
+        g
+    }
+
+    #[test]
+    fn finds_components() {
+        let g = two_cycles_and_tail();
+        let mut sccs: Vec<Vec<usize>> = strongly_connected_components(&g)
+            .into_iter()
+            .map(|c| {
+                let mut ids: Vec<usize> = c.into_iter().map(|v| v.index()).collect();
+                ids.sort_unstable();
+                ids
+            })
+            .collect();
+        sccs.sort();
+        assert_eq!(sccs, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn reverse_topological_component_order() {
+        // Tarjan emits components in reverse topological order: the sink
+        // component {4} first.
+        let g = two_cycles_and_tail();
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs[0], vec![NodeId::new(4)]);
+    }
+
+    #[test]
+    fn acyclicity() {
+        let g = two_cycles_and_tail();
+        assert!(!is_acyclic(&g, |_| true));
+        // Excluding the two back edges makes it a DAG.
+        assert!(is_acyclic(&g, |e| e.index() != 1 && e.index() != 3));
+        // Self loops are cycles.
+        let mut g2 = DiGraph::new();
+        let a = g2.add_node();
+        g2.add_edge(a, a);
+        assert!(!is_acyclic(&g2, |_| true));
+    }
+
+    #[test]
+    fn topological_order_on_dag() {
+        let mut g = DiGraph::new();
+        let nodes = g.add_nodes(4);
+        g.add_edge(nodes[0], nodes[1]);
+        g.add_edge(nodes[0], nodes[2]);
+        g.add_edge(nodes[1], nodes[3]);
+        g.add_edge(nodes[2], nodes[3]);
+        let order = topological_order(&g).unwrap();
+        let pos: Vec<usize> = (0..4)
+            .map(|v| order.iter().position(|&x| x.index() == v).unwrap())
+            .collect();
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn topological_order_rejects_cycles() {
+        let g = two_cycles_and_tail();
+        assert!(topological_order(&g).is_none());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new();
+        assert!(strongly_connected_components(&g).is_empty());
+        assert_eq!(topological_order(&g), Some(Vec::new()));
+        assert!(is_acyclic(&g, |_| true));
+    }
+}

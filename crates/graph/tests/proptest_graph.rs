@@ -1,0 +1,162 @@
+//! Property-based tests for the graph substrate: algorithm agreement and
+//! structural invariants on random graphs.
+
+use proptest::prelude::*;
+
+use jcr_graph::{shortest, DiGraph, NodeId};
+
+/// Strategy: a random directed graph as (node count, edge list, costs).
+fn random_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<f64>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 1..30);
+        edges.prop_flat_map(move |es| {
+            let m = es.len();
+            (
+                Just(n),
+                Just(es),
+                proptest::collection::vec(0.0f64..50.0, m..=m),
+            )
+        })
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize)]) -> DiGraph {
+    let mut g = DiGraph::new();
+    let nodes = g.add_nodes(n);
+    for &(u, v) in edges {
+        g.add_edge(nodes[u], nodes[v]);
+    }
+    g
+}
+
+proptest! {
+    /// Dijkstra and Bellman–Ford agree on non-negative costs.
+    #[test]
+    fn dijkstra_matches_bellman_ford((n, edges, costs) in random_graph()) {
+        let g = build(n, &edges);
+        let src = NodeId::new(0);
+        let dj = shortest::dijkstra(&g, src, &costs);
+        let bf = shortest::bellman_ford(&g, src, &costs).expect("no negative cycles");
+        for v in g.nodes() {
+            let (a, b) = (dj.dist(v), bf.dist(v));
+            prop_assert!(
+                (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-6,
+                "{v:?}: dijkstra {a} vs bellman-ford {b}"
+            );
+        }
+    }
+
+    /// Reconstructed shortest paths are valid and their cost equals the
+    /// reported distance.
+    #[test]
+    fn paths_are_valid_and_cost_consistent((n, edges, costs) in random_graph()) {
+        let g = build(n, &edges);
+        let src = NodeId::new(0);
+        let tree = shortest::dijkstra(&g, src, &costs);
+        for v in g.nodes() {
+            if let Some(path) = tree.path(v) {
+                prop_assert!(path.is_valid(&g));
+                if !path.is_empty() {
+                    prop_assert_eq!(path.source(&g), Some(src));
+                    prop_assert_eq!(path.target(&g), Some(v));
+                }
+                prop_assert!((path.cost(&costs) - tree.dist(v)).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Triangle inequality of the all-pairs matrix.
+    #[test]
+    fn all_pairs_triangle_inequality((n, edges, costs) in random_graph()) {
+        let g = build(n, &edges);
+        let d = shortest::all_pairs(&g, &costs);
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    if d[a][b].is_finite() && d[b][c].is_finite() {
+                        prop_assert!(d[a][c] <= d[a][b] + d[b][c] + 1e-6);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Yen's paths are simple, distinct, sorted by cost, and start with
+    /// the true shortest path.
+    #[test]
+    fn yen_invariants((n, edges, costs) in random_graph()) {
+        let g = build(n, &edges);
+        let src = NodeId::new(0);
+        let dst = NodeId::new(n - 1);
+        let paths = shortest::k_shortest_paths(&g, src, dst, 5, &costs);
+        let tree = shortest::dijkstra(&g, src, &costs);
+        if let Some(first) = paths.first() {
+            prop_assert!((first.cost(&costs) - tree.dist(dst)).abs() < 1e-6);
+        } else {
+            prop_assert!(!tree.is_reachable(dst) || src == dst);
+        }
+        for w in paths.windows(2) {
+            prop_assert!(w[0].cost(&costs) <= w[1].cost(&costs) + 1e-9);
+            prop_assert!(w[0] != w[1], "duplicate path");
+        }
+        for p in &paths {
+            prop_assert!(p.is_valid(&g));
+            prop_assert!(!p.has_repeated_node(&g), "non-simple path");
+        }
+    }
+}
+
+proptest! {
+    /// SCCs partition the node set, and contracting them yields a DAG
+    /// (equivalently: the graph is acyclic iff every SCC is trivial and
+    /// no self-loop exists), consistent with `topological_order`.
+    #[test]
+    fn scc_partition_and_acyclicity((n, edges, _costs) in random_graph()) {
+        use jcr_graph::structure::{is_acyclic, strongly_connected_components, topological_order};
+        let g = build(n, &edges);
+        let sccs = strongly_connected_components(&g);
+        let mut seen = vec![0usize; n];
+        for c in &sccs {
+            prop_assert!(!c.is_empty());
+            for v in c {
+                seen[v.index()] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s == 1), "SCCs must partition the nodes");
+        let acyclic = is_acyclic(&g, |_| true);
+        prop_assert_eq!(acyclic, topological_order(&g).is_some());
+        if acyclic {
+            prop_assert!(sccs.iter().all(|c| c.len() == 1));
+        }
+    }
+
+    /// Nodes in one SCC reach each other; Tarjan emits components in
+    /// reverse topological order (no edge from an earlier to a later
+    /// component... i.e. edges can only go from later-emitted components
+    /// to earlier-emitted ones).
+    #[test]
+    fn scc_mutual_reachability((n, edges, _costs) in random_graph()) {
+        use jcr_graph::structure::strongly_connected_components;
+        let g = build(n, &edges);
+        let sccs = strongly_connected_components(&g);
+        let mut comp_of = vec![0usize; n];
+        for (k, c) in sccs.iter().enumerate() {
+            for v in c {
+                comp_of[v.index()] = k;
+            }
+        }
+        for c in &sccs {
+            let root = c[0];
+            let reach = g.reachable_from(root, |_| true);
+            for v in c {
+                prop_assert!(reach[v.index()], "{root:?} must reach {v:?} inside its SCC");
+            }
+        }
+        // Reverse topological order: every edge goes to an equal-or-earlier
+        // emitted component.
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            prop_assert!(comp_of[u.index()] >= comp_of[v.index()]);
+        }
+    }
+}

@@ -1,0 +1,825 @@
+//! The revised-simplex engine.
+//!
+//! Internally the problem is brought to the computational form
+//!
+//! ```text
+//!     minimize cᵀx   subject to   A·x_struct − s = 0,   l ≤ (x_struct, s) ≤ u
+//! ```
+//!
+//! where one slack `s_r` per ranged row carries the row's activity bounds.
+//! The initial basis is the slack basis (B = −I), phase 1 minimizes the sum
+//! of bound violations of basic variables (no big-M), and phase 2 optimizes
+//! the true objective. The basis inverse is kept dense and refactorized
+//! periodically.
+
+use std::fmt;
+
+use crate::model::Model;
+
+/// Feasibility tolerance on variable bounds and row activities.
+const FEAS_TOL: f64 = 1e-7;
+/// Dual (reduced-cost) tolerance.
+const DUAL_TOL: f64 = 1e-7;
+/// Smallest pivot magnitude accepted.
+const PIVOT_TOL: f64 = 1e-9;
+/// Pivots between basis refactorizations.
+const REFACTOR_EVERY: usize = 128;
+/// Iterations without objective progress before switching to Bland's rule.
+const STALL_LIMIT: usize = 200;
+
+/// Why an LP could not be solved to optimality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpError {
+    /// No point satisfies all constraints.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The solver lost too much numerical precision to certify an answer.
+    Numerical(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "infeasible linear program"),
+            LpError::Unbounded => write!(f, "unbounded linear program"),
+            LpError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution of a [`Model`](crate::Model).
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Optimal values of the structural variables, indexed by `VarId`.
+    pub x: Vec<f64>,
+    /// Objective value in the model's own sense.
+    pub objective: f64,
+    /// Row duals `y`, in the model's own sense: the reduced cost of a
+    /// candidate column with objective coefficient `c` and entries
+    /// `(r, a_r)` is `c − Σ_r y[r]·a_r`. For a maximization model a column
+    /// *improves* the objective when its reduced cost is positive; for a
+    /// minimization model, when it is negative.
+    pub duals: Vec<f64>,
+}
+
+impl Solution {
+    /// Reduced cost of a candidate column under this solution's duals
+    /// (in the model's own sense).
+    pub fn reduced_cost(&self, obj: f64, column: &[(usize, f64)]) -> f64 {
+        obj - column.iter().map(|&(r, a)| self.duals[r] * a).sum::<f64>()
+    }
+
+    /// Row activities `A·x` of this solution under the given model — the
+    /// left-hand side each ranged row sees, for slack inspection.
+    pub fn row_activity(&self, model: &crate::Model) -> Vec<f64> {
+        let mut activity = vec![0.0; model.num_rows()];
+        for (j, col) in model.columns().enumerate() {
+            let xj = self.x[j];
+            if xj != 0.0 {
+                for &(r, a) in col {
+                    activity[r] += a * xj;
+                }
+            }
+        }
+        activity
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ColStatus {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Free variable currently pinned at zero.
+    FreeZero,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    One,
+    Two,
+}
+
+/// Revised simplex state; reusable across solves for warm starts.
+#[derive(Debug)]
+pub struct Simplex {
+    m: usize,
+    n_struct: usize,
+    maximize: bool,
+    /// Objective in minimization form, per column (structural then slacks).
+    c: Vec<f64>,
+    lo: Vec<f64>,
+    up: Vec<f64>,
+    /// Structural columns (sparse); slack columns are implicit `−1` at
+    /// their row.
+    cols: Vec<Vec<(usize, f64)>>,
+    basis: Vec<usize>,
+    status: Vec<ColStatus>,
+    /// Value of every column (basic values refreshed after each pivot).
+    xval: Vec<f64>,
+    /// Dense row-major basis inverse.
+    binv: Vec<f64>,
+    pivots_since_refactor: usize,
+}
+
+impl Simplex {
+    /// Builds the solver state from a model; does not iterate yet.
+    pub fn new(model: &Model) -> Self {
+        let m = model.num_rows();
+        let n = model.num_vars();
+        let maximize = matches!(model.sense(), crate::Sense::Maximize);
+        let mut c: Vec<f64> = model
+            .obj
+            .iter()
+            .map(|&v| if maximize { -v } else { v })
+            .collect();
+        c.extend(std::iter::repeat_n(0.0, m));
+        let mut lo = model.lower.clone();
+        let mut up = model.upper.clone();
+        lo.extend_from_slice(&model.row_lower);
+        up.extend_from_slice(&model.row_upper);
+        let cols = model.cols.clone();
+
+        let mut s = Simplex {
+            m,
+            n_struct: n,
+            maximize,
+            c,
+            lo,
+            up,
+            cols,
+            basis: (0..m).map(|r| n + r).collect(),
+            status: Vec::new(),
+            xval: Vec::new(),
+            binv: Vec::new(),
+            pivots_since_refactor: 0,
+        };
+        s.status = (0..n + m)
+            .map(|j| {
+                if s.basis.contains(&j) {
+                    ColStatus::Basic
+                } else {
+                    initial_status(s.lo[j], s.up[j])
+                }
+            })
+            .collect();
+        // Slack basis: B = −I, so B⁻¹ = −I.
+        s.binv = vec![0.0; m * m];
+        for r in 0..m {
+            s.binv[r * m + r] = -1.0;
+        }
+        s.set_nonbasic_values();
+        s.recompute_basic_values();
+        s
+    }
+
+    /// Registers a column added to the model after construction; the column
+    /// enters nonbasic at its bound.
+    pub fn add_column(&mut self, model: &Model, var: usize) {
+        debug_assert_eq!(var, self.n_struct, "columns must be added in order");
+        let j_internal = self.n_struct; // new structural index
+        let obj = if self.maximize { -model.obj[var] } else { model.obj[var] };
+        self.c.insert(j_internal, obj);
+        self.lo.insert(j_internal, model.lower[var]);
+        self.up.insert(j_internal, model.upper[var]);
+        self.cols.push(model.cols[var].clone());
+        let st = initial_status(model.lower[var], model.upper[var]);
+        self.status.insert(j_internal, st);
+        let v0 = match st {
+            ColStatus::AtLower => model.lower[var],
+            ColStatus::AtUpper => model.upper[var],
+            _ => 0.0,
+        };
+        self.xval.insert(j_internal, v0);
+        // Slack indices shift by one.
+        for b in &mut self.basis {
+            if *b >= j_internal {
+                *b += 1;
+            }
+        }
+        self.n_struct += 1;
+        if v0 != 0.0 {
+            // New nonbasic mass changes the basic values.
+            self.recompute_basic_values();
+        }
+    }
+
+    /// Solves from the current state.
+    pub fn solve(&mut self) -> Result<Solution, LpError> {
+        self.run(Phase::One)?;
+        if self.infeasibility() > FEAS_TOL * 10.0 {
+            return Err(LpError::Infeasible);
+        }
+        self.run(Phase::Two)?;
+        Ok(self.extract())
+    }
+
+    /// Re-solves after external modifications (e.g. new columns).
+    pub fn resolve(&mut self, model: &Model) -> Result<Solution, LpError> {
+        // Pick up objective changes on existing columns.
+        for j in 0..self.n_struct {
+            self.c[j] = if self.maximize { -model.obj[j] } else { model.obj[j] };
+        }
+        self.solve()
+    }
+
+    // ----- core machinery -------------------------------------------------
+
+    fn slack_of(&self, j: usize) -> Option<usize> {
+        (j >= self.n_struct).then(|| j - self.n_struct)
+    }
+
+    fn for_col<F: FnMut(usize, f64)>(&self, j: usize, mut f: F) {
+        if let Some(r) = self.slack_of(j) {
+            f(r, -1.0);
+        } else {
+            for &(r, v) in &self.cols[j] {
+                if v != 0.0 {
+                    f(r, v);
+                }
+            }
+        }
+    }
+
+    /// `B⁻¹ · A_j`.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.m;
+        let mut out = vec![0.0; m];
+        self.for_col(j, |r, v| {
+            for i in 0..m {
+                out[i] += self.binv[i * m + r] * v;
+            }
+        });
+        out
+    }
+
+    /// `yᵀ = cbᵀ · B⁻¹` for the given basic cost vector.
+    fn btran(&self, cb: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for (i, &ci) in cb.iter().enumerate() {
+            if ci != 0.0 {
+                let row = &self.binv[i * m..(i + 1) * m];
+                for r in 0..m {
+                    y[r] += ci * row[r];
+                }
+            }
+        }
+        y
+    }
+
+    fn dot_col(&self, y: &[f64], j: usize) -> f64 {
+        let mut acc = 0.0;
+        self.for_col(j, |r, v| acc += y[r] * v);
+        acc
+    }
+
+    fn set_nonbasic_values(&mut self) {
+        let ncols = self.n_struct + self.m;
+        if self.xval.len() != ncols {
+            self.xval = vec![0.0; ncols];
+        }
+        for j in 0..ncols {
+            match self.status[j] {
+                ColStatus::AtLower => self.xval[j] = self.lo[j],
+                ColStatus::AtUpper => self.xval[j] = self.up[j],
+                ColStatus::FreeZero => self.xval[j] = 0.0,
+                ColStatus::Basic => {}
+            }
+        }
+    }
+
+    /// Recomputes basic values `x_B = B⁻¹(0 − N·x_N)` from scratch.
+    fn recompute_basic_values(&mut self) {
+        let m = self.m;
+        let ncols = self.n_struct + m;
+        let mut rhs = vec![0.0; m];
+        for j in 0..ncols {
+            if self.status[j] != ColStatus::Basic {
+                let v = self.xval[j];
+                if v != 0.0 {
+                    self.for_col(j, |r, a| rhs[r] -= a * v);
+                }
+            }
+        }
+        for i in 0..m {
+            let mut acc = 0.0;
+            let row = &self.binv[i * m..(i + 1) * m];
+            for r in 0..m {
+                acc += row[r] * rhs[r];
+            }
+            self.xval[self.basis[i]] = acc;
+        }
+    }
+
+    /// Rebuilds `B⁻¹` by Gauss–Jordan elimination with partial pivoting.
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        let m = self.m;
+        // Assemble B column-wise into a dense working matrix.
+        let mut work = vec![0.0; m * m];
+        for (pos, &j) in self.basis.iter().enumerate() {
+            self.for_col(j, |r, v| work[r * m + pos] = v);
+        }
+        let mut inv = vec![0.0; m * m];
+        for r in 0..m {
+            inv[r * m + r] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivot.
+            let mut best = col;
+            let mut best_mag = work[col * m + col].abs();
+            for r in col + 1..m {
+                let mag = work[r * m + col].abs();
+                if mag > best_mag {
+                    best = r;
+                    best_mag = mag;
+                }
+            }
+            if best_mag < PIVOT_TOL {
+                return Err(LpError::Numerical("singular basis".into()));
+            }
+            if best != col {
+                for k in 0..m {
+                    work.swap(col * m + k, best * m + k);
+                    inv.swap(col * m + k, best * m + k);
+                }
+            }
+            let piv = work[col * m + col];
+            for k in 0..m {
+                work[col * m + k] /= piv;
+                inv[col * m + k] /= piv;
+            }
+            for r in 0..m {
+                if r != col {
+                    let f = work[r * m + col];
+                    if f != 0.0 {
+                        for k in 0..m {
+                            work[r * m + k] -= f * work[col * m + k];
+                            inv[r * m + k] -= f * inv[col * m + k];
+                        }
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        self.pivots_since_refactor = 0;
+        self.set_nonbasic_values();
+        self.recompute_basic_values();
+        Ok(())
+    }
+
+    fn infeasibility(&self) -> f64 {
+        self.basis
+            .iter()
+            .map(|&j| {
+                let v = self.xval[j];
+                (self.lo[j] - v).max(0.0) + (v - self.up[j]).max(0.0)
+            })
+            .sum()
+    }
+
+    /// Phase-specific cost of column `j` (phase 1: zero for nonbasic; the
+    /// gradient of basic violations is handled via `cb`).
+    fn phase_cost(&self, phase: Phase, j: usize) -> f64 {
+        match phase {
+            Phase::One => 0.0,
+            Phase::Two => self.c[j],
+        }
+    }
+
+    fn basic_cost_vector(&self, phase: Phase) -> Vec<f64> {
+        match phase {
+            Phase::One => self
+                .basis
+                .iter()
+                .map(|&j| {
+                    let v = self.xval[j];
+                    if v < self.lo[j] - FEAS_TOL {
+                        -1.0
+                    } else if v > self.up[j] + FEAS_TOL {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            Phase::Two => self.basis.iter().map(|&j| self.c[j]).collect(),
+        }
+    }
+
+    fn run(&mut self, phase: Phase) -> Result<(), LpError> {
+        let ncols = self.n_struct + self.m;
+        let max_iter = 200 * (self.m + ncols) + 20_000;
+        let mut stall = 0usize;
+        let mut last_obj = f64::INFINITY;
+
+        for _iter in 0..max_iter {
+            if phase == Phase::One && self.infeasibility() <= FEAS_TOL {
+                return Ok(());
+            }
+            let cb = self.basic_cost_vector(phase);
+            if phase == Phase::One && cb.iter().all(|&v| v == 0.0) {
+                return Ok(());
+            }
+            let y = self.btran(&cb);
+
+            let bland = stall >= STALL_LIMIT;
+            // Pricing: pick entering column.
+            let mut enter: Option<(usize, f64, i8)> = None; // (col, |d|, dir)
+            for j in 0..ncols {
+                if self.status[j] == ColStatus::Basic {
+                    continue;
+                }
+                let d = self.phase_cost(phase, j) - self.dot_col(&y, j);
+                let (eligible, dir) = match self.status[j] {
+                    ColStatus::AtLower => (d < -DUAL_TOL, 1i8),
+                    ColStatus::AtUpper => (d > DUAL_TOL, -1i8),
+                    ColStatus::FreeZero => {
+                        if d < -DUAL_TOL {
+                            (true, 1i8)
+                        } else {
+                            (d > DUAL_TOL, -1i8)
+                        }
+                    }
+                    ColStatus::Basic => unreachable!(),
+                };
+                if eligible {
+                    if bland {
+                        enter = Some((j, d.abs(), dir));
+                        break;
+                    }
+                    if enter.is_none_or(|(_, best, _)| d.abs() > best) {
+                        enter = Some((j, d.abs(), dir));
+                    }
+                }
+            }
+            let Some((q, _, dir)) = enter else {
+                // Phase-1 optimum with residual infeasibility means the LP
+                // is infeasible; phase-2 optimum means done.
+                return Ok(());
+            };
+            let dir = dir as f64;
+
+            let alpha = self.ftran(q);
+            // Ratio test.
+            let mut t_best = f64::INFINITY;
+            let mut leave: Option<usize> = None; // basis position
+            let mut leave_to_upper = false;
+            for i in 0..self.m {
+                let rate = -dir * alpha[i]; // d x_B[i] / dt
+                if rate.abs() < PIVOT_TOL {
+                    continue;
+                }
+                let k = self.basis[i];
+                let v = self.xval[k];
+                let below = v < self.lo[k] - FEAS_TOL;
+                let above = v > self.up[k] + FEAS_TOL;
+                let (bound, to_upper) = if phase == Phase::One && below {
+                    if rate > 0.0 {
+                        (self.lo[k], false) // rising toward its violated lower bound
+                    } else {
+                        continue; // moving further away: gradient constant, no block
+                    }
+                } else if phase == Phase::One && above {
+                    if rate < 0.0 {
+                        (self.up[k], true)
+                    } else {
+                        continue;
+                    }
+                } else if rate > 0.0 {
+                    if self.up[k].is_finite() {
+                        (self.up[k], true)
+                    } else {
+                        continue;
+                    }
+                } else if self.lo[k].is_finite() {
+                    (self.lo[k], false)
+                } else {
+                    continue;
+                };
+                let t = (bound - v) / rate;
+                let t = t.max(0.0);
+                let better = t < t_best - 1e-12
+                    || (t < t_best + 1e-12
+                        && leave.is_none_or(|cur| {
+                            if bland {
+                                self.basis[i] < self.basis[cur]
+                            } else {
+                                alpha[i].abs() > alpha[cur].abs()
+                            }
+                        }));
+                if better {
+                    t_best = t;
+                    leave = Some(i);
+                    leave_to_upper = to_upper;
+                }
+            }
+            // Entering variable's own opposite bound (bound flip).
+            let span = self.up[q] - self.lo[q];
+            let t_flip = if span.is_finite() && self.status[q] != ColStatus::FreeZero {
+                span
+            } else {
+                f64::INFINITY
+            };
+
+            if t_flip < t_best - 1e-12 {
+                // Bound flip: no basis change.
+                let t = t_flip;
+                for i in 0..self.m {
+                    let k = self.basis[i];
+                    self.xval[k] += -dir * alpha[i] * t;
+                }
+                self.status[q] = if dir > 0.0 {
+                    ColStatus::AtUpper
+                } else {
+                    ColStatus::AtLower
+                };
+                self.xval[q] = if dir > 0.0 { self.up[q] } else { self.lo[q] };
+            } else {
+                let Some(r) = leave else {
+                    if phase == Phase::Two {
+                        return Err(LpError::Unbounded);
+                    }
+                    return Err(LpError::Numerical(
+                        "unbounded infeasibility direction".into(),
+                    ));
+                };
+                if alpha[r].abs() < PIVOT_TOL {
+                    return Err(LpError::Numerical("tiny pivot".into()));
+                }
+                let t = t_best;
+                // Move all basics, set entering value, swap basis.
+                for i in 0..self.m {
+                    let k = self.basis[i];
+                    self.xval[k] += -dir * alpha[i] * t;
+                }
+                let old = self.basis[r];
+                self.status[old] = if leave_to_upper {
+                    ColStatus::AtUpper
+                } else {
+                    ColStatus::AtLower
+                };
+                self.xval[old] = if leave_to_upper { self.up[old] } else { self.lo[old] };
+                let enter_val = self.xval[q] + dir * t;
+                self.basis[r] = q;
+                self.status[q] = ColStatus::Basic;
+                self.xval[q] = enter_val;
+                // Update B⁻¹: pivot on alpha[r].
+                let m = self.m;
+                let piv = alpha[r];
+                for k in 0..m {
+                    self.binv[r * m + k] /= piv;
+                }
+                for i in 0..m {
+                    if i != r && alpha[i].abs() > 0.0 {
+                        let f = alpha[i];
+                        for k in 0..m {
+                            self.binv[i * m + k] -= f * self.binv[r * m + k];
+                        }
+                    }
+                }
+                self.pivots_since_refactor += 1;
+                if self.pivots_since_refactor >= REFACTOR_EVERY {
+                    self.refactorize()?;
+                }
+            }
+
+            // Stall tracking for anti-cycling.
+            let obj = match phase {
+                Phase::One => self.infeasibility(),
+                Phase::Two => self
+                    .basis
+                    .iter()
+                    .map(|&j| self.c[j] * self.xval[j])
+                    .sum::<f64>(),
+            };
+            if obj < last_obj - 1e-10 {
+                stall = 0;
+                last_obj = obj;
+            } else {
+                stall += 1;
+            }
+        }
+        Err(LpError::Numerical("iteration limit exceeded".into()))
+    }
+
+    fn extract(&self) -> Solution {
+        let x: Vec<f64> = (0..self.n_struct).map(|j| self.xval[j]).collect();
+        let obj_min: f64 = (0..self.n_struct).map(|j| self.c[j] * self.xval[j]).sum();
+        let cb = self.basic_cost_vector(Phase::Two);
+        let y = self.btran(&cb);
+        let (objective, duals) = if self.maximize {
+            (-obj_min, y.iter().map(|v| -v).collect())
+        } else {
+            (obj_min, y)
+        };
+        Solution { x, objective, duals }
+    }
+}
+
+fn initial_status(lo: f64, up: f64) -> ColStatus {
+    if lo.is_finite() {
+        ColStatus::AtLower
+    } else if up.is_finite() {
+        ColStatus::AtUpper
+    } else {
+        ColStatus::FreeZero
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LpError, Model, Sense};
+
+    fn assert_near(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_max() {
+        // max 3x + 2y s.t. x + y ≤ 4, x ≤ 2, y ≤ 3, x,y ≥ 0 → x=2,y=2, obj 10.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, 2.0, 3.0);
+        let y = m.add_var(0.0, 3.0, 2.0);
+        m.add_row(f64::NEG_INFINITY, 4.0, &[(x, 1.0), (y, 1.0)]);
+        let s = m.solve().unwrap();
+        assert_near(s.objective, 10.0);
+        assert_near(s.x[0], 2.0);
+        assert_near(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn simple_min_with_equality() {
+        // min 2x + 3y s.t. x + y = 5, x ≤ 3, y ≤ 4 → x=3,y=2, obj 12.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 3.0, 2.0);
+        let y = m.add_var(0.0, 4.0, 3.0);
+        m.add_row(5.0, 5.0, &[(x, 1.0), (y, 1.0)]);
+        let s = m.solve().unwrap();
+        assert_near(s.objective, 12.0);
+        assert_near(s.x[0], 3.0);
+        assert_near(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 1.0, 1.0);
+        m.add_row(2.0, 3.0, &[(x, 1.0)]);
+        assert_eq!(m.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, f64::INFINITY, 1.0);
+        let y = m.add_var(0.0, f64::INFINITY, 0.0);
+        // x - y ≤ 1 does not bound x when y can grow.
+        m.add_row(f64::NEG_INFINITY, 1.0, &[(x, 1.0), (y, -1.0)]);
+        assert_eq!(m.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min x s.t. x ≥ -7 via row, x free → x = -7.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        m.add_row(-7.0, f64::INFINITY, &[(x, 1.0)]);
+        let s = m.solve().unwrap();
+        assert_near(s.x[0], -7.0);
+    }
+
+    #[test]
+    fn ranged_row_binds_correct_side() {
+        // max x s.t. 1 ≤ x ≤ 6 via row, 0 ≤ x ≤ 10.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var(0.0, 10.0, 1.0);
+        m.add_row(1.0, 6.0, &[(x, 1.0)]);
+        let s = m.solve().unwrap();
+        assert_near(s.x[0], 6.0);
+        // And minimizing binds the lower side.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, 10.0, 1.0);
+        m.add_row(1.0, 6.0, &[(x, 1.0)]);
+        let s = m.solve().unwrap();
+        assert_near(s.x[0], 1.0);
+    }
+
+    #[test]
+    fn degenerate_transportation() {
+        // Classic transportation LP with ties.
+        // min Σ c_ij x_ij, rows: supplies = [10, 10], demands = [10, 10].
+        let mut m = Model::new(Sense::Minimize);
+        let c = [[1.0, 2.0], [3.0, 1.0]];
+        let mut vars = [[None; 2]; 2];
+        for i in 0..2 {
+            for j in 0..2 {
+                vars[i][j] = Some(m.add_var(0.0, f64::INFINITY, c[i][j]));
+            }
+        }
+        for i in 0..2 {
+            m.add_row(
+                10.0,
+                10.0,
+                &[(vars[i][0].unwrap(), 1.0), (vars[i][1].unwrap(), 1.0)],
+            );
+        }
+        for j in 0..2 {
+            m.add_row(
+                10.0,
+                10.0,
+                &[(vars[0][j].unwrap(), 1.0), (vars[1][j].unwrap(), 1.0)],
+            );
+        }
+        let s = m.solve().unwrap();
+        assert_near(s.objective, 20.0);
+    }
+
+    #[test]
+    fn duals_price_columns_correctly_min() {
+        // min 2x s.t. x = 1 → dual on the row is 2.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(0.0, f64::INFINITY, 2.0);
+        m.add_row(1.0, 1.0, &[(x, 1.0)]);
+        let s = m.solve().unwrap();
+        assert_near(s.duals[0], 2.0);
+        // A column with cost 1 on the same row has negative reduced cost.
+        assert!(s.reduced_cost(1.0, &[(0, 1.0)]) < 0.0);
+        // A column with cost 3 does not improve.
+        assert!(s.reduced_cost(3.0, &[(0, 1.0)]) > 0.0);
+    }
+
+    #[test]
+    fn warm_start_column_generation() {
+        // min 5a s.t. a + b = 2 with b added later at cost 1.
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_var(0.0, f64::INFINITY, 5.0);
+        let row = m.add_row(2.0, 2.0, &[(a, 1.0)]);
+        let mut solver = m.into_solver();
+        let s1 = solver.solve().unwrap();
+        assert_near(s1.objective, 10.0);
+        solver.add_column(0.0, f64::INFINITY, 1.0, &[(row, 1.0)]);
+        let s2 = solver.solve().unwrap();
+        assert_near(s2.objective, 2.0);
+        assert_near(s2.x[1], 2.0);
+    }
+
+    #[test]
+    fn zero_rows_model() {
+        // Pure box: max x + y with x ∈ [0, 3], y ∈ [-1, 2].
+        let mut m = Model::new(Sense::Maximize);
+        m.add_var(0.0, 3.0, 1.0);
+        m.add_var(-1.0, 2.0, 1.0);
+        let s = m.solve().unwrap();
+        assert_near(s.objective, 5.0);
+    }
+
+    #[test]
+    fn negative_bounds() {
+        // min x + y s.t. x + y ≥ -4, x ∈ [-3, 0], y ∈ [-3, 0] → obj = -4.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var(-3.0, 0.0, 1.0);
+        let y = m.add_var(-3.0, 0.0, 1.0);
+        m.add_row(-4.0, f64::INFINITY, &[(x, 1.0), (y, 1.0)]);
+        let s = m.solve().unwrap();
+        assert_near(s.objective, -4.0);
+    }
+
+    #[test]
+    fn medium_random_lp_is_feasible_and_not_worse_than_samples() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _case in 0..20 {
+            let n = rng.gen_range(3..10);
+            let rows = rng.gen_range(1..8);
+            let mut m = Model::new(Sense::Minimize);
+            let vars: Vec<_> = (0..n)
+                .map(|_| m.add_var(0.0, rng.gen_range(0.5..4.0), rng.gen_range(-2.0..3.0)))
+                .collect();
+            // Rows of the form Σ a x ≤ U with a ≥ 0, always feasible at x = 0.
+            for _ in 0..rows {
+                let entries: Vec<_> = vars
+                    .iter()
+                    .map(|&v| (v, rng.gen_range(0.0..2.0)))
+                    .collect();
+                m.add_row(f64::NEG_INFINITY, rng.gen_range(1.0..6.0), &entries);
+            }
+            let s = m.solve().unwrap();
+            assert!(m.is_feasible(&s.x, 1e-6));
+            // Sample random feasible points; none may beat the optimum.
+            for _ in 0..50 {
+                let mut x: Vec<f64> = (0..n).map(|j| rng.gen_range(0.0..1.0) * m.upper[j]).collect();
+                // Scale down until feasible.
+                while !m.is_feasible(&x, 1e-9) {
+                    for v in &mut x {
+                        *v *= 0.5;
+                    }
+                }
+                assert!(m.objective_value(&x) >= s.objective - 1e-6);
+            }
+        }
+    }
+}

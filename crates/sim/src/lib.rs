@@ -1,0 +1,310 @@
+//! Request-level discrete-event simulation of a cache network.
+//!
+//! The paper works in the fluid regime: demands are Poisson *rates*
+//! `λ_{(i,s)}` and link loads are rate sums. This crate closes the loop by
+//! replaying actual Poisson request arrivals against a serving policy and
+//! measuring the *empirical* loads, costs, and hit ratios — validating
+//! that the fluid-model decisions behave as predicted (law of large
+//! numbers), and enabling a comparison the optimization literature is
+//! usually silent about: optimized static placements versus the reactive
+//! **LRU/LFU** caching that deployed systems default to.
+//!
+//! * [`arrivals::ArrivalGenerator`] — merged Poisson streams, one per
+//!   request type, via lazily advanced exponential inter-arrival times.
+//! * [`policy::ServingPolicy`] — how a single request is served:
+//!   [`policy::StaticPolicy`] (a fixed [`Solution`] from the optimizers),
+//!   [`policy::ReactivePolicy`] (LRU or LFU caches filled on misses, with
+//!   nearest-replica routing against the *current* cache contents).
+//! * [`Simulator`] — drives arrivals through a policy and accumulates
+//!   [`SimReport`] statistics.
+//!
+//! [`Solution`]: jcr_core::routing::Solution
+//!
+//! # Examples
+//!
+//! ```
+//! use jcr_core::prelude::*;
+//! use jcr_core::rnr;
+//! use jcr_sim::policy::StaticPolicy;
+//! use jcr_sim::Simulator;
+//! use jcr_topo::{Topology, TopologyKind};
+//!
+//! let inst = InstanceBuilder::new(Topology::generate(TopologyKind::Abovenet, 1).unwrap())
+//!     .items(4)
+//!     .cache_capacity(2.0)
+//!     .zipf_demand(0.8, 5_000.0, 1)
+//!     .build()
+//!     .unwrap();
+//! let placement = Placement::empty(&inst);
+//! let routing = rnr::route_to_nearest_replica(&inst, &placement).unwrap();
+//! let solution = Solution { placement, routing };
+//! let report = Simulator::new(1.0).run(&inst, &mut StaticPolicy::new(&solution));
+//! // Empirical cost per hour tracks the fluid-model cost.
+//! let fluid = solution.routing.cost(&inst);
+//! assert!((report.cost_rate() - fluid).abs() < 0.2 * fluid);
+//! ```
+
+pub mod arrivals;
+pub mod policy;
+
+use jcr_core::instance::Instance;
+
+use crate::arrivals::ArrivalGenerator;
+use crate::policy::ServingPolicy;
+
+/// Aggregate statistics of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Number of requests served.
+    pub requests_served: usize,
+    /// Simulated horizon (hours).
+    pub horizon: f64,
+    /// Total size-weighted routing cost incurred.
+    pub total_cost: f64,
+    /// Empirical load per link (size units per hour, averaged over the
+    /// horizon).
+    pub link_loads: Vec<f64>,
+    /// Fraction of requests served from the requester's own cache.
+    pub local_hit_ratio: f64,
+}
+
+impl SimReport {
+    /// Routing cost per hour.
+    pub fn cost_rate(&self) -> f64 {
+        self.total_cost / self.horizon
+    }
+
+    /// Maximum relative deviation between the empirical link loads and a
+    /// fluid-model prediction, over links whose predicted load exceeds
+    /// `floor` (tiny links are Poisson-noise dominated). This is the
+    /// law-of-large-numbers check in one number: values of a few percent
+    /// mean the fluid model predicts the packet-level reality.
+    pub fn max_relative_load_deviation(&self, predicted: &[f64], floor: f64) -> f64 {
+        assert_eq!(predicted.len(), self.link_loads.len(), "one prediction per link");
+        self.link_loads
+            .iter()
+            .zip(predicted)
+            .filter(|(_, p)| **p > floor)
+            .map(|(e, p)| (e - p).abs() / p)
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum empirical load-to-capacity ratio over finite-capacity
+    /// links.
+    pub fn congestion(&self, inst: &Instance) -> f64 {
+        self.link_loads
+            .iter()
+            .zip(&inst.link_cap)
+            .filter(|(_, c)| c.is_finite() && **c > 0.0)
+            .map(|(l, c)| l / c)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Drives Poisson arrivals through a serving policy.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    /// Simulated horizon in hours.
+    pub horizon: f64,
+    /// Hard cap on processed events (guards against huge rate sums).
+    pub max_events: usize,
+    /// RNG seed for the arrival streams.
+    pub seed: u64,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Simulator { horizon: 1.0, max_events: 2_000_000, seed: 0 }
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with the given horizon (hours).
+    pub fn new(horizon: f64) -> Self {
+        Simulator { horizon, ..Simulator::default() }
+    }
+
+    /// Replays Poisson arrivals for every request type of `inst` through
+    /// `policy` and reports the empirical statistics.
+    ///
+    /// Rates are interpreted per hour, and each arrival of request
+    /// `(i, s)` transfers `item_size[i]` size units along the path the
+    /// policy picks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expected event count `Σλ · horizon` exceeds
+    /// `max_events` by more than 2× (scale the demand down instead of
+    /// silently truncating the simulation).
+    pub fn run<P: ServingPolicy>(&self, inst: &Instance, policy: &mut P) -> SimReport {
+        let expected = inst.total_rate() * self.horizon;
+        assert!(
+            expected <= 2.0 * self.max_events as f64,
+            "expected {expected:.0} events exceeds max_events = {}; scale the demand",
+            self.max_events
+        );
+        let mut arrivals = ArrivalGenerator::new(inst, self.seed);
+        let mut link_volume = vec![0.0; inst.graph.edge_count()];
+        let mut total_cost = 0.0;
+        let mut served = 0usize;
+        let mut local_hits = 0usize;
+        while let Some(event) = arrivals.next_before(self.horizon) {
+            if served >= self.max_events {
+                break;
+            }
+            let req = inst.requests[event.request];
+            let path = policy.serve(inst, event.request, event.time);
+            let size = inst.item_size[req.item];
+            if path.is_empty() {
+                local_hits += 1;
+            }
+            total_cost += size * path.cost(&inst.link_cost);
+            for e in path.edges() {
+                link_volume[e.index()] += size;
+            }
+            served += 1;
+        }
+        let link_loads = link_volume
+            .into_iter()
+            .map(|v| v / self.horizon)
+            .collect();
+        SimReport {
+            requests_served: served,
+            horizon: self.horizon,
+            total_cost,
+            link_loads,
+            local_hit_ratio: if served == 0 { 0.0 } else { local_hits as f64 / served as f64 },
+        }
+    }
+}
+
+impl Simulator {
+    /// Replays a sequence of hourly instances (same network and catalog,
+    /// time-varying rates) through one persistent policy — reactive cache
+    /// state carries over between hours, matching how deployed caches
+    /// experience a demand trace. Returns one report per hour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instances disagree on topology or catalog size, or an
+    /// hour's expected event count exceeds the cap (see [`Simulator::run`]).
+    pub fn run_sequence<P: ServingPolicy>(
+        &self,
+        instances: &[&Instance],
+        policy: &mut P,
+    ) -> Vec<SimReport> {
+        if let Some(first) = instances.first() {
+            for inst in instances {
+                assert_eq!(
+                    inst.graph.node_count(),
+                    first.graph.node_count(),
+                    "hourly instances must share the topology"
+                );
+                assert_eq!(
+                    inst.num_items(),
+                    first.num_items(),
+                    "hourly instances must share the catalog"
+                );
+            }
+        }
+        instances
+            .iter()
+            .enumerate()
+            .map(|(h, inst)| {
+                let mut hourly = self.clone();
+                hourly.seed = self.seed.wrapping_add(h as u64 * 7919);
+                hourly.run(inst, policy)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::StaticPolicy;
+    use jcr_core::instance::InstanceBuilder;
+    use jcr_core::placement::Placement;
+    use jcr_core::rnr;
+    use jcr_core::routing::Solution;
+    use jcr_topo::{Topology, TopologyKind};
+
+    fn small_instance() -> Instance {
+        // Scaled-down demand so a 4-hour horizon stays ~40k events.
+        InstanceBuilder::new(Topology::generate(TopologyKind::Abovenet, 3).unwrap())
+            .items(6)
+            .cache_capacity(2.0)
+            .zipf_demand(0.8, 10_000.0, 3)
+            .link_capacity_fraction(0.02)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empirical_loads_converge_to_fluid_loads() {
+        let inst = small_instance();
+        let placement = Placement::empty(&inst);
+        let routing = rnr::route_to_nearest_replica(&inst, &placement).unwrap();
+        let expected_loads = routing.link_loads(&inst);
+        let solution = Solution { placement, routing };
+        let mut policy = StaticPolicy::new(&solution);
+        let report = Simulator { horizon: 4.0, seed: 7, ..Simulator::default() }
+            .run(&inst, &mut policy);
+        assert!(report.requests_served > 10_000);
+        // Law of large numbers: every meaningful link within a few percent.
+        let dev = report
+            .max_relative_load_deviation(&expected_loads, 0.02 * inst.total_rate());
+        assert!(dev < 0.1, "max relative deviation {dev}");
+        // Cost rate likewise.
+        let fluid_cost = solution.routing.cost(&inst);
+        let rel = (report.cost_rate() - fluid_cost).abs() / fluid_cost;
+        assert!(rel < 0.05, "cost rate {} vs fluid {fluid_cost}", report.cost_rate());
+    }
+
+    #[test]
+    fn horizon_scales_event_count() {
+        let inst = small_instance();
+        let placement = Placement::empty(&inst);
+        let routing = rnr::route_to_nearest_replica(&inst, &placement).unwrap();
+        let solution = Solution { placement, routing };
+        let short = Simulator { horizon: 0.5, seed: 1, ..Simulator::default() }
+            .run(&inst, &mut StaticPolicy::new(&solution));
+        let long = Simulator { horizon: 2.0, seed: 1, ..Simulator::default() }
+            .run(&inst, &mut StaticPolicy::new(&solution));
+        let ratio = long.requests_served as f64 / short.requests_served as f64;
+        assert!((ratio - 4.0).abs() < 0.3, "event count should scale with horizon: {ratio}");
+    }
+
+    #[test]
+    fn sequence_preserves_reactive_cache_state() {
+        use crate::policy::{ReactivePolicy, Replacement};
+        // Hour 1 warms the caches; hour 2 (same rates) must hit more.
+        let inst = small_instance();
+        let refs = [&inst, &inst];
+        let mut policy = ReactivePolicy::new(&inst, Replacement::Lru);
+        let sim = Simulator { horizon: 0.5, seed: 3, ..Simulator::default() };
+        let reports = sim.run_sequence(&refs, &mut policy);
+        assert_eq!(reports.len(), 2);
+        assert!(
+            reports[1].local_hit_ratio > reports[0].local_hit_ratio,
+            "warmed caches must hit more: {} vs {}",
+            reports[1].local_hit_ratio,
+            reports[0].local_hit_ratio
+        );
+        assert!(reports[1].cost_rate() < reports[0].cost_rate());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale the demand")]
+    fn refuses_oversized_runs() {
+        let inst = InstanceBuilder::new(Topology::generate(TopologyKind::Abovenet, 3).unwrap())
+            .items(2)
+            .zipf_demand(0.8, 1e9, 1)
+            .build()
+            .unwrap();
+        let placement = Placement::empty(&inst);
+        let routing = rnr::route_to_nearest_replica(&inst, &placement).unwrap();
+        let solution = Solution { placement, routing };
+        let _ = Simulator::default().run(&inst, &mut StaticPolicy::new(&solution));
+    }
+}

@@ -1,0 +1,375 @@
+//! Serving policies: how a single request arrival is routed (and how
+//! caches react to it).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use jcr_core::instance::Instance;
+use jcr_core::routing::Solution;
+use jcr_graph::{NodeId, Path};
+
+/// A policy serving one request at a time.
+pub trait ServingPolicy {
+    /// Serves an arrival of `inst.requests[request]` at simulation time
+    /// `time`, returning the response path (empty = served from the
+    /// requester's own cache).
+    fn serve(&mut self, inst: &Instance, request: usize, time: f64) -> Path;
+}
+
+/// Replays a fixed optimized [`Solution`]: each arrival samples one of the
+/// request's paths with probability proportional to its fractional flow
+/// (a single-path routing always uses its one path).
+#[derive(Clone, Debug)]
+pub struct StaticPolicy {
+    /// Per request: (cumulative weight, path).
+    distributions: Vec<Vec<(f64, Path)>>,
+    rng: StdRng,
+}
+
+impl StaticPolicy {
+    /// Wraps a solution; multi-path (fractional) routings are sampled per
+    /// arrival.
+    pub fn new(solution: &Solution) -> Self {
+        let distributions = solution
+            .routing
+            .per_request
+            .iter()
+            .map(|flows| {
+                let mut cum = 0.0;
+                flows
+                    .iter()
+                    .map(|pf| {
+                        cum += pf.amount;
+                        (cum, pf.path.clone())
+                    })
+                    .collect()
+            })
+            .collect();
+        StaticPolicy { distributions, rng: StdRng::seed_from_u64(0x7374_6174_6963) }
+    }
+}
+
+impl ServingPolicy for StaticPolicy {
+    fn serve(&mut self, _inst: &Instance, request: usize, _time: f64) -> Path {
+        let dist = &self.distributions[request];
+        match dist.len() {
+            0 => Path::default(),
+            1 => dist[0].1.clone(),
+            _ => {
+                let total = dist.last().expect("non-empty").0;
+                let pick = self.rng.gen_range(0.0..total);
+                let idx = dist.partition_point(|(cum, _)| *cum <= pick);
+                dist[idx.min(dist.len() - 1)].1.clone()
+            }
+        }
+    }
+}
+
+/// Cache replacement discipline for [`ReactivePolicy`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Replacement {
+    /// Evict the least recently used item.
+    Lru,
+    /// Evict the least frequently used item (ties: least recently used).
+    Lfu,
+}
+
+#[derive(Clone, Debug)]
+struct CacheState {
+    capacity: f64,
+    used: f64,
+    /// item -> (last use stamp, use count)
+    entries: Vec<Option<(u64, u64)>>,
+    /// Item sizes (copied from the instance so eviction is self-contained).
+    size_table: Vec<f64>,
+}
+
+impl CacheState {
+    fn contains(&self, item: usize) -> bool {
+        self.entries[item].is_some()
+    }
+
+    fn touch(&mut self, item: usize, stamp: u64) {
+        if let Some((last, count)) = &mut self.entries[item] {
+            *last = stamp;
+            *count += 1;
+        }
+    }
+
+    /// Inserts `item`, evicting per `discipline` until it fits. Items
+    /// larger than the whole cache are not admitted.
+    fn insert(
+        &mut self,
+        item: usize,
+        size: f64,
+        stamp: u64,
+        discipline: Replacement,
+    ) {
+        if self.contains(item) || size > self.capacity {
+            return;
+        }
+        while self.used + size > self.capacity + 1e-9 {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| e.map(|(last, count)| (i, last, count)))
+                .min_by_key(|&(_, last, count)| match discipline {
+                    Replacement::Lru => (last, 0),
+                    Replacement::Lfu => (count, last),
+                });
+            let Some((victim, _, _)) = victim else { break };
+            self.used -= self.sizes_of(victim);
+            self.entries[victim] = None;
+        }
+        if self.used + size <= self.capacity + 1e-9 {
+            self.entries[item] = Some((stamp, 1));
+            self.used += size;
+        }
+    }
+
+    fn sizes_of(&self, item: usize) -> f64 {
+        self.size_table[item]
+    }
+}
+
+/// Reactive caching: every miss pulls the item from the nearest *current*
+/// replica and inserts it into the requester's cache under LRU or LFU
+/// eviction — the baseline behaviour of deployed caches, against which
+/// the paper's optimized placements can be compared empirically.
+#[derive(Clone, Debug)]
+pub struct ReactivePolicy {
+    discipline: Replacement,
+    caches: Vec<Option<CacheState>>,
+    stamp: u64,
+}
+
+impl ReactivePolicy {
+    /// Creates empty caches (capacity from the instance) with the given
+    /// replacement discipline.
+    pub fn new(inst: &Instance, discipline: Replacement) -> Self {
+        let caches = inst
+            .graph
+            .nodes()
+            .map(|v| {
+                let capacity = inst.cache_cap[v.index()];
+                (capacity > 0.0 && Some(v) != inst.origin).then(|| CacheState {
+                    capacity,
+                    used: 0.0,
+                    entries: vec![None; inst.num_items()],
+                    size_table: inst.item_size.clone(),
+                })
+            })
+            .collect();
+        ReactivePolicy { discipline, caches, stamp: 0 }
+    }
+
+    /// The nearest node currently holding `item` for requester `s`
+    /// (origin included).
+    fn nearest_holder(&self, inst: &Instance, item: usize, s: NodeId) -> Option<NodeId> {
+        let ap = inst.all_pairs();
+        let mut best: Option<(NodeId, f64)> = None;
+        for v in inst.graph.nodes() {
+            let holds = match &self.caches[v.index()] {
+                Some(c) => c.contains(item),
+                None => Some(v) == inst.origin,
+            };
+            if holds {
+                let d = ap.dist(v, s);
+                if d.is_finite() && best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((v, d));
+                }
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+}
+
+impl ServingPolicy for ReactivePolicy {
+    fn serve(&mut self, inst: &Instance, request: usize, _time: f64) -> Path {
+        self.stamp += 1;
+        let req = inst.requests[request];
+        // Local hit?
+        if let Some(cache) = &mut self.caches[req.node.index()] {
+            if cache.contains(req.item) {
+                cache.touch(req.item, self.stamp);
+                return Path::default();
+            }
+        }
+        // Miss: fetch from the nearest current replica (the origin is the
+        // last resort and always holds everything).
+        let holder = self
+            .nearest_holder(inst, req.item, req.node)
+            .expect("origin holds every item");
+        let path = inst
+            .all_pairs()
+            .path(holder, req.node)
+            .expect("holder reachable");
+        // Admit into the requester's cache.
+        let size = inst.item_size[req.item];
+        let (discipline, stamp) = (self.discipline, self.stamp);
+        if let Some(cache) = &mut self.caches[req.node.index()] {
+            cache.insert(req.item, size, stamp, discipline);
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jcr_core::instance::Request;
+    use jcr_graph::DiGraph;
+
+    fn line_instance(zeta: f64) -> Instance {
+        // origin -> s with a cache at s.
+        let mut g = DiGraph::new();
+        let o = g.add_node();
+        let s = g.add_node();
+        g.add_edge(o, s);
+        Instance::new(
+            g,
+            vec![10.0],
+            vec![f64::INFINITY],
+            vec![0.0, zeta],
+            vec![1.0, 1.0, 1.0],
+            vec![
+                Request { item: 0, node: s, rate: 5.0 },
+                Request { item: 1, node: s, rate: 2.0 },
+                Request { item: 2, node: s, rate: 1.0 },
+            ],
+            Some(o),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn first_request_misses_then_hits() {
+        let inst = line_instance(1.0);
+        let mut p = ReactivePolicy::new(&inst, Replacement::Lru);
+        let miss = p.serve(&inst, 0, 0.0);
+        assert_eq!(miss.len(), 1, "first access fetches from the origin");
+        let hit = p.serve(&inst, 0, 0.1);
+        assert!(hit.is_empty(), "second access is a local hit");
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let inst = line_instance(2.0);
+        let mut p = ReactivePolicy::new(&inst, Replacement::Lru);
+        p.serve(&inst, 0, 0.0); // cache {0}
+        p.serve(&inst, 1, 0.1); // cache {0, 1}
+        p.serve(&inst, 0, 0.2); // touch 0
+        p.serve(&inst, 2, 0.3); // evicts 1 (older than 0)
+        assert!(p.serve(&inst, 0, 0.4).is_empty(), "0 retained");
+        assert_eq!(p.serve(&inst, 1, 0.5).len(), 1, "1 was evicted");
+    }
+
+    #[test]
+    fn lfu_keeps_frequent_items() {
+        let inst = line_instance(2.0);
+        let mut p = ReactivePolicy::new(&inst, Replacement::Lfu);
+        p.serve(&inst, 0, 0.0);
+        for t in 0..5 {
+            p.serve(&inst, 0, 0.1 + t as f64); // item 0 used often
+        }
+        p.serve(&inst, 1, 6.0); // cache {0, 1}
+        p.serve(&inst, 2, 7.0); // evicts 1 (freq 1 < freq 6)
+        assert!(p.serve(&inst, 0, 8.0).is_empty(), "hot item retained");
+        assert_eq!(p.serve(&inst, 1, 9.0).len(), 1, "cold item evicted");
+    }
+
+    #[test]
+    fn oversized_items_are_never_admitted() {
+        let mut inst = line_instance(1.0);
+        inst.item_size[0] = 5.0; // larger than the cache
+        let mut p = ReactivePolicy::new(&inst, Replacement::Lru);
+        p.serve(&inst, 0, 0.0);
+        assert_eq!(p.serve(&inst, 0, 0.1).len(), 1, "still a miss");
+    }
+
+    #[test]
+    fn heterogeneous_sizes_respected_by_eviction() {
+        // Cache capacity 5; items sized 3, 3, 2. Two size-3 items cannot
+        // coexist; a size-2 item fits beside one size-3 item.
+        let mut g = DiGraph::new();
+        let o = g.add_node();
+        let s = g.add_node();
+        g.add_edge(o, s);
+        let inst = Instance::new(
+            g,
+            vec![10.0],
+            vec![f64::INFINITY],
+            vec![0.0, 5.0],
+            vec![3.0, 3.0, 2.0],
+            vec![
+                Request { item: 0, node: s, rate: 1.0 },
+                Request { item: 1, node: s, rate: 1.0 },
+                Request { item: 2, node: s, rate: 1.0 },
+            ],
+            Some(o),
+        )
+        .unwrap();
+        let mut p = ReactivePolicy::new(&inst, Replacement::Lru);
+        p.serve(&inst, 0, 0.0); // cache {0} (3/5)
+        p.serve(&inst, 2, 0.1); // cache {0, 2} (5/5)
+        assert!(p.serve(&inst, 0, 0.2).is_empty());
+        assert!(p.serve(&inst, 2, 0.3).is_empty());
+        // Item 1 (size 3) forces evictions until it fits: LRU evicts 0.
+        p.serve(&inst, 1, 0.4);
+        assert!(p.serve(&inst, 1, 0.5).is_empty(), "item 1 admitted");
+        assert_eq!(p.serve(&inst, 0, 0.6).len(), 1, "item 0 evicted");
+    }
+
+    #[test]
+    fn static_policy_samples_fractional_paths_proportionally() {
+        // Two parallel links with a 3:1 fractional split.
+        let mut g = DiGraph::new();
+        let o = g.add_node();
+        let s = g.add_node();
+        let e0 = g.add_edge(o, s);
+        let e1 = g.add_edge(o, s);
+        let inst = Instance::new(
+            g.clone(),
+            vec![1.0, 2.0],
+            vec![f64::INFINITY, f64::INFINITY],
+            vec![0.0, 0.0],
+            vec![1.0],
+            vec![Request { item: 0, node: s, rate: 4.0 }],
+            Some(o),
+        )
+        .unwrap();
+        let routing = jcr_core::routing::Routing {
+            per_request: vec![vec![
+                jcr_flow::PathFlow { path: jcr_graph::Path::new(vec![e0]), amount: 3.0 },
+                jcr_flow::PathFlow { path: jcr_graph::Path::new(vec![e1]), amount: 1.0 },
+            ]],
+        };
+        let sol = Solution {
+            placement: jcr_core::placement::Placement::empty(&inst),
+            routing,
+        };
+        let mut p = StaticPolicy::new(&sol);
+        let mut on_e0 = 0usize;
+        let n = 4000;
+        for _ in 0..n {
+            if p.serve(&inst, 0, 0.0).edges()[0] == e0 {
+                on_e0 += 1;
+            }
+        }
+        let share = on_e0 as f64 / n as f64;
+        assert!((share - 0.75).abs() < 0.04, "sampled share {share}, want 0.75");
+    }
+
+    #[test]
+    fn static_policy_replays_single_paths() {
+        let inst = line_instance(1.0);
+        let placement = jcr_core::placement::Placement::empty(&inst);
+        let routing = jcr_core::rnr::route_to_nearest_replica(&inst, &placement).unwrap();
+        let sol = Solution { placement, routing };
+        let mut p = StaticPolicy::new(&sol);
+        for r in 0..inst.requests.len() {
+            assert_eq!(p.serve(&inst, r, 0.0).len(), 1);
+        }
+    }
+}

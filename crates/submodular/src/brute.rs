@@ -1,0 +1,195 @@
+//! Brute-force maximization and a reference submodular oracle, used to
+//! validate approximation guarantees in tests.
+
+use crate::constraint::Constraint;
+use crate::Oracle;
+
+/// Weighted coverage function: `f(S) = Σ_{points covered by S} weight`.
+///
+/// Weighted coverage is the canonical monotone submodular function; it
+/// serves as a reference oracle for testing the greedy and pipage
+/// machinery.
+#[derive(Clone, Debug)]
+pub struct WeightedCoverage {
+    sets: Vec<Vec<usize>>,
+    weights: Vec<f64>,
+    covered: Vec<bool>,
+    value: f64,
+}
+
+impl WeightedCoverage {
+    /// Creates the oracle from each element's covered points and the point
+    /// weights. Duplicate points within a set are deduplicated (marginal
+    /// gains must count each point once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a set references an out-of-range point or a weight is
+    /// negative.
+    pub fn new(mut sets: Vec<Vec<usize>>, weights: Vec<f64>) -> Self {
+        assert!(
+            sets.iter().flatten().all(|&p| p < weights.len()),
+            "point out of range"
+        );
+        assert!(weights.iter().all(|&w| w >= 0.0), "negative weight");
+        for set in &mut sets {
+            set.sort_unstable();
+            set.dedup();
+        }
+        let covered = vec![false; weights.len()];
+        WeightedCoverage { sets, weights, covered, value: 0.0 }
+    }
+}
+
+impl Oracle for WeightedCoverage {
+    fn ground_size(&self) -> usize {
+        self.sets.len()
+    }
+
+    fn gain(&self, element: usize) -> f64 {
+        self.sets[element]
+            .iter()
+            .filter(|&&p| !self.covered[p])
+            .map(|&p| self.weights[p])
+            .sum()
+    }
+
+    fn insert(&mut self, element: usize) {
+        for &p in &self.sets[element] {
+            if !self.covered[p] {
+                self.covered[p] = true;
+                self.value += self.weights[p];
+            }
+        }
+    }
+
+    fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+/// Exhaustively evaluates every feasible subset of `0..n` and returns the
+/// best objective value. Factories produce fresh oracle/constraint state
+/// per subset. Exponential — tests only.
+pub fn brute_force_best<O, C, FO, FC>(make_oracle: FO, make_constraint: FC, n: usize) -> f64
+where
+    O: Oracle,
+    C: Constraint,
+    FO: Fn() -> O,
+    FC: Fn() -> C,
+{
+    assert!(n <= 20, "brute force limited to 20 elements");
+    let mut best = f64::NEG_INFINITY;
+    'subsets: for mask in 0u32..(1 << n) {
+        let mut oracle = make_oracle();
+        let mut constraint = make_constraint();
+        for e in 0..n {
+            if mask & (1 << e) != 0 {
+                if !constraint.can_add(e) {
+                    continue 'subsets;
+                }
+                constraint.insert(e);
+                oracle.insert(e);
+            }
+        }
+        best = best.max(oracle.value());
+    }
+    best
+}
+
+/// Checks the submodularity inequality
+/// `f(A ∪ {e}) − f(A) ≥ f(B ∪ {e}) − f(B)` for all `A ⊆ B ⊆ [n]`, `e ∉ B`,
+/// by exhaustive enumeration. Exponential — tests only.
+pub fn is_submodular<O, F>(make_oracle: F, n: usize, tol: f64) -> bool
+where
+    O: Oracle,
+    F: Fn() -> O,
+{
+    assert!(n <= 12, "submodularity check limited to 12 elements");
+    let value_of = |mask: u32| {
+        let mut o = make_oracle();
+        for e in 0..n {
+            if mask & (1 << e) != 0 {
+                o.insert(e);
+            }
+        }
+        o.value()
+    };
+    let values: Vec<f64> = (0u32..(1 << n)).map(value_of).collect();
+    for b in 0u32..(1 << n) {
+        // Enumerate subsets a of b.
+        let mut a = b;
+        loop {
+            for e in 0..n {
+                let bit = 1u32 << e;
+                if b & bit == 0 {
+                    let ga = values[(a | bit) as usize] - values[a as usize];
+                    let gb = values[(b | bit) as usize] - values[b as usize];
+                    if ga < gb - tol {
+                        return false;
+                    }
+                }
+            }
+            if a == 0 {
+                break;
+            }
+            a = (a - 1) & b;
+        }
+    }
+    true
+}
+
+/// Checks monotonicity `f(A) ≤ f(A ∪ {e})` exhaustively. Tests only.
+pub fn is_monotone<O, F>(make_oracle: F, n: usize, tol: f64) -> bool
+where
+    O: Oracle,
+    F: Fn() -> O,
+{
+    assert!(n <= 12);
+    let value_of = |mask: u32| {
+        let mut o = make_oracle();
+        for e in 0..n {
+            if mask & (1 << e) != 0 {
+                o.insert(e);
+            }
+        }
+        o.value()
+    };
+    for a in 0u32..(1 << n) {
+        let va = value_of(a);
+        for e in 0..n {
+            let bit = 1u32 << e;
+            if a & bit == 0 && value_of(a | bit) < va - tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Unconstrained;
+
+    #[test]
+    fn coverage_is_monotone_submodular() {
+        let make = || {
+            WeightedCoverage::new(
+                vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]],
+                vec![1.0, 2.0, 3.0, 4.0],
+            )
+        };
+        assert!(is_monotone(make, 4, 1e-12));
+        assert!(is_submodular(make, 4, 1e-12));
+    }
+
+    #[test]
+    fn brute_force_finds_exact_optimum() {
+        let make_oracle = || {
+            WeightedCoverage::new(vec![vec![0], vec![1], vec![0, 1]], vec![2.0, 3.0])
+        };
+        let best = brute_force_best(make_oracle, || Unconstrained, 3);
+        assert!((best - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,185 @@
+//! Feasibility constraints for greedy selection.
+
+/// A downward-closed feasibility constraint over ground-set elements.
+///
+/// Implementations keep their own incremental state mirroring the selected
+/// set, in lockstep with the oracle.
+pub trait Constraint {
+    /// Whether `element` can be added to the current selection.
+    fn can_add(&self, element: usize) -> bool;
+
+    /// Commits `element` to the selection.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `can_add(element)` is false.
+    fn insert(&mut self, element: usize);
+}
+
+/// A partition matroid: elements are grouped, and group `g` admits at most
+/// `budget[g]` selected elements.
+///
+/// This models the paper's cache-capacity constraint (5b) for equal-sized
+/// items: element `(v, i)` belongs to group `v` with budget `c_v`.
+#[derive(Clone, Debug)]
+pub struct PartitionMatroid {
+    group_of: Vec<usize>,
+    budget: Vec<usize>,
+    used: Vec<usize>,
+}
+
+impl PartitionMatroid {
+    /// Creates the matroid from each element's group and per-group budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element references an out-of-range group.
+    pub fn new(group_of: Vec<usize>, budget: Vec<usize>) -> Self {
+        assert!(
+            group_of.iter().all(|&g| g < budget.len()),
+            "element group out of range"
+        );
+        let used = vec![0; budget.len()];
+        PartitionMatroid { group_of, budget, used }
+    }
+
+    /// Remaining budget of the group containing `element`.
+    pub fn remaining(&self, element: usize) -> usize {
+        let g = self.group_of[element];
+        self.budget[g] - self.used[g]
+    }
+}
+
+impl Constraint for PartitionMatroid {
+    fn can_add(&self, element: usize) -> bool {
+        let g = self.group_of[element];
+        self.used[g] < self.budget[g]
+    }
+
+    fn insert(&mut self, element: usize) {
+        let g = self.group_of[element];
+        assert!(self.used[g] < self.budget[g], "group budget exhausted");
+        self.used[g] += 1;
+    }
+}
+
+/// A grouped knapsack: element `e` has size `size[e]` and group `g` admits
+/// selections of total size at most `capacity[g]`.
+///
+/// For item sizes in `[b_min, b_max]` this is a `⌈b_max/b_min⌉`-independence
+/// system (the paper's Lemma 5.1), under which greedy achieves a
+/// `1/(1+p)`-approximation (Theorem 5.2).
+#[derive(Clone, Debug)]
+pub struct Knapsack {
+    group_of: Vec<usize>,
+    size: Vec<f64>,
+    capacity: Vec<f64>,
+    used: Vec<f64>,
+}
+
+impl Knapsack {
+    /// Creates the constraint from element groups, element sizes, and
+    /// per-group capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch, a size is non-positive, or a group is
+    /// out of range.
+    pub fn new(group_of: Vec<usize>, size: Vec<f64>, capacity: Vec<f64>) -> Self {
+        assert_eq!(group_of.len(), size.len(), "one size per element");
+        assert!(size.iter().all(|&s| s > 0.0), "sizes must be positive");
+        assert!(
+            group_of.iter().all(|&g| g < capacity.len()),
+            "element group out of range"
+        );
+        let used = vec![0.0; capacity.len()];
+        Knapsack { group_of, size, capacity, used }
+    }
+
+    /// The independence parameter `p = ⌈b_max / b_min⌉` of Lemma 5.1.
+    pub fn independence_parameter(&self) -> usize {
+        let b_max = self.size.iter().copied().fold(0.0f64, f64::max);
+        let b_min = self.size.iter().copied().fold(f64::INFINITY, f64::min);
+        if b_min.is_finite() && b_min > 0.0 {
+            (b_max / b_min).ceil() as usize
+        } else {
+            1
+        }
+    }
+}
+
+impl Constraint for Knapsack {
+    fn can_add(&self, element: usize) -> bool {
+        let g = self.group_of[element];
+        self.used[g] + self.size[element] <= self.capacity[g] + 1e-9
+    }
+
+    fn insert(&mut self, element: usize) {
+        let g = self.group_of[element];
+        self.used[g] += self.size[element];
+    }
+}
+
+/// The trivial constraint admitting everything (cardinality-unbounded).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Unconstrained;
+
+impl Constraint for Unconstrained {
+    fn can_add(&self, _element: usize) -> bool {
+        true
+    }
+
+    fn insert(&mut self, _element: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_budgets_enforced() {
+        // Elements 0,1 in group 0 (budget 1); element 2 in group 1 (budget 2).
+        let mut m = PartitionMatroid::new(vec![0, 0, 1], vec![1, 2]);
+        assert!(m.can_add(0));
+        m.insert(0);
+        assert!(!m.can_add(1));
+        assert!(m.can_add(2));
+        assert_eq!(m.remaining(1), 0);
+        assert_eq!(m.remaining(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget exhausted")]
+    fn partition_over_insert_panics() {
+        let mut m = PartitionMatroid::new(vec![0, 0], vec![1]);
+        m.insert(0);
+        m.insert(1);
+    }
+
+    #[test]
+    fn knapsack_sizes_enforced() {
+        let mut k = Knapsack::new(vec![0, 0, 0], vec![2.0, 1.5, 1.0], vec![3.0]);
+        assert!(k.can_add(0));
+        k.insert(0); // used 2.0
+        assert!(!k.can_add(1)); // 3.5 > 3
+        assert!(k.can_add(2)); // 3.0 ≤ 3
+        k.insert(2);
+        assert!(!k.can_add(1));
+    }
+
+    #[test]
+    fn knapsack_independence_parameter() {
+        let k = Knapsack::new(vec![0, 0], vec![1.0, 4.5], vec![10.0]);
+        assert_eq!(k.independence_parameter(), 5);
+        let k = Knapsack::new(vec![0], vec![2.0], vec![10.0]);
+        assert_eq!(k.independence_parameter(), 1);
+    }
+
+    #[test]
+    fn unconstrained_admits_all() {
+        let mut u = Unconstrained;
+        assert!(u.can_add(123));
+        u.insert(123);
+        assert!(u.can_add(123));
+    }
+}

@@ -1,0 +1,65 @@
+//! Monotone submodular maximization toolkit.
+//!
+//! The paper's content-placement subproblems are maximizations of monotone
+//! submodular cost-saving functions (`F_RNR` of Lemma 4.1 and `F_{r,f}` of
+//! Lemma 5.3) subject to a partition-matroid constraint (equal-sized
+//! chunks, one slot per cached item) or a *p*-independence constraint
+//! (heterogeneous file sizes, Lemma 5.1). This crate provides the generic
+//! machinery:
+//!
+//! * [`Oracle`] — incremental value oracles (marginal gains against a
+//!   mutable state);
+//! * [`constraint::Constraint`] with [`constraint::PartitionMatroid`]
+//!   (per-node slot budgets) and [`constraint::Knapsack`] (per-node size
+//!   budgets, a `⌈b_max/b_min⌉`-independence system);
+//! * [`greedy::lazy_greedy`] — the accelerated greedy algorithm
+//!   (1/2-approximation under a matroid, `1/(1+p)` under a
+//!   *p*-independence system, Theorem 5.2);
+//! * [`pipage::pipage_round`] — the per-group pipage rounding of the
+//!   paper's Eqs. (8)–(9) that converts fractional placements into
+//!   integral ones without decreasing the (componentwise-linear)
+//!   objective;
+//! * [`brute`] — exact brute-force maximization for testing approximation
+//!   guarantees on small instances.
+
+//! # Examples
+//!
+//! ```
+//! use jcr_submodular::brute::WeightedCoverage;
+//! use jcr_submodular::constraint::PartitionMatroid;
+//! use jcr_submodular::greedy::lazy_greedy;
+//!
+//! // Two groups with one slot each; greedy picks the best element per group.
+//! let mut oracle = WeightedCoverage::new(
+//!     vec![vec![0], vec![1, 2], vec![0, 1], vec![2]],
+//!     vec![3.0, 2.0, 4.0],
+//! );
+//! let mut constraint = PartitionMatroid::new(vec![0, 0, 1, 1], vec![1, 1]);
+//! let result = lazy_greedy(&mut oracle, &mut constraint);
+//! assert!(result.value >= 6.0); // at least {1,2} + {0,1} coverage
+//! ```
+
+pub mod brute;
+pub mod constraint;
+pub mod greedy;
+pub mod pipage;
+
+/// An incremental value oracle for a set function over the ground set
+/// `0..ground_size()`.
+///
+/// The greedy algorithms query marginal gains many times per accepted
+/// element, so the oracle keeps mutable state updated once per acceptance
+/// instead of recomputing `f(S ∪ {e}) − f(S)` from scratch.
+pub trait Oracle {
+    /// Number of elements in the ground set.
+    fn ground_size(&self) -> usize;
+
+    /// Marginal gain of adding `element` to the current set.
+    fn gain(&self, element: usize) -> f64;
+
+    /// Commits `element` to the current set.
+    fn insert(&mut self, element: usize);
+
+    /// Current value `f(S)` of the committed set.
+    fn value(&self) -> f64;
+}

@@ -1,0 +1,191 @@
+//! Pipage rounding of fractional placements (the paper's Eqs. (8)–(9)).
+//!
+//! Given a fractional solution `x ∈ [0,1]^n` whose coordinates are grouped
+//! (one group per cache node) with a per-group mass budget, and an
+//! objective that is *linear in each coordinate* with two same-group
+//! coordinates never interacting (true for the paper's `F_RNR` and
+//! `F_{r,f}`: same-node coordinates belong to different items), pipage
+//! rounding produces an integral solution without decreasing the
+//! objective: repeatedly pick two fractional coordinates in the same
+//! group and shift mass toward the one with the larger partial
+//! derivative, preserving their sum (capped at 1), until at most nothing
+//! fractional remains.
+
+/// Tolerance for considering a coordinate integral.
+pub const INT_TOL: f64 = 1e-6;
+
+/// Rounds `x` to an integral solution in place.
+///
+/// * `groups[g]` — the coordinate indices of group `g`; a coordinate must
+///   appear in at most one group.
+/// * `capacity[g]` — the group's mass budget (`Σ_{i∈g} x_i ≤ capacity[g]`);
+///   before pairing, each group is *saturated*: fractional coordinates are
+///   raised (largest gradient first) until the group's mass is
+///   `min(capacity, |group|)`, which is WLOG for monotone objectives
+///   (Lemma 4.3) and guarantees full integrality.
+/// * `grad(i, x)` — the partial derivative `∂F/∂x_i` at `x`. It must not
+///   depend on the other coordinate of the pair being rounded (which holds
+///   when same-group coordinates never share an objective term).
+///
+/// Returns the number of pairing steps performed.
+///
+/// # Panics
+///
+/// Panics if a coordinate lies outside `[0, 1]` beyond tolerance.
+pub fn pipage_round<G: FnMut(usize, &[f64]) -> f64>(
+    x: &mut [f64],
+    groups: &[Vec<usize>],
+    capacity: &[f64],
+    mut grad: G,
+) -> usize {
+    for &i in groups.iter().flatten() {
+        assert!(
+            x[i] >= -INT_TOL && x[i] <= 1.0 + INT_TOL,
+            "coordinate {i} out of [0,1]: {}",
+            x[i]
+        );
+        x[i] = x[i].clamp(0.0, 1.0);
+    }
+    let mut steps = 0;
+    for (g, coords) in groups.iter().enumerate() {
+        saturate_group(x, coords, capacity[g], &mut grad);
+        loop {
+            // Find two fractional coordinates in this group.
+            let mut fracs = coords
+                .iter()
+                .copied()
+                .filter(|&i| is_fractional(x[i]));
+            let Some(i) = fracs.next() else { break };
+            let Some(j) = fracs.next() else {
+                // A single fractional coordinate can remain only when the
+                // group is not saturated to an integral mass; snap it to
+                // the nearer bound that does not increase mass beyond the
+                // budget (for monotone objectives, rounding up is
+                // preferred when the gradient is positive and capacity
+                // allows).
+                let gi = grad(i, x);
+                let mass: f64 = coords.iter().map(|&k| x[k]).sum();
+                let room = capacity[g] - (mass - x[i]);
+                x[i] = if gi > 0.0 && room >= 1.0 - INT_TOL { 1.0 } else { 0.0 };
+                break;
+            };
+            let (wi, wj) = (grad(i, x), grad(j, x));
+            let sum = x[i] + x[j];
+            let (hi, lo) = if wi >= wj { (i, j) } else { (j, i) };
+            x[hi] = sum.min(1.0);
+            x[lo] = sum - x[hi];
+            snap(&mut x[hi]);
+            snap(&mut x[lo]);
+            steps += 1;
+        }
+    }
+    steps
+}
+
+fn is_fractional(v: f64) -> bool {
+    v > INT_TOL && v < 1.0 - INT_TOL
+}
+
+fn snap(v: &mut f64) {
+    if *v <= INT_TOL {
+        *v = 0.0;
+    } else if *v >= 1.0 - INT_TOL {
+        *v = 1.0;
+    }
+}
+
+/// Raises fractional coordinates (largest gradient first) until the group
+/// mass reaches `min(capacity, |group|)`.
+fn saturate_group<G: FnMut(usize, &[f64]) -> f64>(
+    x: &mut [f64],
+    coords: &[usize],
+    capacity: f64,
+    grad: &mut G,
+) {
+    let target = capacity.min(coords.len() as f64);
+    let mut mass: f64 = coords.iter().map(|&i| x[i]).sum();
+    if mass >= target - INT_TOL {
+        return;
+    }
+    // Sort candidates by gradient, descending.
+    let mut order: Vec<usize> = coords.iter().copied().filter(|&i| x[i] < 1.0).collect();
+    let mut grads: Vec<(usize, f64)> = order.drain(..).map(|i| (i, grad(i, x))).collect();
+    grads.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (i, _) in grads {
+        if mass >= target - INT_TOL {
+            break;
+        }
+        let room = (1.0 - x[i]).min(target - mass);
+        x[i] += room;
+        mass += room;
+        snap(&mut x[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_pairwise_toward_higher_gradient() {
+        // Linear objective 3·x0 + 1·x1, one group, capacity 1.
+        let mut x = vec![0.5, 0.5];
+        let groups = vec![vec![0, 1]];
+        pipage_round(&mut x, &groups, &[1.0], |i, _| [3.0, 1.0][i]);
+        assert_eq!(x, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn caps_at_one_and_keeps_remainder() {
+        // Both valuable, capacity 2: saturation should fill both to 1.
+        let mut x = vec![0.7, 0.7];
+        let groups = vec![vec![0, 1]];
+        pipage_round(&mut x, &groups, &[2.0], |_, _| 1.0);
+        assert_eq!(x, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn objective_never_decreases_on_linear_objectives() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let n = rng.gen_range(2..8);
+            let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..4.0)).collect();
+            let cap = rng.gen_range(1..=n) as f64;
+            let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+            // Scale into the capacity.
+            let mass: f64 = x.iter().sum();
+            if mass > cap {
+                for v in &mut x {
+                    *v *= cap / mass;
+                }
+            }
+            let before: f64 = x.iter().zip(&weights).map(|(v, w)| v * w).sum();
+            let groups = vec![(0..n).collect::<Vec<_>>()];
+            pipage_round(&mut x, &groups, &[cap], |i, _| weights[i]);
+            let after: f64 = x.iter().zip(&weights).map(|(v, w)| v * w).sum();
+            assert!(after >= before - 1e-9, "after {after} < before {before}");
+            // Integral and within capacity.
+            assert!(x.iter().all(|&v| v == 0.0 || v == 1.0));
+            assert!(x.iter().sum::<f64>() <= cap + 1e-9);
+        }
+    }
+
+    #[test]
+    fn multiple_groups_independent() {
+        let mut x = vec![0.5, 0.5, 0.3, 0.9];
+        let groups = vec![vec![0, 1], vec![2, 3]];
+        let w = [1.0, 2.0, 5.0, 0.1];
+        pipage_round(&mut x, &groups, &[1.0, 1.0], |i, _| w[i]);
+        assert_eq!(x, vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn already_integral_is_untouched() {
+        let mut x = vec![1.0, 0.0, 1.0];
+        let groups = vec![vec![0, 1, 2]];
+        let steps = pipage_round(&mut x, &groups, &[2.0], |_, _| 1.0);
+        assert_eq!(steps, 0);
+        assert_eq!(x, vec![1.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! File ↔ chunk catalog conversion (§6's two simulation granularities and
+//! Appendix D.2's chunk-size sweep).
+//!
+//! Chunk-level operation divides each file into equal-sized chunks (the
+//! last one padded, footnote 4), turning a heterogeneous catalog into a
+//! homogeneous one at the price of application-layer reassembly; every
+//! view of a file requests each of its chunks once.
+
+/// A mapping between a heterogeneous file catalog and its equal-chunk
+/// expansion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Chunking {
+    /// For each chunk, the file it belongs to.
+    pub file_of_chunk: Vec<usize>,
+    /// For each file, the half-open chunk-index range `[start, end)`.
+    pub chunks_of_file: Vec<(usize, usize)>,
+    /// Chunk size (same unit as the file sizes).
+    pub chunk_size: f64,
+}
+
+impl Chunking {
+    /// Splits `file_sizes` into `chunk_size`-sized chunks (last chunk
+    /// padded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is not positive or a file size is not
+    /// positive.
+    pub fn new(file_sizes: &[f64], chunk_size: f64) -> Self {
+        assert!(chunk_size > 0.0, "chunk size must be positive");
+        assert!(
+            file_sizes.iter().all(|&s| s > 0.0),
+            "file sizes must be positive"
+        );
+        let mut file_of_chunk = Vec::new();
+        let mut chunks_of_file = Vec::with_capacity(file_sizes.len());
+        for (fi, &size) in file_sizes.iter().enumerate() {
+            let count = (size / chunk_size).ceil() as usize;
+            let start = file_of_chunk.len();
+            file_of_chunk.extend(std::iter::repeat(fi).take(count));
+            chunks_of_file.push((start, start + count));
+        }
+        Chunking { file_of_chunk, chunks_of_file, chunk_size }
+    }
+
+    /// Total number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.file_of_chunk.len()
+    }
+
+    /// Number of chunks of one file.
+    pub fn chunk_count(&self, file: usize) -> usize {
+        let (s, e) = self.chunks_of_file[file];
+        e - s
+    }
+
+    /// Expands per-file request rates (`rates[file][requester]`, in
+    /// requests per unit time) to per-chunk rates: every view of a file
+    /// requests each of its chunks once, so each chunk inherits its file's
+    /// rate profile.
+    pub fn expand_rates(&self, file_rates: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert_eq!(file_rates.len(), self.chunks_of_file.len(), "one row per file");
+        self.file_of_chunk
+            .iter()
+            .map(|&fi| file_rates[fi].clone())
+            .collect()
+    }
+
+    /// Collapses a per-chunk quantity back to files by summation (e.g.
+    /// per-chunk cached counts into per-file cached fractions when divided
+    /// by [`Chunking::chunk_count`]).
+    pub fn collapse_sum(&self, per_chunk: &[f64]) -> Vec<f64> {
+        assert_eq!(per_chunk.len(), self.num_chunks(), "one value per chunk");
+        let mut out = vec![0.0; self.chunks_of_file.len()];
+        for (c, &v) in per_chunk.iter().enumerate() {
+            out[self.file_of_chunk[c]] += v;
+        }
+        out
+    }
+
+    /// The padding overhead: total padded chunk volume over the raw file
+    /// volume (≥ 1; footnote 4's cost of equal-sized chunks).
+    pub fn padding_overhead(&self, file_sizes: &[f64]) -> f64 {
+        let raw: f64 = file_sizes.iter().sum();
+        let padded = self.num_chunks() as f64 * self.chunk_size;
+        padded / raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::videos::{top_videos, TABLE1};
+
+    #[test]
+    fn reproduces_the_paper_catalog_sizes() {
+        let sizes: Vec<f64> = top_videos(10).iter().map(|v| v.size_mb).collect();
+        assert_eq!(Chunking::new(&sizes, 100.0).num_chunks(), 54);
+        assert_eq!(Chunking::new(&sizes, 50.0).num_chunks(), 103);
+        assert_eq!(Chunking::new(&sizes, 25.0).num_chunks(), 199);
+    }
+
+    #[test]
+    fn chunk_counts_match_table1() {
+        let sizes: Vec<f64> = TABLE1.iter().map(|v| v.size_mb).collect();
+        let ch = Chunking::new(&sizes, 100.0);
+        for (fi, v) in TABLE1.iter().enumerate() {
+            assert_eq!(ch.chunk_count(fi), v.chunks_100mb, "{}", v.id);
+        }
+    }
+
+    #[test]
+    fn rates_expand_and_collapse() {
+        let ch = Chunking::new(&[250.0, 90.0], 100.0); // 3 + 1 chunks
+        assert_eq!(ch.num_chunks(), 4);
+        let file_rates = vec![vec![2.0, 1.0], vec![5.0, 0.5]];
+        let chunk_rates = ch.expand_rates(&file_rates);
+        assert_eq!(chunk_rates.len(), 4);
+        assert_eq!(chunk_rates[0], vec![2.0, 1.0]);
+        assert_eq!(chunk_rates[2], vec![2.0, 1.0]);
+        assert_eq!(chunk_rates[3], vec![5.0, 0.5]);
+        // Collapse per-chunk totals back to files.
+        let per_chunk = vec![1.0, 1.0, 1.0, 0.5];
+        assert_eq!(ch.collapse_sum(&per_chunk), vec![3.0, 0.5]);
+    }
+
+    #[test]
+    fn padding_overhead_positive_and_shrinks_with_chunk_size() {
+        let sizes: Vec<f64> = top_videos(10).iter().map(|v| v.size_mb).collect();
+        let big = Chunking::new(&sizes, 100.0).padding_overhead(&sizes);
+        let small = Chunking::new(&sizes, 25.0).padding_overhead(&sizes);
+        assert!(big >= 1.0 && small >= 1.0);
+        assert!(small <= big, "finer chunks waste less padding: {small} vs {big}");
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn rejects_bad_chunk_size() {
+        Chunking::new(&[10.0], 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Demand substrate for the cache-network evaluation.
+//!
+//! The paper drives its simulations with per-hour view counts of the
+//! top-12 YouTube videos (Table 1; 100 evaluation hours plus 550 training
+//! hours) and predicts next-hour demand with scikit-learn Gaussian-process
+//! regression. The raw traces are not redistributable, so this crate:
+//!
+//! * embeds the **published Table-1 statistics** verbatim
+//!   ([`videos::TABLE1`]) — video ids, sizes, chunk counts, total views —
+//!   and reproduces the paper's derived quantities (54 hundred-MB chunks
+//!   for the top-10 videos, 1 949 666.52 chunks/hour total request rate);
+//! * synthesizes seeded hourly view series with diurnal periodicity and
+//!   log-normal noise, scaled to the published totals
+//!   ([`synth::ViewTrace`]);
+//! * implements exact **Gaussian-process regression** with the same kernel
+//!   family the paper uses (RBF + periodic + white noise) and
+//!   log-marginal-likelihood hyperparameter selection ([`gpr`]);
+//! * provides the Zipf synthetic workload of the conference version, the
+//!   Gaussian prediction-error injection of Appendix D.3, and the
+//!   file ↔ chunk catalog conversion of Appendix D.2
+//!   ([`zipf`], [`synth::perturb_demand`], [`chunking`]).
+
+pub mod chunking;
+pub mod gpr;
+pub mod synth;
+pub mod videos;
+pub mod zipf;
+
+/// Samples a standard normal via Box–Muller (the `rand` crate alone does
+/// not ship distributions).
+pub fn standard_normal<R: rand::Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

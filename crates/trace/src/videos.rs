@@ -1,0 +1,105 @@
+//! The paper's Table 1: statistics of the YouTube videos used in the
+//! evaluation, embedded verbatim.
+
+/// One row of the paper's Table 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VideoStats {
+    /// YouTube video id.
+    pub id: &'static str,
+    /// File size in MB.
+    pub size_mb: f64,
+    /// Number of 100-MB chunks (last chunk padded, footnote 4).
+    pub chunks_100mb: usize,
+    /// Total views over the 100 evaluation hours (footnote 5).
+    pub total_views: u64,
+}
+
+/// Table 1 of the paper, in row order (the first 10 rows are the "top-10"
+/// videos used by the default setting).
+pub const TABLE1: [VideoStats; 12] = [
+    VideoStats { id: "dNCWe_6HAM8", size_mb: 450.8789, chunks_100mb: 5, total_views: 14_144_021 },
+    VideoStats { id: "f5_wn8mexmM", size_mb: 611.7188, chunks_100mb: 7, total_views: 6_046_921 },
+    VideoStats { id: "3YqPKLZF_WU", size_mb: 746.1914, chunks_100mb: 8, total_views: 3_516_996 },
+    VideoStats { id: "2dTMIH5gCHg", size_mb: 387.5977, chunks_100mb: 4, total_views: 2_724_433 },
+    VideoStats { id: "CULF91XH87w", size_mb: 851.6602, chunks_100mb: 9, total_views: 1_935_258 },
+    VideoStats { id: "QDYDRA5JPLE", size_mb: 427.1484, chunks_100mb: 5, total_views: 1_606_676 },
+    VideoStats { id: "LWAI7HkQMyc", size_mb: 158.2031, chunks_100mb: 2, total_views: 2_701_699 },
+    VideoStats { id: "Zpi7CTDvi1A", size_mb: 709.2773, chunks_100mb: 8, total_views: 1_286_994 },
+    VideoStats { id: "vH7n1vj-cwQ", size_mb: 155.5664, chunks_100mb: 2, total_views: 128_860 },
+    VideoStats { id: "JNCkUEeUFy0", size_mb: 308.4961, chunks_100mb: 4, total_views: 369_157 },
+    VideoStats { id: "CaimKeDcudo", size_mb: 337.5, chunks_100mb: 4, total_views: 613_737 },
+    VideoStats { id: "gXH7_XaGuPc", size_mb: 680.2734, chunks_100mb: 7, total_views: 368_432 },
+];
+
+/// Number of evaluation hours in the trace (§6).
+pub const EVAL_HOURS: usize = 100;
+
+/// Number of training hours preceding the evaluation window (§6).
+pub const TRAIN_HOURS: usize = 550;
+
+/// The first `n` videos of Table 1 (the paper's "top-N").
+pub fn top_videos(n: usize) -> &'static [VideoStats] {
+    &TABLE1[..n.min(TABLE1.len())]
+}
+
+/// Number of chunks of `video` under chunk size `chunk_mb` (last chunk
+/// padded).
+pub fn chunk_count(video: &VideoStats, chunk_mb: f64) -> usize {
+    (video.size_mb / chunk_mb).ceil() as usize
+}
+
+/// Total catalog size (#chunks) of the top-`n` videos at chunk size
+/// `chunk_mb`. The paper's values: 54 chunks at 100 MB, 103 at 50 MB,
+/// 199 at 25 MB (Appendix D.2).
+pub fn catalog_size(n: usize, chunk_mb: f64) -> usize {
+    top_videos(n).iter().map(|v| chunk_count(v, chunk_mb)).sum()
+}
+
+/// Total request rate of the top-`n` videos in chunks/hour at the given
+/// chunk size: each view requests every chunk of the video once, averaged
+/// over the 100 evaluation hours. The paper reports 1 949 666.52
+/// chunks/hour for the top-10 at 100 MB.
+pub fn total_chunk_rate(n: usize, chunk_mb: f64) -> f64 {
+    top_videos(n)
+        .iter()
+        .map(|v| v.total_views as f64 * chunk_count(v, chunk_mb) as f64)
+        .sum::<f64>()
+        / EVAL_HOURS as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_counts_match_table1() {
+        for v in &TABLE1 {
+            assert_eq!(chunk_count(v, 100.0), v.chunks_100mb, "{}", v.id);
+        }
+    }
+
+    #[test]
+    fn top10_catalog_is_54_chunks() {
+        assert_eq!(catalog_size(10, 100.0), 54);
+    }
+
+    #[test]
+    fn appendix_d2_catalog_sizes() {
+        assert_eq!(catalog_size(10, 50.0), 103);
+        assert_eq!(catalog_size(10, 25.0), 199);
+    }
+
+    #[test]
+    fn total_rate_matches_paper() {
+        // §6: "the top-10 videos have a total request rate of 1949666.52
+        // chunks/hour".
+        let rate = total_chunk_rate(10, 100.0);
+        assert!((rate - 1_949_666.52).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn top_videos_clamps() {
+        assert_eq!(top_videos(99).len(), 12);
+        assert_eq!(top_videos(3).len(), 3);
+    }
+}

@@ -1,0 +1,71 @@
+//! Zipf-distributed synthetic demand (the conference version's workload).
+
+use rand::Rng;
+
+/// Zipf popularity weights: `p_i ∝ 1 / (i+1)^alpha`, normalized to sum
+/// to 1.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `alpha < 0`.
+pub fn zipf_weights(n: usize, alpha: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one item");
+    assert!(alpha >= 0.0, "alpha must be non-negative");
+    let raw: Vec<f64> = (1..=n).map(|i| (i as f64).powf(-alpha)).collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / sum).collect()
+}
+
+/// Per-(item, requester) request rates: item popularity is Zipf(`alpha`),
+/// the total rate is `total_rate`, and each item's rate is split across
+/// `n_requesters` with uniformly random shares.
+pub fn zipf_demand<R: Rng>(
+    n_items: usize,
+    n_requesters: usize,
+    alpha: f64,
+    total_rate: f64,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    let weights = zipf_weights(n_items, alpha);
+    weights
+        .iter()
+        .map(|w| {
+            let raw: Vec<f64> = (0..n_requesters).map(|_| rng.gen_range(0.05..1.0)).collect();
+            let s: f64 = raw.iter().sum();
+            raw.into_iter().map(|r| total_rate * w * r / s).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_normalized_and_decreasing() {
+        let w = zipf_weights(10, 0.8);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let w = zipf_weights(4, 0.0);
+        for &v in &w {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn demand_totals_match() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let d = zipf_demand(5, 3, 1.0, 100.0, &mut rng);
+        let total: f64 = d.iter().flatten().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert_eq!(d.len(), 5);
+        assert!(d.iter().all(|row| row.len() == 3));
+    }
+}

@@ -1,0 +1,75 @@
+//! Hourly re-optimization on *predicted* demand (the paper's online
+//! protocol, §6): a Gaussian-process regressor forecasts the next hour's
+//! request rates from a synthetic YouTube-like trace; caching/routing
+//! decisions made on the forecast are then evaluated against the true
+//! demand.
+//!
+//! Run with: `cargo run --release --example demand_prediction`
+
+use jcr::core::prelude::*;
+use jcr::topo::{Topology, TopologyKind};
+use jcr::trace::synth::{random_edge_shares, ViewTrace};
+use jcr::trace::videos::top_videos;
+use jcr::trace::gpr;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vids = top_videos(6);
+    let hours = 6;
+    let trace = ViewTrace::generate(vids, 9);
+    let topo = Topology::generate(TopologyKind::Abovenet, 9)?;
+    let n_edges = topo.edge_nodes.len();
+    let mut rng = StdRng::seed_from_u64(17);
+    let shares = random_edge_shares(vids.len(), n_edges, &mut rng);
+
+    println!("hour  decided-on    true cost  predicted-decision cost  regret");
+    for h in 0..hours {
+        // Forecast each video's views for hour h from its history.
+        let mut pred = Vec::new();
+        let mut truth = Vec::new();
+        for vi in 0..vids.len() {
+            let history = trace.history_until(vi, h);
+            let window = &history[history.len().saturating_sub(168)..];
+            let times: Vec<f64> = (0..window.len()).map(|t| t as f64).collect();
+            let model = gpr::Gpr::fit_grid(&times, window)?;
+            pred.push(model.predict(window.len() as f64).max(0.0));
+            truth.push(trace.eval_views(vi, h));
+        }
+        // Demand matrices (floored so both instances share a request set).
+        let expand = |views: &[f64]| -> Vec<Vec<f64>> {
+            views
+                .iter()
+                .enumerate()
+                .map(|(vi, &v)| (0..n_edges).map(|k| (v * shares[vi][k]).max(1e-6)).collect())
+                .collect()
+        };
+        let build = |rates: Vec<Vec<f64>>| {
+            InstanceBuilder::new(topo.clone())
+                .items(vids.len())
+                .cache_capacity(2.0)
+                .demand_matrix(rates)
+                .link_capacity_fraction(0.02)
+                .build()
+        };
+        let inst_true = build(expand(&truth))?;
+        let inst_pred = build(expand(&pred))?;
+        let true_flat: Vec<f64> = expand(&truth).into_iter().flatten().collect();
+
+        // Oracle decision (knows the truth) vs predicted decision.
+        let oracle = Alternating::new().solve(&inst_true)?.solution;
+        let predicted = Alternating::new().solve(&inst_pred)?.solution;
+        let oracle_cost = oracle.cost(&inst_true);
+        let (pred_cost, _) = predicted.evaluate_under(&inst_pred, &true_flat);
+        println!(
+            "{h:>4}  {:>10}  {:>11.0}  {:>23.0}  {:>5.1}%",
+            "truth/GPR",
+            oracle_cost,
+            pred_cost,
+            100.0 * (pred_cost / oracle_cost - 1.0)
+        );
+    }
+    println!("\nregret = extra cost from optimizing against the forecast instead of the truth");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Cross-crate capacity planning: the topology augmentation of §6 must
+//! make every instance splittably feasible, certified by the flow layer's
+//! feasibility diagnostics.
+
+use jcr::core::prelude::*;
+use jcr::flow::feasibility::{check_single_source, min_uniform_capacity};
+use jcr::topo::{Topology, TopologyKind};
+
+#[test]
+fn augmented_instances_are_always_feasible() {
+    for seed in 0..5 {
+        let inst = InstanceBuilder::new(Topology::generate(TopologyKind::Abovenet, seed).unwrap())
+            .items(8)
+            .cache_capacity(2.0)
+            .zipf_demand(0.8, 5_000.0, seed)
+            .link_capacity_fraction(0.007)
+            .build()
+            .unwrap();
+        // Aggregate demands per requester; everything must be routable
+        // from the origin alone (the paper's "last resort" guarantee).
+        let origin = inst.origin.unwrap();
+        let mut per_node = vec![0.0; inst.graph.node_count()];
+        for r in &inst.requests {
+            per_node[r.node.index()] += r.rate * inst.item_size[r.item];
+        }
+        let demands: Vec<_> = inst
+            .graph
+            .nodes()
+            .filter(|v| per_node[v.index()] > 0.0)
+            .map(|v| (v, per_node[v.index()]))
+            .collect();
+        let f = check_single_source(&inst.graph, &inst.link_cap, origin, &demands);
+        assert!(
+            f.feasible,
+            "seed {seed}: deficit {} with binding cut {:?}",
+            f.deficit(),
+            f.binding_cut
+        );
+    }
+}
+
+#[test]
+fn unaugmented_uniform_capacity_is_insufficient() {
+    // Without augmentation, κ = 0.7 % of total demand cannot carry
+    // everything from the origin (its single uplink alone needs 100 %).
+    let topo = Topology::generate(TopologyKind::Abovenet, 3).unwrap();
+    let n_edges = topo.edge_nodes.len();
+    let demand_per_edge = 100.0;
+    let demands: Vec<_> = topo.edge_nodes.iter().map(|&v| (v, demand_per_edge)).collect();
+    let total = demand_per_edge * n_edges as f64;
+    let kappa = 0.007 * total;
+    let cap = vec![kappa; topo.graph.edge_count()];
+    let f = check_single_source(&topo.graph, &cap, topo.origin, &demands);
+    assert!(!f.feasible);
+    assert!(!f.binding_cut.is_empty());
+    // The minimal uniform capacity is the origin uplink's full burden.
+    let k_star = min_uniform_capacity(&topo.graph, topo.origin, &demands, 1e-6).unwrap();
+    assert!(
+        (k_star - total).abs() < 1e-3 * total,
+        "origin uplink must carry all demand: κ* = {k_star}, total = {total}"
+    );
+}

@@ -1,0 +1,122 @@
+//! Property-based tests across the whole stack: random edge-caching
+//! instances must yield feasible, fully-serving solutions from every
+//! algorithm, with the structural cost relations the theory requires.
+
+use proptest::prelude::*;
+
+use jcr::core::prelude::*;
+use jcr::core::{alg1, alg2, rnr};
+use jcr::topo::Topology;
+
+#[derive(Debug, Clone)]
+struct RandomInstance {
+    topo_seed: u64,
+    demand_seed: u64,
+    n_items: usize,
+    zeta: f64,
+    alpha: f64,
+    kappa_fraction: Option<f64>,
+}
+
+fn random_instance() -> impl Strategy<Value = RandomInstance> {
+    (
+        0u64..200,
+        0u64..200,
+        2usize..10,
+        1.0f64..4.0,
+        0.2f64..1.5,
+        prop_oneof![Just(None), (0.02f64..0.2).prop_map(Some)],
+    )
+        .prop_map(|(topo_seed, demand_seed, n_items, zeta, alpha, kappa_fraction)| {
+            RandomInstance { topo_seed, demand_seed, n_items, zeta, alpha, kappa_fraction }
+        })
+}
+
+fn build(ri: &RandomInstance) -> Instance {
+    let topo = Topology::generate_custom(12, 16, 3, ri.topo_seed).unwrap();
+    let mut b = InstanceBuilder::new(topo)
+        .items(ri.n_items)
+        .cache_capacity(ri.zeta)
+        .zipf_demand(ri.alpha, 500.0, ri.demand_seed);
+    b = match ri.kappa_fraction {
+        Some(fr) => b.link_capacity_fraction(fr),
+        None => b.unlimited_links(),
+    };
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Algorithm 1 always yields a feasible solution at least as good as
+    /// origin-only serving, with RNR-consistent routing.
+    #[test]
+    fn alg1_invariants(ri in random_instance()) {
+        let inst = build(&ri);
+        let sol = Algorithm1::new().solve(&inst).unwrap();
+        prop_assert!(sol.placement.is_feasible(&inst));
+        prop_assert!(sol.routing.serves_all(&inst));
+        prop_assert!(sol.routing.sources_valid(&inst, &sol.placement));
+        let origin_only = rnr::rnr_cost(&inst, &Placement::empty(&inst)).unwrap();
+        prop_assert!(sol.cost(&inst) <= origin_only + 1e-6);
+        // RNR of the final placement IS the routing Alg1 returns.
+        let rnr_cost = rnr::rnr_cost(&inst, &sol.placement).unwrap();
+        prop_assert!((sol.cost(&inst) - rnr_cost).abs() < 1e-6);
+        // Monotonicity of the saving objective: caching helped or tied.
+        prop_assert!(alg1::f_rnr(&inst, &sol.placement)
+            >= alg1::f_rnr(&inst, &Placement::empty(&inst)) - 1e-9);
+    }
+
+    /// The alternating optimization stays feasible, serves everything, and
+    /// never ends above the origin-only cost.
+    #[test]
+    fn alternating_invariants(ri in random_instance()) {
+        let mut ri = ri;
+        // Alternating needs capacities to be interesting but must stay
+        // feasible: the builder's augmentation guarantees that.
+        if ri.kappa_fraction.is_none() {
+            ri.kappa_fraction = Some(0.05);
+        }
+        let inst = build(&ri);
+        let result = Alternating { seed: ri.demand_seed, ..Alternating::default() }
+            .solve(&inst)
+            .unwrap();
+        let sol = &result.solution;
+        prop_assert!(sol.placement.is_feasible(&inst));
+        prop_assert!(sol.routing.serves_all(&inst));
+        prop_assert!(sol.routing.sources_valid(&inst, &sol.placement));
+        prop_assert!(sol.routing.is_integral());
+        // History is non-increasing in cost and starts at the initial
+        // solution.
+        for w in result.history.windows(2) {
+            prop_assert!(w[1].1 <= w[0].1 + 1e-9);
+        }
+    }
+
+    /// Binary-cache Algorithm 2 obeys Theorem 4.7's cost bound for random
+    /// storers and K.
+    #[test]
+    fn alg2_invariants(ri in random_instance(), k in 1u32..8, storer_pick in 0usize..3) {
+        let mut ri = ri;
+        ri.kappa_fraction = Some(ri.kappa_fraction.map_or(0.05, |f| f.max(0.03)));
+        let inst = build(&ri);
+        let cache_nodes = inst.cache_nodes();
+        let storer = cache_nodes[storer_pick % cache_nodes.len()];
+        let sol = alg2::solve_binary_caches(&inst, &[storer], k).unwrap();
+        prop_assert!(sol.solution.routing.serves_all(&inst));
+        prop_assert!(sol.solution.cost(&inst) <= sol.splittable_cost + 1e-6);
+        // The unconstrained RNR cost floors everything.
+        let floor = alg2::rnr_binary(&inst, &[storer]).unwrap().cost(&inst);
+        prop_assert!(sol.solution.cost(&inst) + 1e-6 >= floor);
+    }
+
+    /// Serialization round-trips preserve solver behaviour.
+    #[test]
+    fn serialization_round_trip(ri in random_instance()) {
+        let inst = build(&ri);
+        let back = jcr::core::serial::from_text(&jcr::core::serial::to_text(&inst)).unwrap();
+        let a = Algorithm1::new().solve(&inst).unwrap().cost(&inst);
+        let b = Algorithm1::new().solve(&back).unwrap().cost(&back);
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+}
