@@ -3,9 +3,7 @@
 //! plain greedy, column-generation MMSFP, Skutella rounding, and the raw
 //! graph/LP primitives they all stand on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use jcr_bench::{build_instance, Scenario};
+use jcr_bench::{build_instance, timing, Scenario};
 use jcr_core::prelude::*;
 use jcr_core::{auxiliary::AuxiliaryGraph, placement_opt, rnr};
 use jcr_flow::multicommodity::{min_cost_multicommodity, Commodity};
@@ -51,119 +49,107 @@ fn chunk_instance() -> Instance {
     build_instance(&sc, &rates)
 }
 
-fn bench_substrate(c: &mut Criterion) {
+fn main() {
     let inst = chunk_instance();
 
     // Graph primitives.
-    let mut g = c.benchmark_group("graph");
-    g.bench_function("dijkstra_abovenet", |b| {
-        let origin = inst.origin.unwrap();
-        b.iter(|| shortest::dijkstra(&inst.graph, origin, &inst.link_cost))
+    let mut g = timing::group("graph");
+    let origin = inst.origin.unwrap();
+    g.bench("dijkstra_abovenet", || {
+        shortest::dijkstra(&inst.graph, origin, &inst.link_cost)
     });
-    g.bench_function("all_pairs_abovenet", |b| {
-        b.iter(|| shortest::all_pairs(&inst.graph, &inst.link_cost))
+    g.bench("all_pairs_abovenet", || {
+        shortest::all_pairs(&inst.graph, &inst.link_cost)
     });
-    g.bench_function("yen_k10", |b| {
-        let origin = inst.origin.unwrap();
-        let target = inst.cache_nodes()[0];
-        b.iter(|| shortest::k_shortest_paths(&inst.graph, origin, target, 10, &inst.link_cost))
+    let target = inst.cache_nodes()[0];
+    g.bench("yen_k10", || {
+        shortest::k_shortest_paths(&inst.graph, origin, target, 10, &inst.link_cost)
     });
-    g.finish();
 
     // LP solver on a transportation-style instance.
-    let mut g = c.benchmark_group("lp");
+    let mut g = timing::group("lp");
     for &n in &[10usize, 30] {
-        g.bench_with_input(BenchmarkId::new("transportation", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut m = Model::new(Sense::Minimize);
-                let mut vars = Vec::new();
-                for i in 0..n {
-                    for j in 0..n {
-                        vars.push(m.add_var(0.0, f64::INFINITY, ((i * 7 + j * 13) % 17) as f64 + 1.0));
-                    }
-                }
-                for i in 0..n {
-                    let entries: Vec<_> = (0..n).map(|j| (vars[i * n + j], 1.0)).collect();
-                    m.add_row(1.0, 1.0, &entries);
-                }
+        g.bench(&format!("transportation/{n}"), || {
+            let mut m = Model::new(Sense::Minimize);
+            let mut vars = Vec::new();
+            for i in 0..n {
                 for j in 0..n {
-                    let entries: Vec<_> = (0..n).map(|i| (vars[i * n + j], 1.0)).collect();
-                    m.add_row(1.0, 1.0, &entries);
+                    vars.push(m.add_var(0.0, f64::INFINITY, ((i * 7 + j * 13) % 17) as f64 + 1.0));
                 }
-                m.solve().unwrap()
-            })
+            }
+            for i in 0..n {
+                let entries: Vec<_> = (0..n).map(|j| (vars[i * n + j], 1.0)).collect();
+                m.add_row(1.0, 1.0, &entries);
+            }
+            for j in 0..n {
+                let entries: Vec<_> = (0..n).map(|i| (vars[i * n + j], 1.0)).collect();
+                m.add_row(1.0, 1.0, &entries);
+            }
+            m.solve().unwrap()
         });
     }
-    g.finish();
 
     // Presolve vs direct simplex on a reduction-friendly LP.
-    let mut g = c.benchmark_group("lp_presolve");
-    g.bench_function("direct_with_fixed_vars", |b| {
-        b.iter(|| build_reduction_friendly_lp().solve().unwrap())
+    let mut g = timing::group("lp_presolve");
+    g.bench("direct_with_fixed_vars", || {
+        build_reduction_friendly_lp().solve().unwrap()
     });
-    g.bench_function("presolved_with_fixed_vars", |b| {
-        b.iter(|| jcr_lp::presolve::solve(&build_reduction_friendly_lp()).unwrap())
+    g.bench("presolved_with_fixed_vars", || {
+        jcr_lp::presolve::solve(&build_reduction_friendly_lp()).unwrap()
     });
-    g.finish();
 
     // Column-generation MMSFP on the auxiliary graph.
-    let mut g = c.benchmark_group("flow");
+    let mut g = timing::group("flow");
     g.sample_size(10);
-    g.bench_function("mmsfp_column_generation", |b| {
-        let placement = Placement::empty(&inst);
-        let aux = AuxiliaryGraph::per_item(&inst, &placement);
-        let commodities: Vec<Commodity> = inst
-            .requests
-            .iter()
-            .map(|r| Commodity {
-                source: aux.item_source[r.item],
-                dest: r.node,
-                demand: r.rate,
-            })
-            .collect();
-        b.iter(|| min_cost_multicommodity(&aux.graph, &aux.cost, &aux.cap, &commodities).unwrap())
+    let placement = Placement::empty(&inst);
+    let aux = AuxiliaryGraph::per_item(&inst, &placement);
+    let commodities: Vec<Commodity> = inst
+        .requests
+        .iter()
+        .map(|r| Commodity {
+            source: aux.item_source[r.item],
+            dest: r.node,
+            demand: r.rate,
+        })
+        .collect();
+    g.bench("mmsfp_column_generation", || {
+        min_cost_multicommodity(&aux.graph, &aux.cost, &aux.cap, &commodities).unwrap()
     });
-    g.finish();
 
     // Placement subroutines (the Alg-1 reduced LP + pipage vs the
     // segment LP of the alternating step).
-    let mut g = c.benchmark_group("placement");
+    let mut g = timing::group("placement");
     g.sample_size(10);
-    g.bench_function("alg1_reduced_lp_pipage", |b| {
-        b.iter(|| Algorithm1::new().place(&inst).unwrap())
+    g.bench("alg1_reduced_lp_pipage", || {
+        Algorithm1::new().place(&inst).unwrap()
     });
-    g.bench_function("segment_lp_pipage", |b| {
-        let routing = rnr::route_to_nearest_replica(&inst, &Placement::empty(&inst)).unwrap();
-        b.iter(|| placement_opt::optimize_placement(&inst, &routing).unwrap())
+    let routing = rnr::route_to_nearest_replica(&inst, &Placement::empty(&inst)).unwrap();
+    g.bench("segment_lp_pipage", || {
+        placement_opt::optimize_placement(&inst, &routing).unwrap()
     });
-    g.finish();
 
     // Lazy vs plain greedy on a synthetic coverage instance.
-    let mut g = c.benchmark_group("greedy");
+    let mut g = timing::group("greedy");
     let n_elems = 400;
     let n_points = 300;
     let sets: Vec<Vec<usize>> = (0..n_elems)
-        .map(|e| (0..n_points).filter(|p| (e * 31 + p * 17) % 11 == 0).collect())
+        .map(|e| {
+            (0..n_points)
+                .filter(|p| (e * 31 + p * 17) % 11 == 0)
+                .collect()
+        })
         .collect();
     let weights: Vec<f64> = (0..n_points).map(|p| 1.0 + (p % 7) as f64).collect();
     let groups: Vec<usize> = (0..n_elems).map(|e| e % 8).collect();
     let budgets = vec![10usize; 8];
-    g.bench_function("lazy_greedy_coverage", |b| {
-        b.iter(|| {
-            let mut o = WeightedCoverage::new(sets.clone(), weights.clone());
-            let mut cons = PartitionMatroid::new(groups.clone(), budgets.clone());
-            lazy_greedy(&mut o, &mut cons)
-        })
+    g.bench("lazy_greedy_coverage", || {
+        let mut o = WeightedCoverage::new(sets.clone(), weights.clone());
+        let mut cons = PartitionMatroid::new(groups.clone(), budgets.clone());
+        lazy_greedy(&mut o, &mut cons)
     });
-    g.bench_function("plain_greedy_coverage", |b| {
-        b.iter(|| {
-            let mut o = WeightedCoverage::new(sets.clone(), weights.clone());
-            let mut cons = PartitionMatroid::new(groups.clone(), budgets.clone());
-            plain_greedy(&mut o, &mut cons)
-        })
+    g.bench("plain_greedy_coverage", || {
+        let mut o = WeightedCoverage::new(sets.clone(), weights.clone());
+        let mut cons = PartitionMatroid::new(groups.clone(), budgets.clone());
+        plain_greedy(&mut o, &mut cons)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_substrate);
-criterion_main!(benches);

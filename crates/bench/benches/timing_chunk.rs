@@ -1,9 +1,7 @@
 //! Table 3: execution time of each algorithm under the paper's default
 //! chunk-level setting (IC-IR, Abovenet-like topology, |C| = 54, ζ = 12).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use jcr_bench::{build_instance, Scenario};
+use jcr_bench::{build_instance, timing, Scenario};
 use jcr_core::prelude::*;
 use jcr_core::{alg2, rnr};
 
@@ -20,48 +18,44 @@ fn instances() -> (Instance, Instance) {
     (unlim, capped)
 }
 
-fn bench_chunk(c: &mut Criterion) {
+fn main() {
     let (unlim, capped) = instances();
     let storer = capped.cache_nodes()[0];
 
-    let mut g = c.benchmark_group("table3_chunk");
+    let mut g = timing::group("table3_chunk");
     g.sample_size(10);
-    g.bench_function("alg1_uncapacitated", |b| {
-        b.iter(|| Algorithm1::new().solve(&unlim).unwrap())
+    g.bench("alg1_uncapacitated", || {
+        Algorithm1::new().solve(&unlim).unwrap()
     });
-    g.bench_function("ksp10_uncapacitated", |b| {
-        b.iter(|| IoannidisYeh::k_shortest(10).solve(&unlim).unwrap())
+    g.bench("ksp10_uncapacitated", || {
+        IoannidisYeh::k_shortest(10).solve(&unlim).unwrap()
     });
-    g.bench_function("sp_uncapacitated", |b| {
-        b.iter(|| ShortestPathPlacement.solve(&unlim).unwrap())
+    g.bench("sp_uncapacitated", || {
+        ShortestPathPlacement.solve(&unlim).unwrap()
     });
-    g.bench_function("alg2_k1000", |b| {
-        b.iter(|| alg2::solve_binary_caches(&capped, &[storer], 1000).unwrap())
+    g.bench("alg2_k1000", || {
+        alg2::solve_binary_caches(&capped, &[storer], 1000).unwrap()
     });
-    g.bench_function("alg2_k2_skutella33", |b| {
-        b.iter(|| alg2::solve_binary_caches(&capped, &[storer], 2).unwrap())
+    g.bench("alg2_k2_skutella33", || {
+        alg2::solve_binary_caches(&capped, &[storer], 2).unwrap()
     });
-    g.bench_function("rnr_binary", |b| {
-        b.iter(|| alg2::rnr_binary(&capped, &[storer]).unwrap())
+    g.bench("rnr_binary", || {
+        alg2::rnr_binary(&capped, &[storer]).unwrap()
     });
-    g.bench_function("alternating_general", |b| {
-        b.iter(|| Alternating::new().solve(&capped).unwrap())
+    g.bench("alternating_general", || {
+        Alternating::new().solve(&capped).unwrap()
     });
-    g.bench_function("sp_general", |b| {
-        b.iter(|| ShortestPathPlacement.solve(&capped).unwrap())
+    g.bench("sp_general", || {
+        ShortestPathPlacement.solve(&capped).unwrap()
     });
-    g.bench_function("sp_rnr_general", |b| {
-        b.iter(|| IoannidisYeh::sp_rnr().solve(&capped).unwrap())
+    g.bench("sp_rnr_general", || {
+        IoannidisYeh::sp_rnr().solve(&capped).unwrap()
     });
-    g.bench_function("ksp_rnr_general", |b| {
-        b.iter(|| IoannidisYeh::ksp_rnr(10).solve(&capped).unwrap())
+    g.bench("ksp_rnr_general", || {
+        IoannidisYeh::ksp_rnr(10).solve(&capped).unwrap()
     });
-    g.bench_function("rnr_routing_only", |b| {
-        let p = Placement::empty(&capped);
-        b.iter(|| rnr::route_to_nearest_replica(&capped, &p).unwrap())
+    let p = Placement::empty(&capped);
+    g.bench("rnr_routing_only", || {
+        rnr::route_to_nearest_replica(&capped, &p).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_chunk);
-criterion_main!(benches);

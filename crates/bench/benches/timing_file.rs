@@ -1,9 +1,7 @@
 //! Table 4: execution time of each algorithm under the paper's default
 //! file-level setting (heterogeneous sizes, |C| = 10, ζ = 2 videos).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use jcr_bench::{build_instance, Scenario};
+use jcr_bench::{build_instance, timing, Scenario};
 use jcr_core::prelude::*;
 use jcr_core::{alg2, hetero, rnr};
 
@@ -20,47 +18,41 @@ fn instances() -> (Instance, Instance) {
     (unlim, capped)
 }
 
-fn bench_file(c: &mut Criterion) {
+fn main() {
     let (unlim, capped) = instances();
     let storer = capped.cache_nodes()[0];
 
-    let mut g = c.benchmark_group("table4_file");
+    let mut g = timing::group("table4_file");
     g.sample_size(10);
-    g.bench_function("greedy_uncapacitated", |b| {
-        b.iter(|| {
-            let p = hetero::greedy_placement_rnr(&unlim);
-            rnr::route_to_nearest_replica(&unlim, &p).unwrap()
-        })
+    g.bench("greedy_uncapacitated", || {
+        let p = hetero::greedy_placement_rnr(&unlim);
+        rnr::route_to_nearest_replica(&unlim, &p).unwrap()
     });
-    g.bench_function("ksp10_uncapacitated", |b| {
-        b.iter(|| IoannidisYeh::k_shortest(10).solve(&unlim).unwrap())
+    g.bench("ksp10_uncapacitated", || {
+        IoannidisYeh::k_shortest(10).solve(&unlim).unwrap()
     });
-    g.bench_function("sp_uncapacitated", |b| {
-        b.iter(|| ShortestPathPlacement.solve(&unlim).unwrap())
+    g.bench("sp_uncapacitated", || {
+        ShortestPathPlacement.solve(&unlim).unwrap()
     });
-    g.bench_function("alg2_k1000", |b| {
-        b.iter(|| alg2::solve_binary_caches(&capped, &[storer], 1000).unwrap())
+    g.bench("alg2_k1000", || {
+        alg2::solve_binary_caches(&capped, &[storer], 1000).unwrap()
     });
-    g.bench_function("alg2_k2_skutella33", |b| {
-        b.iter(|| alg2::solve_binary_caches(&capped, &[storer], 2).unwrap())
+    g.bench("alg2_k2_skutella33", || {
+        alg2::solve_binary_caches(&capped, &[storer], 2).unwrap()
     });
-    g.bench_function("rnr_binary", |b| {
-        b.iter(|| alg2::rnr_binary(&capped, &[storer]).unwrap())
+    g.bench("rnr_binary", || {
+        alg2::rnr_binary(&capped, &[storer]).unwrap()
     });
-    g.bench_function("alternating_general", |b| {
-        b.iter(|| Alternating::new().solve(&capped).unwrap())
+    g.bench("alternating_general", || {
+        Alternating::new().solve(&capped).unwrap()
     });
-    g.bench_function("sp_general", |b| {
-        b.iter(|| ShortestPathPlacement.solve(&capped).unwrap())
+    g.bench("sp_general", || {
+        ShortestPathPlacement.solve(&capped).unwrap()
     });
-    g.bench_function("sp_rnr_general", |b| {
-        b.iter(|| IoannidisYeh::sp_rnr().solve(&capped).unwrap())
+    g.bench("sp_rnr_general", || {
+        IoannidisYeh::sp_rnr().solve(&capped).unwrap()
     });
-    g.bench_function("ksp_rnr_general", |b| {
-        b.iter(|| IoannidisYeh::ksp_rnr(10).solve(&capped).unwrap())
+    g.bench("ksp_rnr_general", || {
+        IoannidisYeh::ksp_rnr(10).solve(&capped).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_file);
-criterion_main!(benches);

@@ -4,7 +4,7 @@
 //! experiments <id>... [--runs N] [--hours N] [--seed N] [--full]
 //!
 //!   ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology
-//!        table1 table2 table3 table4 all
+//!        table1 table2 table3 table4 stats all
 //! ```
 //!
 //! Run with `--release`; the quick defaults finish in minutes, `--full`
@@ -48,15 +48,38 @@ fn main() {
     }
     if ids.iter().any(|i| i == "all") {
         ids = [
-            "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig11", "fig12",
-            "fig13", "fig15", "cases", "zipf", "convergence", "online", "ablation", "sim", "gap", "table2", "table3", "table4",
+            "table1",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig15",
+            "cases",
+            "zipf",
+            "convergence",
+            "online",
+            "ablation",
+            "sim",
+            "gap",
+            "table2",
+            "table3",
+            "table4",
+            "stats",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
     for id in &ids {
-        eprintln!("[experiments] running {id} (runs={}, hours={}, full={})", cfg.runs, cfg.hours, cfg.full);
+        eprintln!(
+            "[experiments] running {id} (runs={}, hours={}, full={})",
+            cfg.runs, cfg.hours, cfg.full
+        );
         match id.as_str() {
             "fig4" => exp::fig4(cfg),
             "fig5" => exp::fig5(cfg),
@@ -80,6 +103,7 @@ fn main() {
             "table2" => exp::table2(cfg),
             "table3" => exp::table3(cfg),
             "table4" => exp::table4(cfg),
+            "stats" => exp::stats(cfg),
             other => usage(&format!("unknown experiment {other}")),
         }
     }
@@ -92,7 +116,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: experiments <id>... [--runs N] [--hours N] [--seed N] [--full]\n\
          ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology \
-         table1 table2 table3 table4 all"
+         table1 table2 table3 table4 stats all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

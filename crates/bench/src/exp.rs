@@ -5,11 +5,11 @@
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use jcr_ctx::rng::SeedableRng;
+use jcr_ctx::rng::StdRng;
 
 use jcr_core::prelude::*;
-use jcr_core::{alg2, hetero, rnr};
+use jcr_core::{alg2, fcfr, hetero, rnr};
 use jcr_graph::DiGraph;
 use jcr_topo::TopologyKind;
 use jcr_trace::videos::TABLE1;
@@ -31,7 +31,12 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { runs: 3, hours: 2, full: false, seed: 0 }
+        ExpConfig {
+            runs: 3,
+            hours: 2,
+            full: false,
+            seed: 0,
+        }
     }
 }
 
@@ -44,13 +49,16 @@ impl ExpConfig {
     }
 }
 
+/// Solver closure: instance → solution (thread-safe so Monte-Carlo runs
+/// can evaluate in parallel).
+pub type AlgoRun = Box<dyn Fn(&Instance) -> Result<Solution, JcrError> + Send + Sync>;
+
 /// An algorithm under evaluation.
 pub struct Algo {
     /// Display name (the paper's legend label).
     pub name: String,
-    /// Solver: instance → solution (thread-safe so Monte-Carlo runs can
-    /// evaluate in parallel).
-    pub run: Box<dyn Fn(&Instance) -> Result<Solution, JcrError> + Send + Sync>,
+    /// Solver closure.
+    pub run: AlgoRun,
 }
 
 impl Algo {
@@ -58,7 +66,10 @@ impl Algo {
         name: &str,
         run: impl Fn(&Instance) -> Result<Solution, JcrError> + Send + Sync + 'static,
     ) -> Self {
-        Algo { name: name.to_string(), run: Box::new(run) }
+        Algo {
+            name: name.to_string(),
+            run: Box::new(run),
+        }
     }
 }
 
@@ -84,12 +95,12 @@ pub struct Metrics {
 /// in parallel scoped threads.
 pub fn evaluate(scenario: &Scenario, algos: &[Algo], cfg: ExpConfig) -> Vec<Metrics> {
     let n_edges = scenario.topology().edge_nodes.len();
-    let acc: parking_lot::Mutex<Vec<Vec<f64>>> =
-        parking_lot::Mutex::new(vec![Vec::new(); algos.len() * 6]);
-    crossbeam::thread::scope(|scope| {
+    let acc: std::sync::Mutex<Vec<Vec<f64>>> =
+        std::sync::Mutex::new(vec![Vec::new(); algos.len() * 6]);
+    std::thread::scope(|scope| {
         for run in 0..cfg.runs {
             let acc = &acc;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut sc = scenario.clone();
                 sc.share_seed = scenario.share_seed.wrapping_add(run as u64 * 1009);
                 sc.hours = cfg.hours.max(1);
@@ -108,28 +119,24 @@ pub fn evaluate(scenario: &Scenario, algos: &[Algo], cfg: ExpConfig) -> Vec<Metr
                         if let Ok(sol) = (algo.run)(&inst_true) {
                             local[ai * 6].push(sol.cost(&inst_true));
                             local[ai * 6 + 1].push(sol.congestion(&inst_true));
-                            local[ai * 6 + 2]
-                                .push(sol.placement.max_occupancy_ratio(&inst_true));
+                            local[ai * 6 + 2].push(sol.placement.max_occupancy_ratio(&inst_true));
                         }
                         if let Ok(sol) = (algo.run)(&inst_pred) {
-                            let (cost, congestion) =
-                                sol.evaluate_under(&inst_pred, &floored_true);
+                            let (cost, congestion) = sol.evaluate_under(&inst_pred, &floored_true);
                             local[ai * 6 + 3].push(cost);
                             local[ai * 6 + 4].push(congestion);
-                            local[ai * 6 + 5]
-                                .push(sol.placement.max_occupancy_ratio(&inst_pred));
+                            local[ai * 6 + 5].push(sol.placement.max_occupancy_ratio(&inst_pred));
                         }
                     }
                 }
-                let mut shared = acc.lock();
+                let mut shared = acc.lock().expect("evaluation threads do not panic");
                 for (dst, src) in shared.iter_mut().zip(local) {
                     dst.extend(src);
                 }
             });
         }
-    })
-    .expect("evaluation threads do not panic");
-    let acc = acc.into_inner();
+    });
+    let acc = acc.into_inner().expect("evaluation threads do not panic");
     (0..algos.len())
         .map(|ai| Metrics {
             cost_true: mean(&acc[ai * 6]),
@@ -148,8 +155,7 @@ pub fn evaluate(scenario: &Scenario, algos: &[Algo], cfg: ExpConfig) -> Vec<Metr
 /// link capacities, Theorem 5.2).
 fn greedy_rnr(inst: &Instance) -> Result<Solution, JcrError> {
     let placement = hetero::greedy_placement_rnr(inst);
-    let routing =
-        rnr::route_to_nearest_replica(inst, &placement).ok_or(JcrError::Infeasible)?;
+    let routing = rnr::route_to_nearest_replica(inst, &placement).ok_or(JcrError::Infeasible)?;
     Ok(Solution { placement, routing })
 }
 
@@ -164,7 +170,9 @@ fn fig5_algos(level: Level, k: usize) -> Vec<Algo> {
         Algo::new("k shortest paths [3]", move |inst| {
             IoannidisYeh::k_shortest(k).solve(inst)
         }),
-        Algo::new("shortest path [38]", |inst| ShortestPathPlacement.solve(inst)),
+        Algo::new("shortest path [38]", |inst| {
+            ShortestPathPlacement.solve(inst)
+        }),
     ]
 }
 
@@ -172,13 +180,18 @@ fn fig5_algos(level: Level, k: usize) -> Vec<Algo> {
 fn general_algos(seed: u64) -> Vec<Algo> {
     vec![
         Algo::new("alternating (ours)", move |inst| {
-            Alternating { seed, ..Alternating::default() }
-                .solve(inst)
-                .map(|r| r.solution)
+            Alternating {
+                seed,
+                ..Alternating::default()
+            }
+            .solve(inst)
+            .map(|r| r.solution)
         }),
         Algo::new("SP [38]", |inst| ShortestPathPlacement.solve(inst)),
         Algo::new("SP + RNR [3]", |inst| IoannidisYeh::sp_rnr().solve(inst)),
-        Algo::new("k-SP + RNR [3]", |inst| IoannidisYeh::ksp_rnr(10).solve(inst)),
+        Algo::new("k-SP + RNR [3]", |inst| {
+            IoannidisYeh::ksp_rnr(10).solve(inst)
+        }),
     ]
 }
 
@@ -220,11 +233,11 @@ pub fn fig4(cfg: ExpConfig) {
     let n_edges = sc.topology().edge_nodes.len();
     let demand = sc.demand(n_edges);
     let mut rows = Vec::new();
-    for vi in 0..sc.n_videos.min(4) {
+    for (vi, video) in TABLE1.iter().enumerate().take(sc.n_videos.min(4)) {
         let (truth, pred) = demand.views_series(vi);
         for h in 0..sc.hours {
             rows.push(vec![
-                TABLE1[vi].id.to_string(),
+                video.id.to_string(),
                 h.to_string(),
                 fmt(truth[h]),
                 fmt(pred[h]),
@@ -233,12 +246,17 @@ pub fn fig4(cfg: ExpConfig) {
     }
     print_table(
         "Fig. 4 — #views per hour, ground truth vs GPR prediction (first 4 videos)",
-        &["video".into(), "hour".into(), "truth".into(), "prediction".into()],
+        &[
+            "video".into(),
+            "hour".into(),
+            "truth".into(),
+            "prediction".into(),
+        ],
         &rows,
     );
     // RMSE summary across all videos.
     let mut rows = Vec::new();
-    for vi in 0..sc.n_videos {
+    for (vi, video) in TABLE1.iter().enumerate().take(sc.n_videos) {
         let (truth, pred) = demand.views_series(vi);
         let rmse = (truth
             .iter()
@@ -249,7 +267,7 @@ pub fn fig4(cfg: ExpConfig) {
             .sqrt();
         let mean_views = mean(&truth);
         rows.push(vec![
-            TABLE1[vi].id.to_string(),
+            video.id.to_string(),
             fmt(mean_views),
             fmt(rmse),
             fmt(rmse / mean_views),
@@ -257,7 +275,12 @@ pub fn fig4(cfg: ExpConfig) {
     }
     print_table(
         "Fig. 4 (summary) — prediction RMSE per video",
-        &["video".into(), "mean views/h".into(), "RMSE".into(), "relative".into()],
+        &[
+            "video".into(),
+            "mean views/h".into(),
+            "RMSE".into(),
+            "relative".into(),
+        ],
         &rows,
     );
 }
@@ -266,7 +289,11 @@ pub fn fig4(cfg: ExpConfig) {
 /// vs cache capacity ζ and vs the number of candidate paths k.
 pub fn fig5(cfg: ExpConfig) {
     // Chunk level, ζ sweep.
-    let zetas_chunk: &[f64] = if cfg.full { &[4.0, 8.0, 12.0, 16.0, 20.0] } else { &[6.0, 12.0, 18.0] };
+    let zetas_chunk: &[f64] = if cfg.full {
+        &[4.0, 8.0, 12.0, 16.0, 20.0]
+    } else {
+        &[6.0, 12.0, 18.0]
+    };
     let mut rows = Vec::new();
     let mut header = Vec::new();
     for &zeta in zetas_chunk {
@@ -285,7 +312,11 @@ pub fn fig5(cfg: ExpConfig) {
     );
 
     // Chunk level, candidate-path sweep for [3].
-    let ks: &[usize] = if cfg.full { &[1, 2, 5, 10, 20] } else { &[1, 5, 10] };
+    let ks: &[usize] = if cfg.full {
+        &[1, 2, 5, 10, 20]
+    } else {
+        &[1, 5, 10]
+    };
     let mut rows = Vec::new();
     for &k in ks {
         let mut sc = cfg.seeded(Scenario::chunk_default());
@@ -301,12 +332,21 @@ pub fn fig5(cfg: ExpConfig) {
     }
     print_table(
         "Fig. 5 (chunk level) — [3]'s cost vs #candidate paths k (ours is k-independent)",
-        &["k".into(), "Alg1 (ours)".into(), "k-SP [3] true".into(), "k-SP [3] pred".into()],
+        &[
+            "k".into(),
+            "Alg1 (ours)".into(),
+            "k-SP [3] true".into(),
+            "k-SP [3] pred".into(),
+        ],
         &rows,
     );
 
     // File level, ζ sweep, with max cache occupancy.
-    let zetas_file: &[f64] = if cfg.full { &[1.0, 2.0, 3.0, 4.0] } else { &[2.0, 4.0] };
+    let zetas_file: &[f64] = if cfg.full {
+        &[1.0, 2.0, 3.0, 4.0]
+    } else {
+        &[2.0, 4.0]
+    };
     let mut rows = Vec::new();
     let mut header = Vec::new();
     for &zeta in zetas_file {
@@ -334,16 +374,29 @@ pub fn fig6(cfg: ExpConfig) {
             Level::File => "file level",
         };
         // K sweep at the default capacity.
-        let ks: &[u32] = if cfg.full { &[1, 2, 5, 10, 100, 1000] } else { &[2, 10, 100] };
+        let ks: &[u32] = if cfg.full {
+            &[1, 2, 5, 10, 100, 1000]
+        } else {
+            &[2, 10, 100]
+        };
         let mut rows = Vec::new();
         for &k in ks {
             let (cost, cong, split) = run_fig6_point(level, 0.007, k, cfg);
-            let tag = if k == 2 { format!("{k} (=[33])") } else { k.to_string() };
+            let tag = if k == 2 {
+                format!("{k} (=[33])")
+            } else {
+                k.to_string()
+            };
             rows.push(vec![tag, fmt(cost), fmt(split), fmt(cong)]);
         }
         print_table(
             &format!("Fig. 6 ({label}) — Algorithm 2 vs K (κ = 0.7% of total rate)"),
-            &["K".into(), "cost".into(), "splittable LB".into(), "congestion".into()],
+            &[
+                "K".into(),
+                "cost".into(),
+                "splittable LB".into(),
+                "congestion".into(),
+            ],
             &rows,
         );
 
@@ -370,7 +423,9 @@ pub fn fig6(cfg: ExpConfig) {
             ]);
         }
         print_table(
-            &format!("Fig. 6 ({label}) — cost/congestion vs link capacity κ (fraction of total rate)"),
+            &format!(
+                "Fig. 6 ({label}) — cost/congestion vs link capacity κ (fraction of total rate)"
+            ),
             &[
                 "kappa".into(),
                 "Alg2(K=1000):cost".into(),
@@ -577,8 +632,16 @@ pub fn prop48_gadget(eps: f64) -> (f64, f64, f64) {
         cache_cap,
         vec![1.0, 1.0],
         vec![
-            Request { item: 0, node: s, rate: lambda },
-            Request { item: 1, node: s, rate: eps },
+            Request {
+                item: 0,
+                node: s,
+                rate: lambda,
+            },
+            Request {
+                item: 1,
+                node: s,
+                rate: eps,
+            },
         ],
         Some(vs),
     )
@@ -616,12 +679,20 @@ pub fn fig11(cfg: ExpConfig) {
         row[0] = format!("{n} (|C|={})", sc.catalog_size());
         rows.push(row);
     }
-    print_table("Fig. 11 — general case, varying #videos (chunk level)", &header, &rows);
+    print_table(
+        "Fig. 11 — general case, varying #videos (chunk level)",
+        &header,
+        &rows,
+    );
 }
 
 /// Fig. 12 (App. D.2): varying the chunk size.
 pub fn fig12(cfg: ExpConfig) {
-    let sizes: &[f64] = if cfg.full { &[100.0, 50.0, 25.0] } else { &[100.0, 50.0] };
+    let sizes: &[f64] = if cfg.full {
+        &[100.0, 50.0, 25.0]
+    } else {
+        &[100.0, 50.0]
+    };
     let n_videos = if cfg.full { 10 } else { 5 };
     let mut rows = Vec::new();
     let mut header = Vec::new();
@@ -658,7 +729,11 @@ pub fn fig12(cfg: ExpConfig) {
 
 /// Fig. 13 (App. D.3): sensitivity to synthetic prediction error.
 pub fn fig13(cfg: ExpConfig) {
-    let sigmas: &[f64] = if cfg.full { &[0.0, 0.1, 0.2, 0.5, 1.0] } else { &[0.0, 0.3, 1.0] };
+    let sigmas: &[f64] = if cfg.full {
+        &[0.0, 0.1, 0.2, 0.5, 1.0]
+    } else {
+        &[0.0, 0.3, 1.0]
+    };
     let sc = Scenario::chunk_default();
     let n_edges = sc.topology().edge_nodes.len();
     let algos = general_algos(sc.share_seed);
@@ -713,7 +788,11 @@ pub fn fig13(cfg: ExpConfig) {
 
 /// Fig. 15 (App. D.4): varying network topology.
 pub fn fig15(cfg: ExpConfig) {
-    let kinds = [TopologyKind::Abvt, TopologyKind::Tinet, TopologyKind::Deltacom];
+    let kinds = [
+        TopologyKind::Abvt,
+        TopologyKind::Tinet,
+        TopologyKind::Deltacom,
+    ];
     let mut rows = Vec::new();
     let mut header = Vec::new();
     for kind in kinds {
@@ -727,7 +806,11 @@ pub fn fig15(cfg: ExpConfig) {
         header = metrics_header(&algos, "topology", false);
         rows.push(metrics_row(kind.name().to_string(), &ms, false));
     }
-    print_table("Fig. 15 — general case on Abvt / Tinet / Deltacom", &header, &rows);
+    print_table(
+        "Fig. 15 — general case on Abvt / Tinet / Deltacom",
+        &header,
+        &rows,
+    );
 }
 
 /// The IC-IR / IC-FR / FC-FR trade-off of §2.4 (complexity vs routing
@@ -746,14 +829,21 @@ pub fn cases(cfg: ExpConfig) {
             .build()
             .unwrap();
         let fcfr_cost = fcfr::solve_fcfr(&inst).map(|s| s.cost).unwrap_or(f64::NAN);
-        let icfr = Alternating { integral_routing: false, seed, ..Alternating::default() }
-            .solve(&inst)
-            .map(|r| (r.solution.cost(&inst), r.solution.congestion(&inst)))
-            .unwrap_or((f64::NAN, f64::NAN));
-        let icir = Alternating { seed, ..Alternating::default() }
-            .solve(&inst)
-            .map(|r| (r.solution.cost(&inst), r.solution.congestion(&inst)))
-            .unwrap_or((f64::NAN, f64::NAN));
+        let icfr = Alternating {
+            integral_routing: false,
+            seed,
+            ..Alternating::default()
+        }
+        .solve(&inst)
+        .map(|r| (r.solution.cost(&inst), r.solution.congestion(&inst)))
+        .unwrap_or((f64::NAN, f64::NAN));
+        let icir = Alternating {
+            seed,
+            ..Alternating::default()
+        }
+        .solve(&inst)
+        .map(|r| (r.solution.cost(&inst), r.solution.congestion(&inst)))
+        .unwrap_or((f64::NAN, f64::NAN));
         rows.push(vec![
             seed.to_string(),
             fmt(fcfr_cost),
@@ -771,7 +861,9 @@ pub fn cases(cfg: ExpConfig) {
         let n_edges = sc.topology().edge_nodes.len();
         let demand = sc.demand(n_edges);
         let inst = build_instance(&sc, &demand.true_rates(0, n_edges));
-        let fcfr_cost = fcfr::solve_fcfr_cg(&inst).map(|s| s.cost).unwrap_or(f64::NAN);
+        let fcfr_cost = fcfr::solve_fcfr_cg(&inst)
+            .map(|s| s.cost)
+            .unwrap_or(f64::NAN);
         let icir = Alternating::default()
             .solve(&inst)
             .map(|r| (r.solution.cost(&inst), r.solution.congestion(&inst)))
@@ -804,7 +896,11 @@ pub fn cases(cfg: ExpConfig) {
 /// The conference version's synthetic Zipf workload: cost vs the Zipf
 /// skew α under the general case.
 pub fn zipf(cfg: ExpConfig) {
-    let alphas: &[f64] = if cfg.full { &[0.2, 0.5, 0.8, 1.1, 1.4] } else { &[0.4, 0.8, 1.2] };
+    let alphas: &[f64] = if cfg.full {
+        &[0.2, 0.5, 0.8, 1.1, 1.4]
+    } else {
+        &[0.4, 0.8, 1.2]
+    };
     let mut rows = Vec::new();
     let mut header = Vec::new();
     for &alpha in alphas {
@@ -862,9 +958,12 @@ pub fn convergence(cfg: ExpConfig) {
         let demand = sc.demand(n_edges);
         let rates = demand.true_rates(0, n_edges);
         let inst = build_instance(&sc, &rates);
-        let result = Alternating { seed: run as u64, ..Alternating::default() }
-            .solve(&inst)
-            .expect("default scenario is feasible");
+        let result = Alternating {
+            seed: run as u64,
+            ..Alternating::default()
+        }
+        .solve(&inst)
+        .expect("default scenario is feasible");
         max_iters_seen = max_iters_seen.max(result.iterations);
         for (t, (congestion, cost)) in result.history.iter().enumerate() {
             rows.push(vec![
@@ -938,24 +1037,36 @@ pub fn online(cfg: ExpConfig) {
 /// rounding vs greedy sequential), the number of rounding draws, and the
 /// online warm start.
 pub fn ablation(cfg: ExpConfig) {
-    use jcr_core::online::OnlineSimulator;
     use jcr_core::alternating::{PlacementMethod, RoutingMethod};
+    use jcr_core::online::OnlineSimulator;
     // One representative instance per run; all variants solve the same ones.
     let mut variants: Vec<(String, Alternating)> = vec![
-        ("pipage-LP + LP-rounding (default)".into(), Alternating::default()),
+        (
+            "pipage-LP + LP-rounding (default)".into(),
+            Alternating::default(),
+        ),
         (
             "greedy placement".into(),
-            Alternating { placement: Some(PlacementMethod::Greedy), ..Alternating::default() },
+            Alternating {
+                placement: Some(PlacementMethod::Greedy),
+                ..Alternating::default()
+            },
         ),
         (
             "greedy sequential routing".into(),
-            Alternating { routing: RoutingMethod::GreedySequential, ..Alternating::default() },
+            Alternating {
+                routing: RoutingMethod::GreedySequential,
+                ..Alternating::default()
+            },
         ),
     ];
     for &draws in &[1usize, 10, 50] {
         variants.push((
             format!("rounding draws = {draws}"),
-            Alternating { rounding_draws: draws, ..Alternating::default() },
+            Alternating {
+                rounding_draws: draws,
+                ..Alternating::default()
+            },
         ));
     }
     let mut rows = Vec::new();
@@ -987,7 +1098,12 @@ pub fn ablation(cfg: ExpConfig) {
     }
     print_table(
         "Ablation — alternating-optimization design choices (chunk level, default setting)",
-        &["variant".into(), "cost".into(), "congestion".into(), "iterations".into()],
+        &[
+            "variant".into(),
+            "cost".into(),
+            "congestion".into(),
+            "iterations".into(),
+        ],
         &rows,
     );
 
@@ -1023,7 +1139,11 @@ pub fn ablation(cfg: ExpConfig) {
     }
     print_table(
         "Ablation — online warm start vs cold start (realized cost and hourly cache churn)",
-        &["variant".into(), "realized cost".into(), "mean churn".into()],
+        &[
+            "variant".into(),
+            "realized cost".into(),
+            "mean churn".into(),
+        ],
         &rows,
     );
 }
@@ -1038,7 +1158,11 @@ pub fn topology(_cfg: ExpConfig) {
         TopologyKind::Deltacom,
     ] {
         let topo = jcr_topo::Topology::generate(kind, 1).expect("built-in kinds generate");
-        println!("\n// ---- {kind} ({} nodes, {} links) ----", topo.graph.node_count(), topo.graph.edge_count() / 2);
+        println!(
+            "\n// ---- {kind} ({} nodes, {} links) ----",
+            topo.graph.node_count(),
+            topo.graph.edge_count() / 2
+        );
         println!("{}", topo.to_dot());
     }
 }
@@ -1059,7 +1183,11 @@ pub fn sim(cfg: ExpConfig) {
         .build()
         .unwrap();
     let horizon = if cfg.full { 8.0 } else { 2.0 };
-    let simulator = Simulator { horizon, seed: 13, ..Simulator::default() };
+    let simulator = Simulator {
+        horizon,
+        seed: 13,
+        ..Simulator::default()
+    };
 
     let optimized = Alternating::new().solve(&inst).expect("feasible").solution;
     let fluid_cost = optimized.cost(&inst);
@@ -1111,19 +1239,26 @@ pub fn gap(cfg: ExpConfig) {
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
     for seed in 0..(3 * cfg.runs.max(1)) as u64 {
-        let inst = InstanceBuilder::new(
-            jcr_topo::Topology::generate_custom(7, 8, 2, seed).unwrap(),
-        )
-        .items(3)
-        .cache_capacity(1.0)
-        .zipf_demand(0.9, 50.0, seed)
-        .link_capacity_fraction(0.3)
-        .build()
-        .unwrap();
-        let Ok(exact) = (ExactIcIr { max_paths: 4, ..ExactIcIr::default() }).solve(&inst) else {
+        let inst =
+            InstanceBuilder::new(jcr_topo::Topology::generate_custom(7, 8, 2, seed).unwrap())
+                .items(3)
+                .cache_capacity(1.0)
+                .zipf_demand(0.9, 50.0, seed)
+                .link_capacity_fraction(0.3)
+                .build()
+                .unwrap();
+        let Ok(exact) = (ExactIcIr {
+            max_paths: 4,
+            ..ExactIcIr::default()
+        })
+        .solve(&inst) else {
             continue;
         };
-        let Ok(alt) = (Alternating { seed, ..Alternating::default() }).solve(&inst) else {
+        let Ok(alt) = (Alternating {
+            seed,
+            ..Alternating::default()
+        })
+        .solve(&inst) else {
             continue;
         };
         let opt = exact.cost(&inst);
@@ -1178,7 +1313,12 @@ pub fn table1(_cfg: ExpConfig) {
         .collect();
     print_table(
         "Table 1 — YouTube video statistics (embedded verbatim)",
-        &["video_id".into(), "size (MB)".into(), "#100-MB chunks".into(), "total #views".into()],
+        &[
+            "video_id".into(),
+            "size (MB)".into(),
+            "#100-MB chunks".into(),
+            "total #views".into(),
+        ],
         &rows,
     );
     println!(
@@ -1210,9 +1350,24 @@ pub fn table2(cfg: ExpConfig) {
     let (c_a2, g_a2, _) = run_fig6_point(Level::Chunk { chunk_mb: 100.0 }, 0.007, 1000, cfg);
     let (c_33, g_33, _) = run_fig6_point(Level::Chunk { chunk_mb: 100.0 }, 0.007, 2, cfg);
     let (c_rnr, g_rnr) = run_fig6_rnr(Level::Chunk { chunk_mb: 100.0 }, 0.007, cfg);
-    rows.push(vec!["c_v = 0/|C|".into(), "Alg2 (K=1000)".into(), fmt(c_a2), fmt(g_a2)]);
-    rows.push(vec!["c_v = 0/|C|".into(), "[33] (K=2)".into(), fmt(c_33), fmt(g_33)]);
-    rows.push(vec!["c_v = 0/|C|".into(), "[3] (RNR)".into(), fmt(c_rnr), fmt(g_rnr)]);
+    rows.push(vec![
+        "c_v = 0/|C|".into(),
+        "Alg2 (K=1000)".into(),
+        fmt(c_a2),
+        fmt(g_a2),
+    ]);
+    rows.push(vec![
+        "c_v = 0/|C|".into(),
+        "[33] (K=2)".into(),
+        fmt(c_33),
+        fmt(g_33),
+    ]);
+    rows.push(vec![
+        "c_v = 0/|C|".into(),
+        "[3] (RNR)".into(),
+        fmt(c_rnr),
+        fmt(g_rnr),
+    ]);
     // Scenario 3: general case.
     let sc = Scenario::chunk_default();
     let algos = general_algos(sc.share_seed);
@@ -1227,19 +1382,32 @@ pub fn table2(cfg: ExpConfig) {
     }
     print_table(
         "Table 2 — summary of evaluation results (chunk level, IC-IR)",
-        &["scenario".into(), "algorithm".into(), "routing cost".into(), "congestion".into()],
+        &[
+            "scenario".into(),
+            "algorithm".into(),
+            "routing cost".into(),
+            "congestion".into(),
+        ],
         &rows,
     );
 }
 
 /// Tables 3–4: average execution time per algorithm.
 pub fn table3(cfg: ExpConfig) {
-    timing_table(Scenario::chunk_default(), "Table 3 — execution time, chunk level", cfg);
+    timing_table(
+        Scenario::chunk_default(),
+        "Table 3 — execution time, chunk level",
+        cfg,
+    );
 }
 
 /// See [`table3`].
 pub fn table4(cfg: ExpConfig) {
-    timing_table(Scenario::file_default(), "Table 4 — execution time, file level", cfg);
+    timing_table(
+        Scenario::file_default(),
+        "Table 4 — execution time, file level",
+        cfg,
+    );
 }
 
 fn timing_table(base: Scenario, title: &str, cfg: ExpConfig) {
@@ -1258,7 +1426,8 @@ fn timing_table(base: Scenario, title: &str, cfg: ExpConfig) {
 
     let chunk_level = matches!(sc.level, Level::Chunk { .. });
     let ours_name = if chunk_level { "Alg1" } else { "greedy" };
-    let timed: Vec<(&str, &str, Box<dyn Fn()>)> = vec![
+    type TimedRun<'a> = (&'a str, &'a str, Box<dyn Fn() + 'a>);
+    let timed: Vec<TimedRun> = vec![
         (
             "c_uv = inf",
             ours_name,
@@ -1337,11 +1506,89 @@ fn timing_table(base: Scenario, title: &str, cfg: ExpConfig) {
             f();
         }
         let avg = start.elapsed().as_secs_f64() / reps as f64;
-        rows.push(vec![(*scenario).to_string(), (*name).to_string(), format!("{avg:.4}")]);
+        rows.push(vec![
+            (*scenario).to_string(),
+            (*name).to_string(),
+            format!("{avg:.4}"),
+        ]);
     }
     print_table(
         title,
-        &["scenario".into(), "algorithm".into(), "avg execution time (s)".into()],
+        &[
+            "scenario".into(),
+            "algorithm".into(),
+            "avg execution time (s)".into(),
+        ],
+        &rows,
+    );
+}
+
+/// Solver-work table: runs each pipeline once under a fresh
+/// [`jcr_ctx::SolverContext`] on the chunk-default scenario and prints the
+/// instrumentation counters (pivots, pricing Dijkstras, generated columns,
+/// decomposition paths, rounding passes) plus total wall time — the
+/// operational complement to the paper's Table 3 timing comparison.
+pub fn stats(cfg: ExpConfig) {
+    use jcr_ctx::{Counter, SolverContext};
+
+    let sc = cfg.seeded(Scenario::chunk_default());
+    let n_edges = sc.topology().edge_nodes.len();
+    let rates = sc.demand(n_edges).true_rates(0, n_edges);
+    let inst = build_instance(&sc, &rates);
+    let storer = inst.cache_nodes()[0];
+
+    type Run<'a> = Box<dyn Fn(&SolverContext) + 'a>;
+    let solvers: Vec<(&str, Run)> = vec![
+        (
+            "Alg1",
+            Box::new(|ctx| {
+                let _ = Algorithm1::new().solve_with_context(&inst, ctx);
+            }),
+        ),
+        (
+            "Alg2 (K=8)",
+            Box::new(|ctx| {
+                let _ = alg2::solve_binary_caches_with_context(&inst, &[storer], 8, ctx);
+            }),
+        ),
+        (
+            "alternating",
+            Box::new(|ctx| {
+                let _ = Alternating::new().solve_with_context(&inst, ctx);
+            }),
+        ),
+        (
+            "FC-FR (CG)",
+            Box::new(|ctx| {
+                let _ = fcfr::solve_fcfr_cg_with_context(&inst, ctx);
+            }),
+        ),
+        (
+            "[3] k-SP + RNR",
+            Box::new(|ctx| {
+                let _ = IoannidisYeh::ksp_rnr(10).solve_with_context(&inst, ctx);
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, run) in &solvers {
+        let ctx = SolverContext::new();
+        let start = Instant::now();
+        run(&ctx);
+        let elapsed = start.elapsed().as_secs_f64();
+        let s = ctx.stats();
+        let mut row = vec![(*name).to_string()];
+        row.extend(Counter::ALL.iter().map(|&c| s.counter(c).to_string()));
+        row.push(format!("{elapsed:.4}"));
+        rows.push(row);
+    }
+    let mut header = vec!["algorithm".to_string()];
+    header.extend(Counter::ALL.iter().map(|c| c.name().to_string()));
+    header.push("time (s)".into());
+    print_table(
+        "Solver statistics — chunk level, one solve per pipeline",
+        &header,
         &rows,
     );
 }

@@ -1,0 +1,97 @@
+//! A minimal wall-clock timing harness for the `benches/` binaries
+//! (`harness = false`), replacing the external criterion dependency so
+//! the workspace builds with zero network access. Reported numbers are
+//! mean/min/max over a fixed sample count — adequate for the paper's
+//! coarse "execution time" tables (Tables 3–4), not for micro-benchmark
+//! statistics.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// A named group of timed functions, printed as one table.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+    printed_header: bool,
+}
+
+/// Starts a timing group with the default sample count (20).
+pub fn group(name: &str) -> BenchGroup {
+    BenchGroup {
+        name: name.to_string(),
+        samples: 20,
+        printed_header: false,
+    }
+}
+
+/// One benchmark's aggregate timings.
+#[derive(Clone, Copy, Debug)]
+pub struct Timing {
+    /// Mean wall time per iteration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+impl BenchGroup {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `f` and prints one table row; the closure's result is passed
+    /// through `black_box` so the work is not optimized away.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, id: &str, mut f: F) -> Timing {
+        if !self.printed_header {
+            println!("== {} ==", self.name);
+            self.printed_header = true;
+        }
+        black_box(f()); // warm-up, untimed
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        let timing = Timing {
+            mean: total / self.samples as u32,
+            min,
+            max,
+        };
+        println!(
+            "  {:<28} mean {:>10.3} ms   min {:>10.3} ms   max {:>10.3} ms   ({} samples)",
+            id,
+            timing.mean.as_secs_f64() * 1e3,
+            timing.min.as_secs_f64() * 1e3,
+            timing.max.as_secs_f64() * 1e3,
+            self.samples
+        );
+        timing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_reports_ordered_statistics() {
+        let mut g = group("test");
+        let t = g.sample_size(3).bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(t.min <= t.mean && t.mean <= t.max);
+    }
+}

@@ -67,9 +67,25 @@ impl Algorithm1 {
     /// (requires an origin); LP errors are propagated as
     /// [`JcrError::Numerical`].
     pub fn solve(&self, inst: &Instance) -> Result<Solution, JcrError> {
-        let placement = self.place(inst)?;
-        let routing = rnr::route_to_nearest_replica(inst, &placement)
-            .ok_or(JcrError::Infeasible)?;
+        self.solve_with_context(inst, &jcr_ctx::SolverContext::new())
+    }
+
+    /// [`Algorithm1::solve`] under an explicit [`jcr_ctx::SolverContext`]:
+    /// the reduced LP obeys the context's simplex budget and the pipage
+    /// rounding feeds the rounding counter.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Algorithm1::solve`], plus [`JcrError::BudgetExceeded`]
+    /// when the budget trips.
+    pub fn solve_with_context(
+        &self,
+        inst: &Instance,
+        ctx: &jcr_ctx::SolverContext,
+    ) -> Result<Solution, JcrError> {
+        let placement = self.place_with_context(inst, ctx)?;
+        let routing =
+            rnr::route_to_nearest_replica(inst, &placement).ok_or(JcrError::Infeasible)?;
         Ok(Solution { placement, routing })
     }
 
@@ -79,6 +95,19 @@ impl Algorithm1 {
     ///
     /// See [`Algorithm1::solve`].
     pub fn place(&self, inst: &Instance) -> Result<Placement, JcrError> {
+        self.place_with_context(inst, &jcr_ctx::SolverContext::new())
+    }
+
+    /// [`Algorithm1::place`] under an explicit [`jcr_ctx::SolverContext`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Algorithm1::solve_with_context`].
+    pub fn place_with_context(
+        &self,
+        inst: &Instance,
+        ctx: &jcr_ctx::SolverContext,
+    ) -> Result<Placement, JcrError> {
         let cache_nodes = inst.cache_nodes();
         let n_items = inst.num_items();
         if cache_nodes.is_empty() || inst.requests.is_empty() {
@@ -111,7 +140,11 @@ impl Algorithm1 {
             let a0 = match inst.origin {
                 Some(o) => {
                     let d = ap.dist(o, req.node);
-                    if d.is_finite() { (w_max - d) / w_max } else { 0.0 }
+                    if d.is_finite() {
+                        (w_max - d) / w_max
+                    } else {
+                        0.0
+                    }
                 }
                 None => 0.0,
             };
@@ -122,7 +155,7 @@ impl Algorithm1 {
             let entries: Vec<_> = (0..n_items).map(|i| (x_var[vi][i], 1.0)).collect();
             model.add_row(f64::NEG_INFINITY, inst.cache_cap[v.index()], &entries);
         }
-        let lp = model.solve()?;
+        let lp = model.solve_with_context(ctx)?;
 
         // --- Recover r̃ and the pipage weights -----------------------------
         // weight[vi][i] = Σ_{s:(i,s)∈R} λ · r̃_v^{(i,s)} · (w_max − w_{v→s}).
@@ -177,9 +210,13 @@ impl Algorithm1 {
             .iter()
             .map(|&v| inst.cache_cap[v.index()].floor())
             .collect();
-        jcr_submodular::pipage::pipage_round(&mut coords, &groups, &capacity, |c, _| {
-            flat_weight[c]
-        });
+        {
+            let _t = ctx.time(jcr_ctx::Phase::Rounding);
+            ctx.count(jcr_ctx::Counter::RoundingPasses, 1);
+            jcr_submodular::pipage::pipage_round(&mut coords, &groups, &capacity, |c, _| {
+                flat_weight[c]
+            });
+        }
 
         let mut placement = Placement::empty(inst);
         for (vi, &v) in cache_nodes.iter().enumerate() {
@@ -202,8 +239,7 @@ pub fn f_rnr(inst: &Instance, placement: &Placement) -> f64 {
     inst.requests
         .iter()
         .map(|r| {
-            let d = rnr::nearest_replica(inst, placement, r.item, r.node)
-                .map_or(w_max, |(_, d)| d);
+            let d = rnr::nearest_replica(inst, placement, r.item, r.node).map_or(w_max, |(_, d)| d);
             r.rate * (w_max - d)
         })
         .sum()
@@ -286,14 +322,12 @@ mod tests {
     #[test]
     fn achieves_1_minus_1_over_e_on_small_instances() {
         for seed in 0..6 {
-            let inst = InstanceBuilder::new(
-                Topology::generate_custom(8, 10, 2, seed).unwrap(),
-            )
-            .items(4)
-            .cache_capacity(1.0)
-            .zipf_demand(0.9, 60.0, seed)
-            .build()
-            .unwrap();
+            let inst = InstanceBuilder::new(Topology::generate_custom(8, 10, 2, seed).unwrap())
+                .items(4)
+                .cache_capacity(1.0)
+                .zipf_demand(0.9, 60.0, seed)
+                .build()
+                .unwrap();
             let sol = Algorithm1::new().solve(&inst).unwrap();
             let achieved = f_rnr(&inst, &sol.placement);
             let opt = brute_force_opt(&inst);
@@ -348,7 +382,11 @@ mod tests {
             vec![f64::INFINITY, f64::INFINITY],
             vec![1.0, 0.0],
             vec![1.0, 1.0],
-            vec![Request { item: 0, node: b, rate: 3.0 }],
+            vec![Request {
+                item: 0,
+                node: b,
+                rate: 3.0,
+            }],
             None,
         )
         .unwrap();

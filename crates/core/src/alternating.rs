@@ -17,8 +17,9 @@
 //! `tests/prop48_gadget.rs`) — but matches the paper's strong empirical
 //! behaviour.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use jcr_ctx::rng::SeedableRng;
+use jcr_ctx::rng::StdRng;
+use jcr_ctx::{Phase, SolverContext};
 
 use jcr_flow::multicommodity::{self, Commodity};
 
@@ -109,6 +110,24 @@ impl Alternating {
         self.solve_from(inst, Placement::empty(inst))
     }
 
+    /// [`Alternating::solve`] under an explicit [`SolverContext`]: the
+    /// context's deadline and `Phase::Alternating` iteration cap bound the
+    /// outer loop, and the inner LP/flow solvers inherit its budgets and
+    /// record their statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Alternating::solve`], plus [`JcrError::BudgetExceeded`]
+    /// when a budget trips — carrying the best feasible incumbent found so
+    /// far whenever at least one iterate completed.
+    pub fn solve_with_context(
+        &self,
+        inst: &Instance,
+        ctx: &SolverContext,
+    ) -> Result<AlternatingSolution, JcrError> {
+        self.solve_from_with_context(inst, Placement::empty(inst), ctx)
+    }
+
     /// Runs the alternating optimization from a given initial placement —
     /// the warm start used by hourly re-optimization
     /// ([`crate::online`]), where the previous hour's placement seeds the
@@ -123,6 +142,20 @@ impl Alternating {
         inst: &Instance,
         initial: Placement,
     ) -> Result<AlternatingSolution, JcrError> {
+        self.solve_from_with_context(inst, initial, &SolverContext::new())
+    }
+
+    /// [`Alternating::solve_from`] under an explicit [`SolverContext`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Alternating::solve_with_context`].
+    pub fn solve_from_with_context(
+        &self,
+        inst: &Instance,
+        initial: Placement,
+        ctx: &SolverContext,
+    ) -> Result<AlternatingSolution, JcrError> {
         let method = self.placement.unwrap_or(if inst.homogeneous() {
             PlacementMethod::PipageLp
         } else {
@@ -131,25 +164,39 @@ impl Alternating {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x616c_7465_726e);
 
         // Initial feasible solution: the given placement, routed optimally.
+        // A budget tripping here surfaces without an incumbent — nothing
+        // feasible has been constructed yet.
         let mut best_placement = initial;
-        let mut best_routing = self.route(inst, &best_placement, &mut rng)?;
+        let mut best_routing = self.route(inst, &best_placement, &mut rng, ctx)?;
         let mut best_key = solution_key(inst, &best_routing);
         let mut history = vec![best_key];
         let mut iterations = 0;
 
         for _t in 0..self.max_iters {
+            // An `Alternating` phase cap of k admits exactly k full
+            // iterations; the deadline is re-checked here too. Either way
+            // the initial (or best prior) iterate is a feasible incumbent.
+            if let Err(b) = ctx.check(Phase::Alternating) {
+                return Err(budget_with_incumbent(b, best_placement, best_routing));
+            }
             iterations += 1;
             // (1) placement step against the current routing.
             let placement = match method {
                 PlacementMethod::PipageLp => {
-                    placement_opt::optimize_placement(inst, &best_routing)?
+                    match placement_opt::optimize_placement_with_context(inst, &best_routing, ctx) {
+                        Ok(p) => p,
+                        Err(e) => return Err(attach_incumbent(e, best_placement, best_routing)),
+                    }
                 }
                 PlacementMethod::Greedy => {
                     hetero::greedy_placement_given_routing(inst, &best_routing)
                 }
             };
             // (2) routing step against the new placement.
-            let routing = self.route(inst, &placement, &mut rng)?;
+            let routing = match self.route(inst, &placement, &mut rng, ctx) {
+                Ok(r) => r,
+                Err(e) => return Err(attach_incumbent(e, best_placement, best_routing)),
+            };
             let key = solution_key(inst, &routing);
             // Retain the new solution only if it lowers the cost (§4.3.3).
             // The MMSFP step respects capacities, so the randomized
@@ -167,7 +214,10 @@ impl Alternating {
             }
         }
         Ok(AlternatingSolution {
-            solution: Solution { placement: best_placement, routing: best_routing },
+            solution: Solution {
+                placement: best_placement,
+                routing: best_routing,
+            },
             history,
             iterations,
         })
@@ -185,8 +235,24 @@ impl Alternating {
         inst: &Instance,
         placement: &Placement,
     ) -> Result<Routing, JcrError> {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x726f_7574_65);
-        self.route(inst, placement, &mut rng)
+        self.route_given_placement_with_context(inst, placement, &SolverContext::new())
+    }
+
+    /// [`Alternating::route_given_placement`] under an explicit
+    /// [`SolverContext`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Alternating::route_given_placement`], plus
+    /// [`JcrError::BudgetExceeded`] when a budget trips.
+    pub fn route_given_placement_with_context(
+        &self,
+        inst: &Instance,
+        placement: &Placement,
+        ctx: &SolverContext,
+    ) -> Result<Routing, JcrError> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0072_6f75_7465);
+        self.route(inst, placement, &mut rng, ctx)
     }
 
     /// The routing subproblem: MMSFP in `G^x` by column generation, plus
@@ -196,6 +262,7 @@ impl Alternating {
         inst: &Instance,
         placement: &Placement,
         rng: &mut StdRng,
+        ctx: &SolverContext,
     ) -> Result<Routing, JcrError> {
         let aux = AuxiliaryGraph::per_item(inst, placement);
         let commodities: Vec<Commodity> = inst
@@ -208,12 +275,8 @@ impl Alternating {
             })
             .collect();
         if self.integral_routing && self.routing == RoutingMethod::GreedySequential {
-            let greedy = multicommodity::greedy_unsplittable(
-                &aux.graph,
-                &aux.cost,
-                &aux.cap,
-                &commodities,
-            )?;
+            let greedy =
+                multicommodity::greedy_unsplittable(&aux.graph, &aux.cost, &aux.cap, &commodities)?;
             return Ok(Routing {
                 per_request: greedy
                     .paths
@@ -228,10 +291,15 @@ impl Alternating {
                     .collect(),
             });
         }
-        let mcf =
-            multicommodity::min_cost_multicommodity(&aux.graph, &aux.cost, &aux.cap, &commodities)?;
+        let mcf = multicommodity::min_cost_multicommodity_with_context(
+            &aux.graph,
+            &aux.cost,
+            &aux.cap,
+            &commodities,
+            ctx,
+        )?;
         if self.integral_routing {
-            let rounded = multicommodity::randomized_rounding(
+            let rounded = multicommodity::randomized_rounding_with_context(
                 &aux.graph,
                 &aux.cost,
                 &aux.cap,
@@ -239,6 +307,7 @@ impl Alternating {
                 &mcf,
                 self.rounding_draws.max(1),
                 rng,
+                ctx,
             );
             Ok(Routing {
                 per_request: rounded
@@ -270,6 +339,35 @@ impl Alternating {
                     .collect(),
             })
         }
+    }
+}
+
+/// Wraps a tripped budget into [`JcrError::BudgetExceeded`] carrying the
+/// given feasible incumbent.
+fn budget_with_incumbent(
+    b: jcr_ctx::BudgetExceeded,
+    placement: Placement,
+    routing: Routing,
+) -> JcrError {
+    JcrError::BudgetExceeded {
+        phase: b.phase,
+        best_so_far: Some(Box::new(Solution { placement, routing })),
+    }
+}
+
+/// Attaches the incumbent to a budget error bubbling up from an inner
+/// solver (which has no feasible solution to offer); other errors pass
+/// through unchanged.
+fn attach_incumbent(e: JcrError, placement: Placement, routing: Routing) -> JcrError {
+    match e {
+        JcrError::BudgetExceeded {
+            phase,
+            best_so_far: None,
+        } => JcrError::BudgetExceeded {
+            phase,
+            best_so_far: Some(Box::new(Solution { placement, routing })),
+        },
+        other => other,
     }
 }
 
@@ -310,7 +408,10 @@ mod tests {
         // "low congestion" observation).
         let first = result.history[0];
         let last = *result.history.last().unwrap();
-        assert!(last.1 < first.1, "cost should strictly improve: {first:?} → {last:?}");
+        assert!(
+            last.1 < first.1,
+            "cost should strictly improve: {first:?} → {last:?}"
+        );
         assert!(last.0 < 3.0, "congestion should stay low, got {}", last.0);
         // Convergence within the budget.
         assert!(result.iterations <= 15);
@@ -319,9 +420,12 @@ mod tests {
     #[test]
     fn fractional_routing_never_costlier_than_integral() {
         let inst = chunk_inst(9);
-        let integral = Alternating { seed: 1, ..Alternating::default() }
-            .solve(&inst)
-            .unwrap();
+        let integral = Alternating {
+            seed: 1,
+            ..Alternating::default()
+        }
+        .solve(&inst)
+        .unwrap();
         let fractional = Alternating {
             integral_routing: false,
             seed: 1,
@@ -378,8 +482,7 @@ mod tests {
         let result = Alternating::new().solve(&inst).unwrap();
         let alt_congestion = result.solution.congestion(&inst);
         // Compare against RNR with the same placement.
-        let rnr_routing =
-            rnr::route_to_nearest_replica(&inst, &result.solution.placement).unwrap();
+        let rnr_routing = rnr::route_to_nearest_replica(&inst, &result.solution.placement).unwrap();
         let rnr_congestion = rnr_routing.congestion(&inst);
         assert!(
             alt_congestion <= rnr_congestion + 1e-9,

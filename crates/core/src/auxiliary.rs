@@ -83,7 +83,13 @@ impl AuxiliaryGraph {
                 }
             }
         }
-        AuxiliaryGraph { graph, cost, cap, original_edges, item_source }
+        AuxiliaryGraph {
+            graph,
+            cost,
+            cap,
+            original_edges,
+            item_source,
+        }
     }
 
     /// Strips virtual edges from an auxiliary-graph path, returning the

@@ -48,17 +48,29 @@ pub struct IoannidisYeh {
 impl IoannidisYeh {
     /// The `k shortest paths` configuration of Fig. 5.
     pub fn k_shortest(k: usize) -> Self {
-        IoannidisYeh { k, routing: CandidateRouting::OnPath, refine_rounds: 3 }
+        IoannidisYeh {
+            k,
+            routing: CandidateRouting::OnPath,
+            refine_rounds: 3,
+        }
     }
 
     /// The `SP + RNR` configuration (single candidate path).
     pub fn sp_rnr() -> Self {
-        IoannidisYeh { k: 1, routing: CandidateRouting::Rnr, refine_rounds: 1 }
+        IoannidisYeh {
+            k: 1,
+            routing: CandidateRouting::Rnr,
+            refine_rounds: 1,
+        }
     }
 
     /// The `k-SP + RNR` configuration.
     pub fn ksp_rnr(k: usize) -> Self {
-        IoannidisYeh { k, routing: CandidateRouting::Rnr, refine_rounds: 3 }
+        IoannidisYeh {
+            k,
+            routing: CandidateRouting::Rnr,
+            refine_rounds: 3,
+        }
     }
 
     /// Runs the baseline.
@@ -68,22 +80,38 @@ impl IoannidisYeh {
     /// [`JcrError::Infeasible`] if a requester is unreachable from the
     /// origin; LP failures are propagated.
     pub fn solve(&self, inst: &Instance) -> Result<Solution, JcrError> {
+        self.solve_with_context(inst, &jcr_ctx::SolverContext::new())
+    }
+
+    /// [`IoannidisYeh::solve`] under an explicit
+    /// [`jcr_ctx::SolverContext`]: the candidate-path Dijkstras are
+    /// counted and the placement LPs obey the context's simplex budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IoannidisYeh::solve`], plus [`JcrError::BudgetExceeded`]
+    /// when the budget trips.
+    pub fn solve_with_context(
+        &self,
+        inst: &Instance,
+        ctx: &jcr_ctx::SolverContext,
+    ) -> Result<Solution, JcrError> {
         let origin = inst.origin.ok_or_else(|| {
             JcrError::InvalidInstance("candidate-path baselines need an origin".into())
         })?;
         // Candidate paths: k shortest origin→s per request (shared across
         // requests at the same node).
-        let mut per_node_paths: Vec<Option<Vec<Path>>> =
-            vec![None; inst.graph.node_count()];
+        let mut per_node_paths: Vec<Option<Vec<Path>>> = vec![None; inst.graph.node_count()];
         let mut candidates: Vec<Vec<Path>> = Vec::with_capacity(inst.requests.len());
         for r in &inst.requests {
             if per_node_paths[r.node.index()].is_none() {
-                let paths = shortest::k_shortest_paths(
+                let paths = shortest::k_shortest_paths_with_context(
                     &inst.graph,
                     origin,
                     r.node,
                     self.k.max(1),
                     &inst.link_cost,
+                    ctx,
                 );
                 if paths.is_empty() {
                     return Err(JcrError::Infeasible);
@@ -109,10 +137,11 @@ impl IoannidisYeh {
                 placement = crate::hetero::greedy_placement_given_routing(inst, &routing);
             } else {
                 let routing = routing_from_chosen(inst, &candidates, &chosen);
-                placement = placement_opt::optimize_placement_with(
+                placement = placement_opt::optimize_placement_impl(
                     inst,
                     &routing,
                     !inst.homogeneous(),
+                    ctx,
                 )?;
             }
             // Re-select the candidate minimizing the truncated cost.
@@ -149,8 +178,9 @@ impl IoannidisYeh {
                     .collect();
                 Routing::from_paths(inst, paths)
             }
-            CandidateRouting::Rnr => rnr::route_to_nearest_replica(inst, &placement)
-                .ok_or(JcrError::Infeasible)?,
+            CandidateRouting::Rnr => {
+                rnr::route_to_nearest_replica(inst, &placement).ok_or(JcrError::Infeasible)?
+            }
         };
         Ok(Solution { placement, routing })
     }
@@ -169,7 +199,31 @@ impl ShortestPathPlacement {
     ///
     /// Same as [`IoannidisYeh::solve`].
     pub fn solve(&self, inst: &Instance) -> Result<Solution, JcrError> {
-        IoannidisYeh { k: 1, routing: CandidateRouting::OnPath, refine_rounds: 1 }.solve(inst)
+        IoannidisYeh {
+            k: 1,
+            routing: CandidateRouting::OnPath,
+            refine_rounds: 1,
+        }
+        .solve(inst)
+    }
+
+    /// [`ShortestPathPlacement::solve`] under an explicit
+    /// [`jcr_ctx::SolverContext`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IoannidisYeh::solve_with_context`].
+    pub fn solve_with_context(
+        &self,
+        inst: &Instance,
+        ctx: &jcr_ctx::SolverContext,
+    ) -> Result<Solution, JcrError> {
+        IoannidisYeh {
+            k: 1,
+            routing: CandidateRouting::OnPath,
+            refine_rounds: 1,
+        }
+        .solve_with_context(inst, ctx)
     }
 }
 
@@ -207,7 +261,10 @@ fn routing_from_mixture(inst: &Instance, candidates: &[Vec<Path>]) -> Routing {
                 let share = r.rate / candidates[ri].len() as f64;
                 candidates[ri]
                     .iter()
-                    .map(|p| jcr_flow::PathFlow { path: p.clone(), amount: share })
+                    .map(|p| jcr_flow::PathFlow {
+                        path: p.clone(),
+                        amount: share,
+                    })
                     .collect()
             })
             .collect(),
@@ -280,21 +337,33 @@ mod tests {
         for seed in 40..40 + trials {
             let inst = inst(seed);
             let ours = Algorithm1::new().solve(&inst).unwrap().cost(&inst);
-            let ksp = IoannidisYeh::k_shortest(10).solve(&inst).unwrap().cost(&inst);
+            let ksp = IoannidisYeh::k_shortest(10)
+                .solve(&inst)
+                .unwrap()
+                .cost(&inst);
             let sp = ShortestPathPlacement.solve(&inst).unwrap().cost(&inst);
             assert!(ours <= ksp + 1e-6, "seed {seed}: ours {ours} > ksp {ksp}");
             if ours < ksp - 1e-6 && ours < sp - 1e-6 {
                 alg1_wins += 1;
             }
         }
-        assert!(alg1_wins >= trials / 2, "Algorithm 1 should usually win strictly");
+        assert!(
+            alg1_wins >= trials / 2,
+            "Algorithm 1 should usually win strictly"
+        );
     }
 
     #[test]
     fn more_candidates_never_hurt() {
         let inst = inst(29);
-        let c1 = IoannidisYeh::k_shortest(1).solve(&inst).unwrap().cost(&inst);
-        let c10 = IoannidisYeh::k_shortest(10).solve(&inst).unwrap().cost(&inst);
+        let c1 = IoannidisYeh::k_shortest(1)
+            .solve(&inst)
+            .unwrap()
+            .cost(&inst);
+        let c10 = IoannidisYeh::k_shortest(10)
+            .solve(&inst)
+            .unwrap()
+            .cost(&inst);
         assert!(c10 <= c1 + 1e-6, "k=10 ({c10}) worse than k=1 ({c1})");
     }
 
@@ -316,7 +385,10 @@ mod tests {
                 any_overflow = true;
             }
         }
-        assert!(any_overflow, "size-oblivious rounding should overflow somewhere");
+        assert!(
+            any_overflow,
+            "size-oblivious rounding should overflow somewhere"
+        );
     }
 
     #[test]
@@ -328,9 +400,7 @@ mod tests {
         for (r, flows) in inst.requests.iter().zip(&sol.routing.per_request) {
             let pf = &flows[0];
             if let Some(src) = pf.path.source(&inst.graph) {
-                assert!(
-                    (pf.path.cost(&inst.link_cost) - ap.dist(src, r.node)).abs() < 1e-9
-                );
+                assert!((pf.path.cost(&inst.link_cost) - ap.dist(src, r.node)).abs() < 1e-9);
             }
         }
     }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::routing::Solution;
+
 /// Errors surfaced by the joint caching and routing algorithms.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JcrError {
@@ -13,6 +15,16 @@ pub enum JcrError {
     Infeasible,
     /// A substrate solver lost numerical precision.
     Numerical(String),
+    /// A [`jcr_ctx::SolverContext`] budget (deadline or phase iteration
+    /// cap) tripped before the solver finished. `best_so_far` carries the
+    /// best feasible incumbent found before the budget ran out, when one
+    /// exists (e.g. the previous iterate of the alternating optimization).
+    BudgetExceeded {
+        /// The phase whose budget tripped.
+        phase: jcr_ctx::Phase,
+        /// Best feasible solution found before the budget ran out, if any.
+        best_so_far: Option<Box<Solution>>,
+    },
 }
 
 impl fmt::Display for JcrError {
@@ -21,17 +33,32 @@ impl fmt::Display for JcrError {
             JcrError::InvalidInstance(msg) => write!(f, "invalid instance: {msg}"),
             JcrError::Infeasible => write!(f, "no feasible joint caching/routing solution"),
             JcrError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            JcrError::BudgetExceeded { phase, best_so_far } => write!(
+                f,
+                "solver budget exceeded in phase {phase} ({} incumbent)",
+                if best_so_far.is_some() { "with" } else { "no" }
+            ),
         }
     }
 }
 
 impl std::error::Error for JcrError {}
 
+impl From<jcr_ctx::BudgetExceeded> for JcrError {
+    fn from(b: jcr_ctx::BudgetExceeded) -> Self {
+        JcrError::BudgetExceeded {
+            phase: b.phase,
+            best_so_far: None,
+        }
+    }
+}
+
 impl From<jcr_flow::FlowError> for JcrError {
     fn from(e: jcr_flow::FlowError) -> Self {
         match e {
             jcr_flow::FlowError::Infeasible => JcrError::Infeasible,
             jcr_flow::FlowError::Numerical(m) => JcrError::Numerical(m),
+            jcr_flow::FlowError::Budget(b) => b.into(),
         }
     }
 }
@@ -42,6 +69,7 @@ impl From<jcr_lp::LpError> for JcrError {
             jcr_lp::LpError::Infeasible => JcrError::Infeasible,
             jcr_lp::LpError::Unbounded => JcrError::Numerical("unexpected unbounded LP".into()),
             jcr_lp::LpError::Numerical(m) => JcrError::Numerical(m),
+            jcr_lp::LpError::Budget(b) => b.into(),
         }
     }
 }

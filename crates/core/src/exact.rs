@@ -29,7 +29,11 @@ pub struct ExactIcIr {
 
 impl Default for ExactIcIr {
     fn default() -> Self {
-        ExactIcIr { max_paths: 3, max_slots: 12, max_combinations: 200_000 }
+        ExactIcIr {
+            max_paths: 3,
+            max_slots: 12,
+            max_combinations: 200_000,
+        }
     }
 }
 
@@ -103,9 +107,13 @@ impl ExactIcIr {
                 }
             }
             for src in sources {
-                for p in
-                    shortest::k_shortest_paths(&inst.graph, src, req.node, self.max_paths, &inst.link_cost)
-                {
+                for p in shortest::k_shortest_paths(
+                    &inst.graph,
+                    src,
+                    req.node,
+                    self.max_paths,
+                    &inst.link_cost,
+                ) {
                     if !paths.contains(&p) {
                         paths.push(p);
                     }
@@ -134,7 +142,15 @@ impl ExactIcIr {
         let mut loads = vec![0.0; inst.graph.edge_count()];
         let mut choice = vec![0usize; candidates.len()];
         let mut best: Option<(f64, Vec<usize>)> = None;
-        dfs(inst, &candidates, 0, 0.0, &mut loads, &mut choice, &mut best);
+        dfs(
+            inst,
+            &candidates,
+            0,
+            0.0,
+            &mut loads,
+            &mut choice,
+            &mut best,
+        );
         Ok(best.map(|(cost, picks)| {
             let paths: Vec<Path> = picks
                 .iter()
@@ -179,7 +195,15 @@ fn dfs(
         }
         choice[depth] = k;
         let step_cost = rate * path.cost(&inst.link_cost);
-        dfs(inst, candidates, depth + 1, cost_so_far + step_cost, loads, choice, best);
+        dfs(
+            inst,
+            candidates,
+            depth + 1,
+            cost_so_far + step_cost,
+            loads,
+            choice,
+            best,
+        );
         for e in path.edges() {
             loads[e.index()] -= rate;
         }
@@ -215,8 +239,16 @@ mod tests {
             vec![0.0, 1.0, 1.0, 0.0],
             vec![1.0, 1.0],
             vec![
-                Request { item: 0, node: s, rate: 1.0 },
-                Request { item: 1, node: s, rate: eps },
+                Request {
+                    item: 0,
+                    node: s,
+                    rate: 1.0,
+                },
+                Request {
+                    item: 1,
+                    node: s,
+                    rate: eps,
+                },
             ],
             Some(vs),
         )
@@ -237,10 +269,18 @@ mod tests {
                 .link_capacity_fraction(0.3)
                 .build()
                 .unwrap();
-            let exact = ExactIcIr { max_paths: 4, ..ExactIcIr::default() }
-                .solve(&inst)
-                .unwrap();
-            let alt = Alternating { seed, ..Alternating::default() }.solve(&inst).unwrap();
+            let exact = ExactIcIr {
+                max_paths: 4,
+                ..ExactIcIr::default()
+            }
+            .solve(&inst)
+            .unwrap();
+            let alt = Alternating {
+                seed,
+                ..Alternating::default()
+            }
+            .solve(&inst)
+            .unwrap();
             // Exact is a true lower bound among capacity-feasible IC-IR
             // solutions; the alternating heuristic can only undercut by
             // violating capacities.

@@ -13,6 +13,7 @@
 //!   one Dijkstra per potential source under reduced costs. This scales to
 //!   the paper's full evaluation setting.
 
+use jcr_ctx::{Counter, Phase, SolverContext};
 use jcr_graph::shortest;
 use jcr_lp::{Model, Sense, VarId};
 
@@ -38,6 +39,20 @@ pub struct FcfrSolution {
 /// [`JcrError::Infeasible`] when the demands cannot be met within link
 /// capacities; LP failures are propagated.
 pub fn solve_fcfr(inst: &Instance) -> Result<FcfrSolution, JcrError> {
+    solve_fcfr_with_context(inst, &SolverContext::new())
+}
+
+/// [`solve_fcfr`] under an explicit [`SolverContext`]: the LP obeys the
+/// context's simplex budget and records its statistics.
+///
+/// # Errors
+///
+/// Same as [`solve_fcfr`], plus [`JcrError::BudgetExceeded`] when the
+/// budget trips.
+pub fn solve_fcfr_with_context(
+    inst: &Instance,
+    ctx: &SolverContext,
+) -> Result<FcfrSolution, JcrError> {
     let n_nodes = inst.graph.node_count();
     let n_edges = inst.graph.edge_count();
     let cache_nodes = inst.cache_nodes();
@@ -50,7 +65,11 @@ pub fn solve_fcfr(inst: &Instance) -> Result<FcfrSolution, JcrError> {
     // x variables per (cache node, item).
     let x_var: Vec<Vec<VarId>> = cache_nodes
         .iter()
-        .map(|_| (0..inst.num_items()).map(|_| model.add_var(0.0, 1.0, 0.0)).collect())
+        .map(|_| {
+            (0..inst.num_items())
+                .map(|_| model.add_var(0.0, 1.0, 0.0))
+                .collect()
+        })
         .collect();
     // Flow variables per (request, edge) and source-selection variables
     // per (request, cache node / origin).
@@ -61,7 +80,10 @@ pub fn solve_fcfr(inst: &Instance) -> Result<FcfrSolution, JcrError> {
         let f: Vec<VarId> = (0..n_edges)
             .map(|e| model.add_var(0.0, 1.0, req.rate * inst.link_cost[e]))
             .collect();
-        let r: Vec<VarId> = cache_nodes.iter().map(|_| model.add_var(0.0, 1.0, 0.0)).collect();
+        let r: Vec<VarId> = cache_nodes
+            .iter()
+            .map(|_| model.add_var(0.0, 1.0, 0.0))
+            .collect();
         let ro = inst.origin.map(|_| model.add_var(0.0, 1.0, 0.0));
         f_var.push(f);
         r_var.push(r);
@@ -103,8 +125,7 @@ pub fn solve_fcfr(inst: &Instance) -> Result<FcfrSolution, JcrError> {
             model.add_row(rhs, rhs, &entries);
         }
         // (1d)
-        let mut entries: Vec<(VarId, f64)> =
-            r_var[ri].iter().map(|&v| (v, 1.0)).collect();
+        let mut entries: Vec<(VarId, f64)> = r_var[ri].iter().map(|&v| (v, 1.0)).collect();
         if let Some(ro) = r_origin[ri] {
             entries.push((ro, 1.0));
         }
@@ -126,14 +147,16 @@ pub fn solve_fcfr(inst: &Instance) -> Result<FcfrSolution, JcrError> {
         model.add_row(f64::NEG_INFINITY, inst.cache_cap[v.index()], &entries);
     }
 
-    let lp = model.solve()?;
+    let lp = model.solve_with_context(ctx)?;
     let x = x_var
         .iter()
         .map(|row| row.iter().map(|&v| lp.x[v.index()]).collect())
         .collect();
-    Ok(FcfrSolution { cost: lp.objective, x })
+    Ok(FcfrSolution {
+        cost: lp.objective,
+        x,
+    })
 }
-
 
 /// Solves FC-FR by column generation over source-anchored paths — same
 /// optimum as [`solve_fcfr`], practical at the paper's full evaluation
@@ -144,12 +167,34 @@ pub fn solve_fcfr(inst: &Instance) -> Result<FcfrSolution, JcrError> {
 /// [`JcrError::Infeasible`] when the demands cannot be met within link
 /// capacities; LP failures are propagated.
 pub fn solve_fcfr_cg(inst: &Instance) -> Result<FcfrSolution, JcrError> {
+    solve_fcfr_cg_with_context(inst, &SolverContext::new())
+}
+
+/// [`solve_fcfr_cg`] under an explicit [`SolverContext`]: the context's
+/// deadline and `Phase::ColumnGeneration` iteration cap bound the pricing
+/// loop, generated columns and Dijkstra runs are counted, and the master
+/// LP solves inherit the context's simplex budget.
+///
+/// # Errors
+///
+/// Same as [`solve_fcfr_cg`], plus [`JcrError::BudgetExceeded`] when a
+/// budget trips.
+pub fn solve_fcfr_cg_with_context(
+    inst: &Instance,
+    ctx: &SolverContext,
+) -> Result<FcfrSolution, JcrError> {
+    let _t = ctx.time(Phase::ColumnGeneration);
     let cache_nodes = inst.cache_nodes();
     let n_items = inst.num_items();
     let graph = &inst.graph;
     let big = 1e3
         + 10.0
-            * inst.link_cost.iter().copied().filter(|c| c.is_finite()).sum::<f64>()
+            * inst
+                .link_cost
+                .iter()
+                .copied()
+                .filter(|c| c.is_finite())
+                .sum::<f64>()
             * graph.node_count() as f64;
 
     // --- master -----------------------------------------------------------
@@ -174,11 +219,7 @@ pub fn solve_fcfr_cg(inst: &Instance) -> Result<FcfrSolution, JcrError> {
             .iter()
             .enumerate()
             .map(|(vi, _)| {
-                model.add_row(
-                    f64::NEG_INFINITY,
-                    0.0,
-                    &[(x_var[vi][req.item], -req.rate)],
-                )
+                model.add_row(f64::NEG_INFINITY, 0.0, &[(x_var[vi][req.item], -req.rate)])
             })
             .collect();
         link_rows.push(rows);
@@ -207,8 +248,9 @@ pub fn solve_fcfr_cg(inst: &Instance) -> Result<FcfrSolution, JcrError> {
     }
 
     let max_rounds = 40 * inst.requests.len() + 2000;
-    let mut solution = solver.solve()?;
+    let mut solution = solver.solve_with_context(ctx)?;
     for _round in 0..max_rounds {
+        ctx.check(Phase::ColumnGeneration)?;
         let mut weights = vec![0.0; graph.edge_count()];
         for e in graph.edges() {
             let y = cap_row[e.index()]
@@ -218,9 +260,11 @@ pub fn solve_fcfr_cg(inst: &Instance) -> Result<FcfrSolution, JcrError> {
         }
         let mut added = false;
         for &(src, src_node) in &sources {
-            let tree = shortest::dijkstra(graph, src, &weights);
+            let tree = shortest::dijkstra_with_context(graph, src, &weights, ctx);
             for (ri, req) in inst.requests.iter().enumerate() {
-                let Some(path) = tree.path(req.node) else { continue };
+                let Some(path) = tree.path(req.node) else {
+                    continue;
+                };
                 let sigma = solution.duals[demand_rows[ri].index()];
                 let mu = match src_node {
                     Some(v) => {
@@ -243,6 +287,7 @@ pub fn solve_fcfr_cg(inst: &Instance) -> Result<FcfrSolution, JcrError> {
                     }
                     let obj = path.cost(&inst.link_cost);
                     solver.add_column(0.0, f64::INFINITY, obj, &column);
+                    ctx.count(Counter::CgColumns, 1);
                     added = true;
                 }
             }
@@ -250,7 +295,7 @@ pub fn solve_fcfr_cg(inst: &Instance) -> Result<FcfrSolution, JcrError> {
         if !added {
             break;
         }
-        solution = solver.solve()?;
+        solution = solver.solve_with_context(ctx)?;
     }
 
     for &a in &artificials {
@@ -262,7 +307,10 @@ pub fn solve_fcfr_cg(inst: &Instance) -> Result<FcfrSolution, JcrError> {
         .iter()
         .map(|row| row.iter().map(|&v| solution.x[v.index()]).collect())
         .collect();
-    Ok(FcfrSolution { cost: solution.objective, x })
+    Ok(FcfrSolution {
+        cost: solution.objective,
+        x,
+    })
 }
 
 #[cfg(test)]
@@ -278,9 +326,13 @@ mod tests {
             .items(4)
             .cache_capacity(1.0)
             .zipf_demand(0.9, 60.0, seed);
-        if capped { b.link_capacity_fraction(0.2) } else { b }
-            .build()
-            .unwrap()
+        if capped {
+            b.link_capacity_fraction(0.2)
+        } else {
+            b
+        }
+        .build()
+        .unwrap()
     }
 
     #[test]

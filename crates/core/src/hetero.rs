@@ -27,7 +27,10 @@ struct Ground {
 
 impl Ground {
     fn new(inst: &Instance) -> Self {
-        Ground { cache_nodes: inst.cache_nodes(), n_items: inst.num_items() }
+        Ground {
+            cache_nodes: inst.cache_nodes(),
+            n_items: inst.num_items(),
+        }
     }
 
     fn size(&self) -> usize {
@@ -82,12 +85,21 @@ impl<'a> RnrOracle<'a> {
             .map(|r| match inst.origin {
                 Some(o) => {
                     let d = ap.dist(o, r.node);
-                    if d.is_finite() { d } else { w_max }
+                    if d.is_finite() {
+                        d
+                    } else {
+                        w_max
+                    }
                 }
                 None => w_max,
             })
             .collect();
-        RnrOracle { inst, ground, best, value: 0.0 }
+        RnrOracle {
+            inst,
+            ground,
+            best,
+            value: 0.0,
+        }
     }
 }
 
@@ -167,7 +179,12 @@ impl CoverOracle {
             }
         }
         let covered = vec![false; weight.len()];
-        CoverOracle { weight, covers, covered, value: 0.0 }
+        CoverOracle {
+            weight,
+            covers,
+            covered,
+            value: 0.0,
+        }
     }
 }
 
@@ -262,8 +279,7 @@ mod tests {
     #[test]
     fn routing_greedy_is_feasible_and_saves_cost() {
         let inst = file_level_inst(32);
-        let routing =
-            rnr::route_to_nearest_replica(&inst, &Placement::empty(&inst)).unwrap();
+        let routing = rnr::route_to_nearest_replica(&inst, &Placement::empty(&inst)).unwrap();
         let p = greedy_placement_given_routing(&inst, &routing);
         assert!(p.is_feasible(&inst));
         assert!(f_given_routing(&inst, &routing, &p) > 0.0);
@@ -274,8 +290,7 @@ mod tests {
         // The oracle's marginal gains must agree with recomputing the
         // set-function value from scratch.
         let inst = file_level_inst(35);
-        let routing =
-            rnr::route_to_nearest_replica(&inst, &Placement::empty(&inst)).unwrap();
+        let routing = rnr::route_to_nearest_replica(&inst, &Placement::empty(&inst)).unwrap();
         let ground = Ground::new(&inst);
         let segments = extract_segments(&inst, &routing);
         let mut oracle = CoverOracle::new(&inst, &ground, &segments);
@@ -361,9 +376,7 @@ mod tests {
                 if mask & (1 << e) != 0 {
                     let (v, i) = ground.decode(e);
                     used[e / ground.n_items] += inst.item_size[i];
-                    if used[e / ground.n_items]
-                        > inst.cache_cap[v.index()] + 1e-9
-                    {
+                    if used[e / ground.n_items] > inst.cache_cap[v.index()] + 1e-9 {
                         continue 'mask;
                     }
                     p.set(v, i, true);

@@ -2,8 +2,8 @@
 
 use std::sync::OnceLock;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use jcr_ctx::rng::SeedableRng;
+use jcr_ctx::rng::StdRng;
 
 use jcr_graph::{shortest, DiGraph, NodeId, Path, ShortestPathTree};
 use jcr_topo::Topology;
@@ -123,16 +123,16 @@ impl Instance {
         if self.cache_cap.len() != self.graph.node_count() {
             return err("one cache capacity per node required".into());
         }
-        if self.link_cost.iter().any(|c| !(*c >= 0.0)) {
+        if self.link_cost.iter().any(|c| c.is_nan() || *c < 0.0) {
             return err("link costs must be non-negative".into());
         }
-        if self.link_cap.iter().any(|c| !(*c >= 0.0)) {
+        if self.link_cap.iter().any(|c| c.is_nan() || *c < 0.0) {
             return err("link capacities must be non-negative".into());
         }
-        if self.cache_cap.iter().any(|c| !(*c >= 0.0)) {
+        if self.cache_cap.iter().any(|c| c.is_nan() || *c < 0.0) {
             return err("cache capacities must be non-negative".into());
         }
-        if self.item_size.iter().any(|b| !(*b > 0.0)) {
+        if self.item_size.iter().any(|b| b.is_nan() || *b <= 0.0) {
             return err("item sizes must be positive".into());
         }
         for r in &self.requests {
@@ -142,7 +142,7 @@ impl Instance {
             if r.node.index() >= self.graph.node_count() {
                 return err(format!("request references unknown node {:?}", r.node));
             }
-            if !(r.rate > 0.0) {
+            if r.rate.is_nan() || r.rate <= 0.0 {
                 return err(format!("request rate must be positive, got {}", r.rate));
             }
         }
@@ -268,7 +268,11 @@ impl InstanceBuilder {
             n_items: 10,
             item_size: None,
             cache_capacity: 2.0,
-            demand: DemandSpec::Zipf { alpha: 0.8, total: 1000.0, seed: 0 },
+            demand: DemandSpec::Zipf {
+                alpha: 0.8,
+                total: 1000.0,
+                seed: 0,
+            },
             capacity: CapacitySpec::Unlimited,
         }
     }
@@ -297,7 +301,11 @@ impl InstanceBuilder {
     /// Zipf demand: item popularity `∝ 1/rank^alpha`, total rate spread
     /// across edge nodes with seeded random shares.
     pub fn zipf_demand(mut self, alpha: f64, total_rate: f64, seed: u64) -> Self {
-        self.demand = DemandSpec::Zipf { alpha, total: total_rate, seed };
+        self.demand = DemandSpec::Zipf {
+            alpha,
+            total: total_rate,
+            seed,
+        };
         self
     }
 
@@ -365,7 +373,11 @@ impl InstanceBuilder {
         for (i, row) in rates.iter().enumerate() {
             for (k, &rate) in row.iter().enumerate() {
                 if rate > 0.0 {
-                    requests.push(Request { item: i, node: topo.edge_nodes[k], rate });
+                    requests.push(Request {
+                        item: i,
+                        node: topo.edge_nodes[k],
+                        rate,
+                    });
                     per_edge_total[k] += rate * item_size[i];
                 }
             }
@@ -459,7 +471,11 @@ mod tests {
         let n_edges = t.edge_nodes.len();
         let mut m = vec![vec![1.0; n_edges]; 2];
         m[0][0] = 0.0;
-        let inst = InstanceBuilder::new(t).items(2).demand_matrix(m).build().unwrap();
+        let inst = InstanceBuilder::new(t)
+            .items(2)
+            .demand_matrix(m)
+            .build()
+            .unwrap();
         assert_eq!(inst.requests.len(), 2 * n_edges - 1);
     }
 
@@ -483,7 +499,11 @@ mod tests {
             t.capacity.clone(),
             vec![0.0; t.graph.node_count()],
             vec![1.0],
-            vec![Request { item: 0, node: t.edge_nodes[0], rate: -1.0 }],
+            vec![Request {
+                item: 0,
+                node: t.edge_nodes[0],
+                rate: -1.0,
+            }],
             Some(t.origin),
         );
         assert!(matches!(r, Err(JcrError::InvalidInstance(_))));

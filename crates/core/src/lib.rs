@@ -48,15 +48,17 @@ pub mod placement;
 pub mod placement_opt;
 pub mod report;
 pub mod rnr;
-pub mod serial;
 pub mod routing;
+pub mod serial;
 pub mod validate;
 
 /// Convenient re-exports of the main entry points.
 pub mod prelude {
     pub use crate::alg1::Algorithm1;
     pub use crate::alg2::{solve_binary_caches, BinaryCacheSolution};
-    pub use crate::alternating::{Alternating, AlternatingSolution, PlacementMethod, RoutingMethod};
+    pub use crate::alternating::{
+        Alternating, AlternatingSolution, PlacementMethod, RoutingMethod,
+    };
     pub use crate::baselines::{CandidateRouting, IoannidisYeh, ShortestPathPlacement};
     pub use crate::error::JcrError;
     pub use crate::instance::{Instance, InstanceBuilder, Request};

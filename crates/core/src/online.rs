@@ -45,7 +45,12 @@ pub struct OnlineSimulator {
 impl OnlineSimulator {
     /// Creates a driver around an [`Alternating`] configuration.
     pub fn new(solver: Alternating) -> Self {
-        OnlineSimulator { solver, warm_start: true, previous: None, hour: 0 }
+        OnlineSimulator {
+            solver,
+            warm_start: true,
+            previous: None,
+            hour: 0,
+        }
     }
 
     /// Number of steps executed so far.

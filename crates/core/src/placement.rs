@@ -88,14 +88,17 @@ impl Placement {
     /// Whether every node's occupancy is within its cache capacity
     /// (constraint (1f) / (16)).
     pub fn is_feasible(&self, inst: &Instance) -> bool {
-        inst.graph.nodes().all(|v| {
-            self.occupancy(inst, v) <= inst.cache_cap[v.index()] + 1e-9
-        })
+        inst.graph
+            .nodes()
+            .all(|v| self.occupancy(inst, v) <= inst.cache_cap[v.index()] + 1e-9)
     }
 
     /// Total number of stored (node, item) pairs.
     pub fn len(&self) -> usize {
-        self.stored.iter().map(|row| row.iter().filter(|&&s| s).count()).sum()
+        self.stored
+            .iter()
+            .map(|row| row.iter().filter(|&&s| s).count())
+            .sum()
     }
 
     /// Whether nothing is stored anywhere.

@@ -106,9 +106,7 @@ pub fn f_given_routing(inst: &Instance, routing: &Routing, placement: &Placement
     extract_segments(inst, routing)
         .iter()
         .map(|seg| {
-            if seg.saved_by_origin
-                || seg.prefix.iter().any(|&v| placement.has(v, seg.item))
-            {
+            if seg.saved_by_origin || seg.prefix.iter().any(|&v| placement.has(v, seg.item)) {
                 seg.weight
             } else {
                 0.0
@@ -135,6 +133,22 @@ pub fn optimize_placement(inst: &Instance, routing: &Routing) -> Result<Placemen
     optimize_placement_with(inst, routing, false)
 }
 
+/// [`optimize_placement`] under an explicit [`jcr_ctx::SolverContext`]:
+/// the LP obeys the context's simplex budget and the pipage pass feeds the
+/// rounding counter.
+///
+/// # Errors
+///
+/// Same as [`optimize_placement`], plus [`JcrError::BudgetExceeded`] when
+/// the budget trips.
+pub fn optimize_placement_with_context(
+    inst: &Instance,
+    routing: &Routing,
+    ctx: &jcr_ctx::SolverContext,
+) -> Result<Placement, JcrError> {
+    optimize_placement_impl(inst, routing, false, ctx)
+}
+
 /// Like [`optimize_placement`], optionally running the pipage rounding
 /// *size-obliviously* under heterogeneous item sizes — reproducing the
 /// infeasible placements of the baselines \[3\], \[38\] that the paper
@@ -148,6 +162,20 @@ pub fn optimize_placement_with(
     inst: &Instance,
     routing: &Routing,
     size_oblivious_rounding: bool,
+) -> Result<Placement, JcrError> {
+    optimize_placement_impl(
+        inst,
+        routing,
+        size_oblivious_rounding,
+        &jcr_ctx::SolverContext::new(),
+    )
+}
+
+pub(crate) fn optimize_placement_impl(
+    inst: &Instance,
+    routing: &Routing,
+    size_oblivious_rounding: bool,
+    ctx: &jcr_ctx::SolverContext,
 ) -> Result<Placement, JcrError> {
     let cache_nodes = inst.cache_nodes();
     let n_items = inst.num_items();
@@ -185,7 +213,7 @@ pub fn optimize_placement_with(
             .collect();
         model.add_row(f64::NEG_INFINITY, inst.cache_cap[v.index()], &entries);
     }
-    let lp = model.solve()?;
+    let lp = model.solve_with_context(ctx)?;
 
     // --- Pipage rounding ------------------------------------------------
     // Gradient of the multilinear extension of (14) at the current x.
@@ -231,19 +259,23 @@ pub fn optimize_placement_with(
             }
         })
         .collect();
-    jcr_submodular::pipage::pipage_round(&mut x, &groups, &capacity, |c, xs| {
-        term_of_coord[c]
-            .iter()
-            .map(|&t| {
-                let others: f64 = term_vars[t]
-                    .iter()
-                    .filter(|&&c2| c2 != c)
-                    .map(|&c2| 1.0 - xs[c2])
-                    .product();
-                term_weight[t] * others
-            })
-            .sum()
-    });
+    {
+        let _t = ctx.time(jcr_ctx::Phase::Rounding);
+        ctx.count(jcr_ctx::Counter::RoundingPasses, 1);
+        jcr_submodular::pipage::pipage_round(&mut x, &groups, &capacity, |c, xs| {
+            term_of_coord[c]
+                .iter()
+                .map(|&t| {
+                    let others: f64 = term_vars[t]
+                        .iter()
+                        .filter(|&&c2| c2 != c)
+                        .map(|&c2| 1.0 - xs[c2])
+                        .product();
+                    term_weight[t] * others
+                })
+                .sum()
+        });
+    }
 
     let mut placement = Placement::empty(inst);
     for (vi, &v) in cache_nodes.iter().enumerate() {
@@ -253,9 +285,7 @@ pub fn optimize_placement_with(
             }
         }
     }
-    debug_assert!(
-        size_oblivious_rounding || !inst.homogeneous() || placement.is_feasible(inst)
-    );
+    debug_assert!(size_oblivious_rounding || !inst.homogeneous() || placement.is_feasible(inst));
     Ok(placement)
 }
 
@@ -335,12 +365,12 @@ mod tests {
 
     #[test]
     fn near_optimal_against_sampled_placements() {
-        use rand::{Rng, SeedableRng};
+        use jcr_ctx::rng::{Rng, SeedableRng};
         let inst = inst();
         let routing = origin_routing(&inst);
         let placement = optimize_placement(&inst, &routing).unwrap();
         let f_opt = f_given_routing(&inst, &routing, &placement);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(77);
         for _ in 0..20 {
             let mut p = Placement::empty(&inst);
             for v in inst.cache_nodes() {
@@ -362,14 +392,13 @@ mod tests {
     #[test]
     fn one_minus_one_over_e_against_brute_force() {
         for seed in 0..4 {
-            let inst = InstanceBuilder::new(
-                jcr_topo::Topology::generate_custom(7, 9, 2, seed).unwrap(),
-            )
-            .items(3)
-            .cache_capacity(1.0)
-            .zipf_demand(0.9, 40.0, seed)
-            .build()
-            .unwrap();
+            let inst =
+                InstanceBuilder::new(jcr_topo::Topology::generate_custom(7, 9, 2, seed).unwrap())
+                    .items(3)
+                    .cache_capacity(1.0)
+                    .zipf_demand(0.9, 40.0, seed)
+                    .build()
+                    .unwrap();
             let routing = origin_routing(&inst);
             let ours = optimize_placement(&inst, &routing).unwrap();
             let f_ours = f_given_routing(&inst, &routing, &ours);

@@ -90,6 +90,25 @@ pub fn solution_report(inst: &Instance, solution: &Solution) -> String {
     out
 }
 
+/// [`solution_report`] with a trailing "-- solver stats --" section: the
+/// [`jcr_ctx::SolverStats`] snapshot of the [`jcr_ctx::SolverContext`] the
+/// solution was computed under (simplex pivots, refactorizations, Dijkstra
+/// calls, generated columns, decomposition paths, rounding passes, and
+/// per-phase wall-clock).
+pub fn solution_report_with_stats(
+    inst: &Instance,
+    solution: &Solution,
+    stats: &jcr_ctx::SolverStats,
+) -> String {
+    use std::fmt::Write;
+    let mut out = solution_report(inst, solution);
+    writeln!(out, "\n-- solver stats --").expect("write to string");
+    for line in stats.to_string().lines() {
+        writeln!(out, "  {line}").expect("write to string");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

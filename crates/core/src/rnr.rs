@@ -105,7 +105,10 @@ mod tests {
             }
         }
         let cost = rnr_cost(&inst, &p).unwrap();
-        assert!(cost.abs() < 1e-9, "local hits should cost nothing, got {cost}");
+        assert!(
+            cost.abs() < 1e-9,
+            "local hits should cost nothing, got {cost}"
+        );
     }
 
     #[test]

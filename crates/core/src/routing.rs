@@ -12,7 +12,7 @@ use crate::rnr;
 ///
 /// Integral routing has exactly one path per request carrying its full
 /// rate; fractional routing may split a request across paths.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Routing {
     /// `per_request[r]` — path flows serving request `r` (amounts in rate
     /// units, summing to the request's rate when fully served).
@@ -27,7 +27,12 @@ impl Routing {
             per_request: paths
                 .into_iter()
                 .zip(&inst.requests)
-                .map(|(path, r)| vec![PathFlow { path, amount: r.rate }])
+                .map(|(path, r)| {
+                    vec![PathFlow {
+                        path,
+                        amount: r.rate,
+                    }]
+                })
                 .collect(),
         }
     }
@@ -99,7 +104,7 @@ impl Routing {
 }
 
 /// A joint caching and routing solution with its evaluation metrics.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Solution {
     /// The content placement `x`.
     pub placement: Placement,
@@ -246,7 +251,10 @@ mod tests {
         // costs strictly more.
         let mut routing2 = Routing::from_paths(&inst, origin_paths(&inst));
         routing2.per_request[0] = Vec::new();
-        let sol2 = Solution { placement: Placement::empty(&inst), routing: routing2 };
+        let sol2 = Solution {
+            placement: Placement::empty(&inst),
+            routing: routing2,
+        };
         let (cost_without_cache, _) = sol2.evaluate_under(&inst, &truth);
         assert!(cost_with_cache < cost_without_cache);
     }
@@ -255,12 +263,14 @@ mod tests {
     fn zero_true_rate_contributes_nothing() {
         let inst = inst();
         let routing = Routing::from_paths(&inst, origin_paths(&inst));
-        let sol = Solution { placement: Placement::empty(&inst), routing };
+        let sol = Solution {
+            placement: Placement::empty(&inst),
+            routing,
+        };
         let mut truth: Vec<f64> = inst.requests.iter().map(|r| r.rate).collect();
         let full = sol.evaluate_under(&inst, &truth).0;
-        let removed = inst.requests[0].rate * sol.routing.per_request[0][0]
-            .path
-            .cost(&inst.link_cost);
+        let removed =
+            inst.requests[0].rate * sol.routing.per_request[0][0].path.cost(&inst.link_cost);
         truth[0] = 0.0;
         let reduced = sol.evaluate_under(&inst, &truth).0;
         assert!((full - reduced - removed).abs() < 1e-6);
@@ -274,8 +284,14 @@ mod tests {
         // Split the first request across two copies of its path.
         let pf = routing.per_request[0][0].clone();
         routing.per_request[0] = vec![
-            jcr_flow::PathFlow { path: pf.path.clone(), amount: pf.amount / 2.0 },
-            jcr_flow::PathFlow { path: pf.path, amount: pf.amount / 2.0 },
+            jcr_flow::PathFlow {
+                path: pf.path.clone(),
+                amount: pf.amount / 2.0,
+            },
+            jcr_flow::PathFlow {
+                path: pf.path,
+                amount: pf.amount / 2.0,
+            },
         ];
         assert!(!routing.is_integral());
         assert!(routing.serves_all(&inst));

@@ -38,7 +38,11 @@ pub fn to_text(inst: &Instance) -> String {
     for e in inst.graph.edges() {
         let (u, v) = inst.graph.endpoints(e);
         let cap = inst.link_cap[e.index()];
-        let cap_str = if cap.is_finite() { format!("{cap}") } else { "inf".to_string() };
+        let cap_str = if cap.is_finite() {
+            format!("{cap}")
+        } else {
+            "inf".to_string()
+        };
         writeln!(
             out,
             "link {} {} {} {cap_str}",
@@ -49,8 +53,7 @@ pub fn to_text(inst: &Instance) -> String {
         .expect("write to string");
     }
     for r in &inst.requests {
-        writeln!(out, "request {} {} {}", r.item, r.node.index(), r.rate)
-            .expect("write to string");
+        writeln!(out, "request {} {} {}", r.item, r.node.index(), r.rate).expect("write to string");
     }
     out
 }
@@ -64,9 +67,8 @@ pub fn to_text(inst: &Instance) -> String {
 ///
 /// [`JcrError::InvalidInstance`] on malformed or inconsistent input.
 pub fn from_text(text: &str) -> Result<Instance, JcrError> {
-    let bad = |line: usize, msg: &str| {
-        JcrError::InvalidInstance(format!("line {}: {msg}", line + 1))
-    };
+    let bad =
+        |line: usize, msg: &str| JcrError::InvalidInstance(format!("line {}: {msg}", line + 1));
     let mut lines = text
         .lines()
         .enumerate()
@@ -148,10 +150,18 @@ pub fn from_text(text: &str) -> Result<Instance, JcrError> {
     }
     let requests = requests_raw
         .into_iter()
-        .map(|(item, node, rate)| Ok(Request { item, node: in_range(node)?, rate }))
+        .map(|(item, node, rate)| {
+            Ok(Request {
+                item,
+                node: in_range(node)?,
+                rate,
+            })
+        })
         .collect::<Result<Vec<_>, JcrError>>()?;
     let origin = origin.map(in_range).transpose()?;
-    Instance::new(graph, link_cost, link_cap, cache_cap, item_size, requests, origin)
+    Instance::new(
+        graph, link_cost, link_cap, cache_cap, item_size, requests, origin,
+    )
 }
 
 #[cfg(test)]

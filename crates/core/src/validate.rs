@@ -58,17 +58,38 @@ pub enum Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Violation::LinkOverload { edge, load, capacity } => {
-                write!(f, "link {edge} overloaded: {load:.3} > capacity {capacity:.3}")
+            Violation::LinkOverload {
+                edge,
+                load,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "link {edge} overloaded: {load:.3} > capacity {capacity:.3}"
+                )
             }
-            Violation::UnderServed { request, served, rate } => {
-                write!(f, "request {request} under-served: {served:.3} of {rate:.3}")
+            Violation::UnderServed {
+                request,
+                served,
+                rate,
+            } => {
+                write!(
+                    f,
+                    "request {request} under-served: {served:.3} of {rate:.3}"
+                )
             }
             Violation::InvalidSource { request, source } => {
                 write!(f, "request {request} served from non-storing node {source}")
             }
-            Violation::CacheOverflow { node, occupancy, capacity } => {
-                write!(f, "cache {node} overflows: {occupancy:.3} > capacity {capacity:.3}")
+            Violation::CacheOverflow {
+                node,
+                occupancy,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "cache {node} overflows: {occupancy:.3} > capacity {capacity:.3}"
+                )
             }
             Violation::MalformedPath { request } => {
                 write!(f, "request {request} has a malformed routing path")
@@ -105,14 +126,20 @@ pub fn validate_solution(inst: &Instance, solution: &Solution) -> Vec<Violation>
         let occupancy = solution.placement.occupancy(inst, v);
         let capacity = inst.cache_cap[v.index()];
         if occupancy > capacity + tol {
-            violations.push(Violation::CacheOverflow { node: v, occupancy, capacity });
+            violations.push(Violation::CacheOverflow {
+                node: v,
+                occupancy,
+                capacity,
+            });
         }
     }
 
     // Path structure, service, and sources.
     let routing = &solution.routing;
     if routing.per_request.len() != inst.requests.len() {
-        violations.push(Violation::MalformedPath { request: routing.per_request.len() });
+        violations.push(Violation::MalformedPath {
+            request: routing.per_request.len(),
+        });
         return violations;
     }
     for (ri, (req, flows)) in inst.requests.iter().zip(&routing.per_request).enumerate() {
@@ -127,11 +154,18 @@ pub fn validate_solution(inst: &Instance, solution: &Solution) -> Vec<Violation>
             }
             let source = pf.path.source(&inst.graph).unwrap_or(req.node);
             if !solution.placement.has_with_origin(inst, source, req.item) {
-                violations.push(Violation::InvalidSource { request: ri, source });
+                violations.push(Violation::InvalidSource {
+                    request: ri,
+                    source,
+                });
             }
         }
         if (served - req.rate).abs() > tol * req.rate.max(1.0) {
-            violations.push(Violation::UnderServed { request: ri, served, rate: req.rate });
+            violations.push(Violation::UnderServed {
+                request: ri,
+                served,
+                rate: req.rate,
+            });
         }
     }
 
@@ -141,7 +175,11 @@ pub fn validate_solution(inst: &Instance, solution: &Solution) -> Vec<Violation>
         let capacity = inst.link_cap[e.index()];
         let load = loads[e.index()];
         if capacity.is_finite() && load > capacity * (1.0 + tol) {
-            violations.push(Violation::LinkOverload { edge: e, load, capacity });
+            violations.push(Violation::LinkOverload {
+                edge: e,
+                load,
+                capacity,
+            });
         }
     }
     violations
@@ -210,8 +248,10 @@ mod tests {
         let bogus = inst.cache_nodes()[0];
         if let Some(p) = inst.all_pairs().path(bogus, inst.requests[1].node) {
             if !p.is_empty() {
-                routing.per_request[1] =
-                    vec![PathFlow { path: p, amount: inst.requests[1].rate }];
+                routing.per_request[1] = vec![PathFlow {
+                    path: p,
+                    amount: inst.requests[1].rate,
+                }];
             }
         }
         let violations = validate_solution(&inst, &Solution { placement, routing });
@@ -241,7 +281,11 @@ mod tests {
 
     #[test]
     fn violations_display() {
-        let v = Violation::UnderServed { request: 3, served: 1.0, rate: 2.0 };
+        let v = Violation::UnderServed {
+            request: 3,
+            served: 1.0,
+            rate: 2.0,
+        };
         assert!(v.to_string().contains("request 3"));
         let v = Violation::MalformedPath { request: 1 };
         assert!(v.to_string().contains("malformed"));

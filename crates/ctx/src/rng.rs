@@ -1,0 +1,241 @@
+//! A small, dependency-free pseudo-random number generator with the same
+//! call-site shape as the subset of `rand` 0.8 the workspace uses
+//! (`seed_from_u64`, `gen_range` over half-open and inclusive ranges,
+//! `gen_bool`), so that no external crate is needed to build offline.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast, well
+//! distributed, and deterministic across platforms. It is **not**
+//! cryptographically secure; it drives synthetic workloads, randomized
+//! rounding, and tests.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding interface mirroring `rand::SeedableRng`'s `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Raw 64-bit output source. The blanket impl below lifts any source to
+/// the full [`Rng`] interface.
+pub trait RngCore {
+    /// The next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Sampling interface mirroring the used subset of `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open `a..b` or inclusive
+    /// `a..=b`, over the integer types used in the workspace and `f64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that knows how to sample itself uniformly.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Maps a raw 64-bit word to `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        let u = unit_f64(rng.next_u64());
+        let x = self.start + (self.end - self.start) * u;
+        // Guard against rounding up to the excluded endpoint.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + (hi - lo) * unit_f64(rng.next_u64())
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range {:?}", self);
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range {lo}..={hi}");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// The workspace's deterministic generator (xoshiro256++).
+///
+/// # Examples
+///
+/// ```
+/// use jcr_ctx::rng::{Rng, SeedableRng, StdRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let x: f64 = rng.gen_range(0.0..1.0);
+/// assert!((0.0..1.0).contains(&x));
+/// let i = rng.gen_range(0..10usize);
+/// assert!(i < 10);
+/// // Same seed, same stream.
+/// let mut again = StdRng::seed_from_u64(7);
+/// let y: f64 = again.gen_range(0.0..1.0);
+/// assert_eq!(x.to_bits(), y.to_bits());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expands the seed into the full state; the all-zero
+        // state (unreachable from SplitMix64) would be a fixed point.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = rng.gen_range(2.5..3.5);
+            assert!((2.5..3.5).contains(&f));
+            let i = rng.gen_range(3..9usize);
+            assert!((3..9).contains(&i));
+            let j = rng.gen_range(0..=4u64);
+            assert!(j <= 4);
+            let k = rng.gen_range(-5..5i64);
+            assert!((-5..5).contains(&k));
+        }
+    }
+
+    #[test]
+    fn singleton_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(rng.gen_range(7..=7usize), 7);
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.02, "frequency {freq}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn uniform_f64_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn works_through_mut_reference() {
+        fn draw<R: Rng>(rng: &mut R) -> u64 {
+            rng.gen_range(0..100u64)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let by_ref = draw(&mut &mut rng);
+        assert!(by_ref < 100);
+    }
+}

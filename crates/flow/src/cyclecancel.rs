@@ -82,12 +82,11 @@ pub fn min_cost_flow_cycle_canceling(
     for _ in 0..max_rounds {
         let arcs = residual_arcs(g, cap, &flow);
         let Some(cycle) = negative_cycle(n, &arcs, cost, 1e-10 * scale) else {
-            let total_cost = flow
-                .iter()
-                .zip(cost)
-                .map(|(f, c)| f * c)
-                .sum();
-            return Ok(MinCostFlow { flow, cost: total_cost });
+            let total_cost = flow.iter().zip(cost).map(|(f, c)| f * c).sum();
+            return Ok(MinCostFlow {
+                flow,
+                cost: total_cost,
+            });
         };
         // Bottleneck along the cycle.
         let mut delta = f64::INFINITY;
@@ -99,7 +98,7 @@ pub fn min_cost_flow_cycle_canceling(
             };
             delta = delta.min(room);
         }
-        if !(delta > FLOW_EPS) {
+        if delta.is_nan() || delta <= FLOW_EPS {
             return Err(FlowError::Numerical("degenerate residual cycle".into()));
         }
         for a in &cycle {
@@ -113,7 +112,9 @@ pub fn min_cost_flow_cycle_canceling(
             }
         }
     }
-    Err(FlowError::Numerical("cycle canceling did not converge".into()))
+    Err(FlowError::Numerical(
+        "cycle canceling did not converge".into(),
+    ))
 }
 
 fn residual_arcs(g: &DiGraph, cap: &[f64], flow: &[f64]) -> Vec<ResArc> {
@@ -168,7 +169,11 @@ fn negative_cycle(n: usize, arcs: &[ResArc], cost: &[f64], tol: f64) -> Option<V
             if a.partner.is_some() && parent[a.from] == a.partner {
                 continue;
             }
-            let w = if a.forward { cost[a.edge] } else { -cost[a.edge] };
+            let w = if a.forward {
+                cost[a.edge]
+            } else {
+                -cost[a.edge]
+            };
             if dist[a.from] + w < dist[a.to] - 1e-15 {
                 dist[a.to] = dist[a.from] + w;
                 parent[a.to] = Some(ai);
@@ -196,7 +201,9 @@ fn negative_cycle(n: usize, arcs: &[ResArc], cost: &[f64], tol: f64) -> Option<V
         let start = v;
         let mut cycle = Vec::new();
         loop {
-            let Some(ai) = parent[v] else { continue 'candidates };
+            let Some(ai) = parent[v] else {
+                continue 'candidates;
+            };
             cycle.push(arcs[ai]);
             v = arcs[ai].from;
             if v == start {
@@ -209,7 +216,13 @@ fn negative_cycle(n: usize, arcs: &[ResArc], cost: &[f64], tol: f64) -> Option<V
         cycle.reverse();
         let total: f64 = cycle
             .iter()
-            .map(|a| if a.forward { cost[a.edge] } else { -cost[a.edge] })
+            .map(|a| {
+                if a.forward {
+                    cost[a.edge]
+                } else {
+                    -cost[a.edge]
+                }
+            })
             .sum();
         if total < -tol {
             return Some(cycle);
@@ -271,7 +284,10 @@ mod tests {
         let cap = [5.0, 5.0];
         let supply = [4.0, -4.0];
         let cc = min_cost_flow_cycle_canceling(&g, &cost, &cap, &supply).unwrap();
-        assert!((cc.flow[0] - 4.0).abs() < 1e-9, "all flow on the cheap road");
+        assert!(
+            (cc.flow[0] - 4.0).abs() < 1e-9,
+            "all flow on the cheap road"
+        );
         assert!((cc.cost - 4.0).abs() < 1e-9);
     }
 

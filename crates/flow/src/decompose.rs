@@ -5,6 +5,7 @@
 //! commodity uses at most `|E|` paths. Flow cycles are cancelled first so
 //! the resulting paths are simple.
 
+use jcr_ctx::{Counter, SolverContext};
 use jcr_graph::{DiGraph, EdgeId, NodeId, Path};
 
 use crate::{FlowError, PathFlow, FLOW_EPS};
@@ -50,10 +51,11 @@ fn find_cycle(g: &DiGraph, flow: &[f64]) -> Option<Vec<EdgeId>> {
         let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
         let mut edge_stack: Vec<EdgeId> = Vec::new();
         color[start] = 1;
-        while let Some(&(v, cursor)) = stack.last() {
+        while let Some(top) = stack.last_mut() {
+            let (v, cursor) = *top;
             let out = g.out_edges(NodeId::new(v));
             if cursor < out.len() {
-                stack.last_mut().expect("non-empty").1 += 1;
+                top.1 += 1;
                 let e = out[cursor];
                 if flow[e.index()] <= FLOW_EPS {
                     continue;
@@ -106,6 +108,22 @@ pub fn decompose_single_source(
     source: NodeId,
     demands: &[(NodeId, f64)],
 ) -> Result<Vec<Vec<PathFlow>>, FlowError> {
+    decompose_single_source_with_context(g, flow, source, demands, &SolverContext::new())
+}
+
+/// [`decompose_single_source`] under an explicit [`SolverContext`]: every
+/// extracted path increments the decomposition-path counter.
+///
+/// # Errors
+///
+/// Same as [`decompose_single_source`].
+pub fn decompose_single_source_with_context(
+    g: &DiGraph,
+    flow: &[f64],
+    source: NodeId,
+    demands: &[(NodeId, f64)],
+    ctx: &SolverContext,
+) -> Result<Vec<Vec<PathFlow>>, FlowError> {
     let mut residual = flow.to_vec();
     cancel_cycles(g, &mut residual);
     debug_assert!(
@@ -136,6 +154,7 @@ pub fn decompose_single_source(
                 }
             }
             remaining -= push;
+            ctx.count(Counter::DecompositionPaths, 1);
             result[idx].push(PathFlow { path, amount: push });
         }
     }
@@ -143,12 +162,7 @@ pub fn decompose_single_source(
 }
 
 /// Finds any simple `source -> dest` path in the positive-flow subgraph.
-pub fn positive_flow_path(
-    g: &DiGraph,
-    flow: &[f64],
-    source: NodeId,
-    dest: NodeId,
-) -> Option<Path> {
+pub fn positive_flow_path(g: &DiGraph, flow: &[f64], source: NodeId, dest: NodeId) -> Option<Path> {
     positive_flow_path_min(g, flow, source, dest, FLOW_EPS)
 }
 

@@ -68,7 +68,12 @@ pub fn check_single_source(
             .filter(|e| e.index() < g.edge_count())
             .collect()
     };
-    Feasibility { feasible, demand: total, routable: mf.value, binding_cut }
+    Feasibility {
+        feasible,
+        demand: total,
+        routable: mf.value,
+        binding_cut,
+    }
 }
 
 /// The minimum uniform capacity κ (same on every original edge) that makes

@@ -88,6 +88,9 @@ pub enum FlowError {
     Infeasible,
     /// The solver lost numerical precision or exceeded its iteration budget.
     Numerical(String),
+    /// A [`jcr_ctx::SolverContext`] budget (deadline or phase iteration
+    /// cap) tripped before the solver finished.
+    Budget(jcr_ctx::BudgetExceeded),
 }
 
 impl fmt::Display for FlowError {
@@ -95,20 +98,26 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Infeasible => write!(f, "flow demands are infeasible"),
             FlowError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            FlowError::Budget(b) => write!(f, "{b}"),
         }
     }
 }
 
 impl std::error::Error for FlowError {}
 
+impl From<jcr_ctx::BudgetExceeded> for FlowError {
+    fn from(b: jcr_ctx::BudgetExceeded) -> Self {
+        FlowError::Budget(b)
+    }
+}
+
 impl From<jcr_lp::LpError> for FlowError {
     fn from(e: jcr_lp::LpError) -> Self {
         match e {
             jcr_lp::LpError::Infeasible => FlowError::Infeasible,
-            jcr_lp::LpError::Unbounded => {
-                FlowError::Numerical("unexpected unbounded LP".into())
-            }
+            jcr_lp::LpError::Unbounded => FlowError::Numerical("unexpected unbounded LP".into()),
             jcr_lp::LpError::Numerical(m) => FlowError::Numerical(m),
+            jcr_lp::LpError::Budget(b) => FlowError::Budget(b),
         }
     }
 }

@@ -78,15 +78,28 @@ pub fn max_flow(g: &DiGraph, cap: &[f64], source: NodeId, sink: NodeId) -> MaxFl
         let a = arcs.len();
         head[u.index()].push(a);
         head[v.index()].push(a + 1);
-        arcs.push(Arc { to: v.index(), rev: a + 1, cap: c, orig: e.index() });
-        arcs.push(Arc { to: u.index(), rev: a, cap: 0.0, orig: usize::MAX });
+        arcs.push(Arc {
+            to: v.index(),
+            rev: a + 1,
+            cap: c,
+            orig: e.index(),
+        });
+        arcs.push(Arc {
+            to: u.index(),
+            rev: a,
+            cap: 0.0,
+            orig: usize::MAX,
+        });
     }
 
     let s = source.index();
     let t = sink.index();
     let mut value = 0.0;
     if s == t {
-        return MaxFlow { value: 0.0, flow: vec![0.0; g.edge_count()] };
+        return MaxFlow {
+            value: 0.0,
+            flow: vec![0.0; g.edge_count()],
+        };
     }
 
     loop {
@@ -218,7 +231,11 @@ mod tests {
         let mf = max_flow(&g, &cap, s, t);
         let cut = mf.min_cut(&g, &cap, s);
         let cut_cap: f64 = cut.iter().map(|e| cap[e.index()]).sum();
-        assert!((cut_cap - mf.value).abs() < 1e-9, "cut {cut_cap} vs flow {}", mf.value);
+        assert!(
+            (cut_cap - mf.value).abs() < 1e-9,
+            "cut {cut_cap} vs flow {}",
+            mf.value
+        );
     }
 
     #[test]

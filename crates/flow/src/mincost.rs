@@ -9,6 +9,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use jcr_ctx::{Counter, Phase, SolverContext};
 use jcr_graph::{DiGraph, NodeId};
 
 use crate::{FlowError, FLOW_EPS};
@@ -72,6 +73,25 @@ pub fn min_cost_flow(
     cap: &[f64],
     supply: &[f64],
 ) -> Result<MinCostFlow, FlowError> {
+    min_cost_flow_with_context(g, cost, cap, supply, &SolverContext::new())
+}
+
+/// [`min_cost_flow`] under an explicit [`SolverContext`]: the context's
+/// deadline and `Phase::MinCostFlow` iteration cap bound the successive
+/// shortest-path loop, and Dijkstra runs are counted.
+///
+/// # Errors
+///
+/// Same as [`min_cost_flow`], plus [`FlowError::Budget`] when a budget
+/// trips mid-solve.
+pub fn min_cost_flow_with_context(
+    g: &DiGraph,
+    cost: &[f64],
+    cap: &[f64],
+    supply: &[f64],
+    ctx: &SolverContext,
+) -> Result<MinCostFlow, FlowError> {
+    let _t = ctx.time(Phase::MinCostFlow);
     debug_assert!(cost.iter().all(|c| *c >= 0.0), "costs must be non-negative");
     let total: f64 = supply.iter().sum();
     let scale: f64 = supply.iter().map(|s| s.abs()).sum::<f64>().max(1.0);
@@ -92,8 +112,20 @@ pub fn min_cost_flow(
         let a = arcs.len();
         head[u.index()].push(a);
         head[v.index()].push(a + 1);
-        arcs.push(Arc { to: v.index(), rev: a + 1, cap: c, cost: cost[e.index()], orig: Some(e.index()) });
-        arcs.push(Arc { to: u.index(), rev: a, cap: 0.0, cost: -cost[e.index()], orig: None });
+        arcs.push(Arc {
+            to: v.index(),
+            rev: a + 1,
+            cap: c,
+            cost: cost[e.index()],
+            orig: Some(e.index()),
+        });
+        arcs.push(Arc {
+            to: u.index(),
+            rev: a,
+            cap: 0.0,
+            cost: -cost[e.index()],
+            orig: None,
+        });
     }
 
     let mut excess: Vec<f64> = supply.to_vec();
@@ -102,10 +134,12 @@ pub fn min_cost_flow(
     let max_augment = 200 * (g.edge_count() + n) + 10_000;
 
     for _round in 0..max_augment {
+        ctx.check(Phase::MinCostFlow)?;
         let Some(s) = (0..n).find(|&v| excess[v] > FLOW_EPS * scale.max(1.0)) else {
             break;
         };
         // Dijkstra with reduced costs from s.
+        ctx.count(Counter::DijkstraCalls, 1);
         let mut dist = vec![f64::INFINITY; n];
         let mut parent: Vec<Option<usize>> = vec![None; n];
         let mut done = vec![false; n];
@@ -127,17 +161,22 @@ pub fn min_cost_flow(
                 if nd < dist[arc.to] - 1e-15 {
                     dist[arc.to] = nd;
                     parent[arc.to] = Some(a);
-                    heap.push(HeapEntry { dist: nd, node: arc.to });
+                    heap.push(HeapEntry {
+                        dist: nd,
+                        node: arc.to,
+                    });
                 }
             }
         }
         // Pick the nearest reachable deficit node.
         let mut target: Option<usize> = None;
         for v in 0..n {
-            if excess[v] < -FLOW_EPS * scale.max(1.0) && dist[v].is_finite()
-                && target.is_none_or(|t| dist[v] < dist[t]) {
-                    target = Some(v);
-                }
+            if excess[v] < -FLOW_EPS * scale.max(1.0)
+                && dist[v].is_finite()
+                && target.is_none_or(|t| dist[v] < dist[t])
+            {
+                target = Some(v);
+            }
         }
         let Some(t) = target else {
             return Err(FlowError::Infeasible);
@@ -180,7 +219,10 @@ pub fn min_cost_flow(
             total_cost += f * cost[orig];
         }
     }
-    Ok(MinCostFlow { flow, cost: total_cost })
+    Ok(MinCostFlow {
+        flow,
+        cost: total_cost,
+    })
 }
 
 /// Convenience wrapper: single source, per-destination demands.
@@ -195,13 +237,29 @@ pub fn single_source_min_cost_flow(
     source: NodeId,
     demands: &[(NodeId, f64)],
 ) -> Result<MinCostFlow, FlowError> {
+    single_source_min_cost_flow_with_context(g, cost, cap, source, demands, &SolverContext::new())
+}
+
+/// [`single_source_min_cost_flow`] under an explicit [`SolverContext`].
+///
+/// # Errors
+///
+/// Same as [`min_cost_flow_with_context`].
+pub fn single_source_min_cost_flow_with_context(
+    g: &DiGraph,
+    cost: &[f64],
+    cap: &[f64],
+    source: NodeId,
+    demands: &[(NodeId, f64)],
+    ctx: &SolverContext,
+) -> Result<MinCostFlow, FlowError> {
     let mut supply = vec![0.0; g.node_count()];
     for &(d, amount) in demands {
         debug_assert!(amount >= 0.0);
         supply[d.index()] -= amount;
         supply[source.index()] += amount;
     }
-    min_cost_flow(g, cost, cap, &supply)
+    min_cost_flow_with_context(g, cost, cap, &supply, ctx)
 }
 
 #[cfg(test)]
@@ -261,8 +319,7 @@ mod tests {
         g.add_edge(a, b); // cost 0.5
         let cost = [2.0, 3.0, 0.5];
         let cap = [10.0, 10.0, 1.0];
-        let mcf =
-            single_source_min_cost_flow(&g, &cost, &cap, s, &[(a, 2.0), (b, 2.0)]).unwrap();
+        let mcf = single_source_min_cost_flow(&g, &cost, &cap, s, &[(a, 2.0), (b, 2.0)]).unwrap();
         let supply = [4.0, -2.0, -2.0];
         check_conservation(&g, &mcf.flow, &supply);
         // One unit of b's demand should detour via a (2 + 0.5 < 3).

@@ -18,10 +18,11 @@
 //! `K = ⌈1/log₂(1+ε)⌉` and `λ_max ≪ c_min` this is a `(1+ε, 1)`
 //! bicriteria approximation; `K = 2` recovers the state of the art \[33\].
 
+use jcr_ctx::SolverContext;
 use jcr_graph::{DiGraph, NodeId, Path};
 
-use crate::decompose::decompose_single_source;
-use crate::mincost::single_source_min_cost_flow;
+use crate::decompose::decompose_single_source_with_context;
+use crate::mincost::single_source_min_cost_flow_with_context;
 use crate::unsplittable::{round_to_unsplittable, ClassCommodity};
 use crate::{FlowError, PathFlow, FLOW_EPS};
 
@@ -82,6 +83,30 @@ pub fn solve_msufp(
     demands: &[Demand],
     k: u32,
 ) -> Result<MsufpSolution, FlowError> {
+    solve_msufp_with_context(g, cost, cap, source, demands, k, &SolverContext::new())
+}
+
+/// [`solve_msufp`] under an explicit [`SolverContext`]: the splittable
+/// min-cost flow (line 1) obeys the context's `Phase::MinCostFlow` budget
+/// and the decomposition (line 2) feeds the path counter.
+///
+/// # Errors
+///
+/// Same as [`solve_msufp`], plus [`FlowError::Budget`] when a budget trips
+/// mid-solve.
+///
+/// # Panics
+///
+/// Same as [`solve_msufp`].
+pub fn solve_msufp_with_context(
+    g: &DiGraph,
+    cost: &[f64],
+    cap: &[f64],
+    source: NodeId,
+    demands: &[Demand],
+    k: u32,
+    ctx: &SolverContext,
+) -> Result<MsufpSolution, FlowError> {
     assert!(k >= 1, "K must be at least 1");
     assert!(
         demands.iter().all(|d| d.demand > 0.0),
@@ -105,20 +130,17 @@ pub fn solve_msufp(
         .filter(|&v| agg[v] > 0.0)
         .map(|v| (NodeId::new(v), agg[v]))
         .collect();
-    let mcf = single_source_min_cost_flow(g, cost, cap, source, &agg_demands)?;
+    let mcf = single_source_min_cost_flow_with_context(g, cost, cap, source, &agg_demands, ctx)?;
 
     // Line 2: per-destination path decomposition, then allocation of each
     // destination's path flows to its commodities.
-    let dest_paths = decompose_single_source(g, &mcf.flow, source, &agg_demands)?;
+    let dest_paths = decompose_single_source_with_context(g, &mcf.flow, source, &agg_demands, ctx)?;
     let mut per_commodity = allocate_paths_to_commodities(demands, &agg_demands, dest_paths);
 
     // Line 3: round demands per Eq. (11) via class offsets t_i:
     // t_i = −⌊K·log2(λ_i/λ_max)⌋ for λ_i < λ_max, and t_i = 1 for
     // λ_i = λ_max; the rounded demand is λ_max·2^{−t_i/K} ∈ (λ_i/2^{1/K}, λ_i].
-    let lambda_max = demands
-        .iter()
-        .map(|d| d.demand)
-        .fold(0.0f64, f64::max);
+    let lambda_max = demands.iter().map(|d| d.demand).fold(0.0f64, f64::max);
     let kf = f64::from(k);
     let mut t_of = Vec::with_capacity(demands.len());
     let mut rounded = Vec::with_capacity(demands.len());
@@ -165,18 +187,25 @@ pub fn solve_msufp(
                 demand: rounded[i],
             })
             .collect();
-        let class_paths =
-            round_to_unsplittable(g, cost, class_flow, source, &class_commodities)?;
+        let class_paths = round_to_unsplittable(g, cost, class_flow, source, &class_commodities)?;
         for (pos, &i) in members.iter().enumerate() {
             paths[i] = Some(class_paths[pos].clone());
         }
     }
 
-    // Line 8: route the original demands on the selected paths.
+    // Line 8: route the original demands on the selected paths. Every
+    // commodity belongs to exactly one class (t_i + j ≡ 0 (mod K) has a
+    // unique j ∈ [0, K)), but surface a numerical error rather than
+    // panicking if float trouble in t_i ever breaks that.
     let paths: Vec<Path> = paths
         .into_iter()
-        .map(|p| p.expect("every commodity classified"))
-        .collect();
+        .enumerate()
+        .map(|(i, p)| {
+            p.ok_or_else(|| {
+                FlowError::Numerical(format!("commodity {i} missed by the K-class partition"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
     let mut link_loads = vec![0.0; g.edge_count()];
     let mut total = 0.0;
     for (p, d) in paths.iter().zip(demands) {
@@ -297,7 +326,10 @@ mod tests {
         let (g, s, leaves, cost, cap) = fan();
         let demands: Vec<Demand> = leaves
             .iter()
-            .map(|&l| Demand { dest: l, demand: 1.0 })
+            .map(|&l| Demand {
+                dest: l,
+                demand: 1.0,
+            })
             .collect();
         let sol = solve_msufp(&g, &cost, &cap, s, &demands, 4).unwrap();
         assert_eq!(sol.paths.len(), 4);
@@ -320,7 +352,10 @@ mod tests {
         let demands: Vec<Demand> = leaves
             .iter()
             .enumerate()
-            .map(|(i, &l)| Demand { dest: l, demand: 0.4 + 0.37 * i as f64 })
+            .map(|(i, &l)| Demand {
+                dest: l,
+                demand: 0.4 + 0.37 * i as f64,
+            })
             .collect();
         let lambda_max = demands.iter().map(|d| d.demand).fold(0.0, f64::max);
         for k in [1u32, 2, 4, 8] {
@@ -333,7 +368,10 @@ mod tests {
                     "K={k}: load {load} ≥ bound {bound} on edge {e}"
                 );
             }
-            assert!(sol.cost <= sol.splittable_cost + 1e-6 || sol.cost <= sol.splittable_cost * 1.0 + 1e-6);
+            assert!(
+                sol.cost <= sol.splittable_cost + 1e-6
+                    || sol.cost <= sol.splittable_cost * 1.0 + 1e-6
+            );
         }
     }
 
@@ -343,7 +381,10 @@ mod tests {
         let s = g.add_node();
         let t = g.add_node();
         g.add_edge(s, t);
-        let demands = [Demand { dest: t, demand: 5.0 }];
+        let demands = [Demand {
+            dest: t,
+            demand: 5.0,
+        }];
         let err = solve_msufp(&g, &[1.0], &[1.0], s, &demands, 2).unwrap_err();
         assert_eq!(err, FlowError::Infeasible);
     }
@@ -357,9 +398,11 @@ mod tests {
         g.add_edge(s, a); // 0: cost 1
         g.add_edge(a, t); // 1: cost 1
         g.add_edge(s, t); // 2: cost 10
-        let demands = [Demand { dest: t, demand: 1.0 }];
-        let sol =
-            solve_msufp(&g, &[1.0, 1.0, 10.0], &[5.0, 5.0, 5.0], s, &demands, 3).unwrap();
+        let demands = [Demand {
+            dest: t,
+            demand: 1.0,
+        }];
+        let sol = solve_msufp(&g, &[1.0, 1.0, 10.0], &[5.0, 5.0, 5.0], s, &demands, 3).unwrap();
         assert_eq!(sol.paths[0].nodes(&g), vec![s, a, t]);
         assert!((sol.cost - 2.0).abs() < 1e-9);
     }
@@ -379,7 +422,10 @@ mod tests {
         let (g, s, leaves, cost, cap) = fan();
         let demands: Vec<Demand> = leaves
             .iter()
-            .map(|&l| Demand { dest: l, demand: 1.5 })
+            .map(|&l| Demand {
+                dest: l,
+                demand: 1.5,
+            })
             .collect();
         let c1 = solve_msufp(&g, &cost, &cap, s, &demands, 1).unwrap().cost;
         let c8 = solve_msufp(&g, &cost, &cap, s, &demands, 8).unwrap().cost;

@@ -3,7 +3,8 @@
 //! (MMUFP) approached with the heuristics the paper evaluates
 //! (LP relaxation + randomized rounding, and greedy sequential routing).
 
-use rand::Rng;
+use jcr_ctx::rng::Rng;
+use jcr_ctx::{Counter, Phase, SolverContext};
 
 use jcr_graph::{shortest, DiGraph, NodeId, Path};
 use jcr_lp::{Model, Sense};
@@ -64,9 +65,32 @@ pub fn min_cost_multicommodity(
     cap: &[f64],
     commodities: &[Commodity],
 ) -> Result<McfSolution, FlowError> {
+    min_cost_multicommodity_with_context(g, cost, cap, commodities, &SolverContext::new())
+}
+
+/// [`min_cost_multicommodity`] under an explicit [`SolverContext`]: the
+/// context's deadline and `Phase::ColumnGeneration` iteration cap bound the
+/// pricing loop, generated columns and Dijkstra runs are counted, and the
+/// master LP solves inherit the context's simplex budget.
+///
+/// # Errors
+///
+/// Same as [`min_cost_multicommodity`], plus [`FlowError::Budget`] when a
+/// budget trips mid-solve.
+pub fn min_cost_multicommodity_with_context(
+    g: &DiGraph,
+    cost: &[f64],
+    cap: &[f64],
+    commodities: &[Commodity],
+    ctx: &SolverContext,
+) -> Result<McfSolution, FlowError> {
+    let _t = ctx.time(Phase::ColumnGeneration);
     debug_assert!(cost.iter().all(|c| *c >= 0.0));
     if commodities.is_empty() {
-        return Ok(McfSolution { path_flows: Vec::new(), cost: 0.0 });
+        return Ok(McfSolution {
+            path_flows: Vec::new(),
+            cost: 0.0,
+        });
     }
     let big = 1e3
         + 10.0
@@ -106,8 +130,9 @@ pub fn min_cost_multicommodity(
     }
 
     let max_rounds = 40 * commodities.len() + 2000;
-    let mut solution = solver.solve()?;
+    let mut solution = solver.solve_with_context(ctx)?;
     for _round in 0..max_rounds {
+        ctx.check(Phase::ColumnGeneration)?;
         // Pricing: reduced cost of path p for commodity i is
         //   Σ_{e∈p} (w_e − y_e) − σ_i
         // with y_e the (non-positive) capacity duals and σ_i the demand
@@ -125,7 +150,7 @@ pub fn min_cost_multicommodity(
             if members.is_empty() {
                 continue;
             }
-            let tree = shortest::dijkstra(g, NodeId::new(src), &weights);
+            let tree = shortest::dijkstra_with_context(g, NodeId::new(src), &weights, ctx);
             for &i in members {
                 let sigma = solution.duals[demand_rows[i].index()];
                 let Some(path) = tree.path(commodities[i].dest) else {
@@ -144,6 +169,7 @@ pub fn min_cost_multicommodity(
                     }
                     let obj = path.cost(cost);
                     solver.add_column(0.0, f64::INFINITY, obj, &column);
+                    ctx.count(Counter::CgColumns, 1);
                     col_paths.push((i, path));
                     added = true;
                 }
@@ -152,7 +178,7 @@ pub fn min_cost_multicommodity(
         if !added {
             break;
         }
-        solution = solver.solve()?;
+        solution = solver.solve_with_context(ctx)?;
     }
 
     // Check artificials.
@@ -169,10 +195,16 @@ pub fn min_cost_multicommodity(
         let x = solution.x[n_art + k];
         if x > FLOW_EPS {
             total += x * path.cost(cost);
-            path_flows[*i].push(PathFlow { path: path.clone(), amount: x });
+            path_flows[*i].push(PathFlow {
+                path: path.clone(),
+                amount: x,
+            });
         }
     }
-    Ok(McfSolution { path_flows, cost: total })
+    Ok(McfSolution {
+        path_flows,
+        cost: total,
+    })
 }
 
 /// An unsplittable routing: one path per commodity.
@@ -187,12 +219,7 @@ pub struct UnsplittableSolution {
 }
 
 impl UnsplittableSolution {
-    fn from_paths(
-        g: &DiGraph,
-        cost: &[f64],
-        commodities: &[Commodity],
-        paths: Vec<Path>,
-    ) -> Self {
+    fn from_paths(g: &DiGraph, cost: &[f64], commodities: &[Commodity], paths: Vec<Path>) -> Self {
         let mut link_loads = vec![0.0; g.edge_count()];
         let mut total = 0.0;
         for (p, c) in paths.iter().zip(commodities) {
@@ -201,7 +228,11 @@ impl UnsplittableSolution {
                 link_loads[e.index()] += c.demand;
             }
         }
-        UnsplittableSolution { paths, cost: total, link_loads }
+        UnsplittableSolution {
+            paths,
+            cost: total,
+            link_loads,
+        }
     }
 
     /// Maximum load-to-capacity ratio over finite-capacity links.
@@ -236,7 +267,38 @@ pub fn randomized_rounding<R: Rng>(
     draws: usize,
     rng: &mut R,
 ) -> UnsplittableSolution {
+    randomized_rounding_with_context(
+        g,
+        cost,
+        cap,
+        commodities,
+        mcf,
+        draws,
+        rng,
+        &SolverContext::new(),
+    )
+}
+
+/// [`randomized_rounding`] under an explicit [`SolverContext`]: each draw
+/// is counted as a rounding pass and timed under `Phase::Rounding`.
+///
+/// # Panics
+///
+/// Same as [`randomized_rounding`].
+#[allow(clippy::too_many_arguments)]
+pub fn randomized_rounding_with_context<R: Rng>(
+    g: &DiGraph,
+    cost: &[f64],
+    cap: &[f64],
+    commodities: &[Commodity],
+    mcf: &McfSolution,
+    draws: usize,
+    rng: &mut R,
+    ctx: &SolverContext,
+) -> UnsplittableSolution {
     assert!(draws >= 1, "at least one draw required");
+    let _t = ctx.time(Phase::Rounding);
+    ctx.count(Counter::RoundingPasses, draws as u64);
     let mut best: Option<(f64, f64, Vec<Path>)> = None;
     for _ in 0..draws {
         let mut paths = Vec::with_capacity(commodities.len());
@@ -265,6 +327,8 @@ pub fn randomized_rounding<R: Rng>(
             best = Some((key.0, key.1, candidate.paths));
         }
     }
+    // `best` is Some: `draws >= 1` is asserted above and every iteration
+    // either sets it or loses the lexicographic comparison to a prior one.
     let (_, _, paths) = best.expect("at least one draw");
     UnsplittableSolution::from_paths(g, cost, commodities, paths)
 }
@@ -313,14 +377,22 @@ pub fn greedy_unsplittable(
         }
         paths[i] = Some(path);
     }
+    // Every index of `paths` was assigned: `order` is a permutation of
+    // `0..commodities.len()` and the loop either routes index `i` or
+    // returns `Infeasible`.
     let paths = paths.into_iter().map(|p| p.expect("routed")).collect();
-    Ok(UnsplittableSolution::from_paths(g, cost, commodities, paths))
+    Ok(UnsplittableSolution::from_paths(
+        g,
+        cost,
+        commodities,
+        paths,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use jcr_ctx::rng::SeedableRng;
 
     /// Two commodities sharing a bottleneck: the LP must split around it.
     fn bottleneck_instance() -> (DiGraph, Vec<f64>, Vec<f64>, Vec<Commodity>) {
@@ -347,8 +419,16 @@ mod tests {
         cost.push(10.0);
         cap.push(10.0);
         let commodities = vec![
-            Commodity { source: s1, dest: t, demand: 1.0 },
-            Commodity { source: s2, dest: t, demand: 1.0 },
+            Commodity {
+                source: s1,
+                dest: t,
+                demand: 1.0,
+            },
+            Commodity {
+                source: s2,
+                dest: t,
+                demand: 1.0,
+            },
         ];
         (g, cost, cap, commodities)
     }
@@ -391,7 +471,11 @@ mod tests {
         let mut g = DiGraph::new();
         let a = g.add_node();
         let b = g.add_node();
-        let commodities = [Commodity { source: a, dest: b, demand: 1.0 }];
+        let commodities = [Commodity {
+            source: a,
+            dest: b,
+            demand: 1.0,
+        }];
         let err = min_cost_multicommodity(&g, &[], &[], &commodities).unwrap_err();
         assert_eq!(err, FlowError::Infeasible);
     }
@@ -400,7 +484,7 @@ mod tests {
     fn randomized_rounding_respects_flow_support() {
         let (g, cost, cap, commodities) = bottleneck_instance();
         let mcf = min_cost_multicommodity(&g, &cost, &cap, &commodities).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(42);
         let sol = randomized_rounding(&g, &cost, &cap, &commodities, &mcf, 20, &mut rng);
         assert_eq!(sol.paths.len(), 2);
         for (p, c) in sol.paths.iter().zip(&commodities) {
@@ -430,7 +514,11 @@ mod tests {
         let s = g.add_node();
         let t = g.add_node();
         g.add_edge(s, t);
-        let commodities = [Commodity { source: s, dest: t, demand: 2.0 }];
+        let commodities = [Commodity {
+            source: s,
+            dest: t,
+            demand: 2.0,
+        }];
         let sol = greedy_unsplittable(&g, &[1.0], &[1.0], &commodities).unwrap();
         assert!((sol.congestion(&[1.0]) - 2.0).abs() < 1e-9);
     }

@@ -55,7 +55,7 @@ pub fn round_to_unsplittable(
         .iter()
         .map(|c| c.demand)
         .fold(f64::INFINITY, f64::min);
-    if !(base > 0.0) {
+    if base.is_nan() || base <= 0.0 {
         return Err(FlowError::Numerical("non-positive demand".into()));
     }
     // Group commodity indices by class exponent q.
@@ -85,8 +85,7 @@ pub fn round_to_unsplittable(
             if class_of[idx] != q {
                 continue;
             }
-            let Some(path) =
-                positive_flow_path_min(g, &flow, source, c.dest, d * (1.0 - 1e-6))
+            let Some(path) = positive_flow_path_min(g, &flow, source, c.dest, d * (1.0 - 1e-6))
             else {
                 return Err(FlowError::Numerical(format!(
                     "no flow-carrying path to {:?} at class {d}",
@@ -102,10 +101,17 @@ pub fn round_to_unsplittable(
             paths[idx] = Some(path);
         }
     }
-    Ok(paths
+    // Every commodity was visited at its own class `q`; if float trouble
+    // ever breaks that, report it instead of panicking.
+    paths
         .into_iter()
-        .map(|p| p.expect("every commodity routed"))
-        .collect())
+        .enumerate()
+        .map(|(i, p)| {
+            p.ok_or_else(|| {
+                FlowError::Numerical(format!("commodity {i} never routed by its class"))
+            })
+        })
+        .collect()
 }
 
 /// Pushes flow around cycles of non-`d`-integral arcs (in the direction of
@@ -137,7 +143,13 @@ fn make_d_integral(
         // arcs; the opposite orientation does the reverse.
         let dir_cost: f64 = cycle
             .iter()
-            .map(|&(e, fwd)| if fwd { cost[e.index()] } else { -cost[e.index()] })
+            .map(|&(e, fwd)| {
+                if fwd {
+                    cost[e.index()]
+                } else {
+                    -cost[e.index()]
+                }
+            })
             .sum();
         // Choose the orientation with non-positive cost.
         let flip = dir_cost > 0.0;
@@ -156,7 +168,7 @@ fn make_d_integral(
             };
             delta = delta.min(step);
         }
-        if !(delta > tol) {
+        if delta.is_nan() || delta <= tol {
             return Err(FlowError::Numerical(
                 "degenerate cycle push in d-integral rounding".into(),
             ));
@@ -185,12 +197,7 @@ fn make_d_integral(
 /// Flow conservation modulo `d` ensures every node touching a
 /// non-integral arc touches at least two, so the non-integral subgraph has
 /// minimum degree 2 and contains a cycle whenever it is non-empty.
-fn fractional_cycle(
-    g: &DiGraph,
-    flow: &[f64],
-    d: f64,
-    tol: f64,
-) -> Option<Vec<(EdgeId, bool)>> {
+fn fractional_cycle(g: &DiGraph, flow: &[f64], d: f64, tol: f64) -> Option<Vec<(EdgeId, bool)>> {
     let is_fractional = |e: EdgeId| {
         let f = flow[e.index()];
         let m = (f / d).round() * d;
@@ -228,9 +235,7 @@ fn fractional_cycle(
         }
         // Degree-1 fallback (should not happen under conservation mod d,
         // but numerically possible): re-use the incoming edge.
-        let (e, fwd) = next.or_else(|| {
-            last_edge.map(|e| (e, g.src(e) == cur))
-        })?;
+        let (e, fwd) = next.or_else(|| last_edge.map(|e| (e, g.src(e) == cur)))?;
         walk.push((e, fwd));
         cur = if fwd { g.dst(e) } else { g.src(e) };
         last_edge = Some(e);
@@ -262,7 +267,10 @@ mod tests {
         flow[at.index()] = 1.0;
         flow[sb.index()] = 1.0;
         flow[bt.index()] = 1.0;
-        let comm = [ClassCommodity { dest: t, demand: 2.0 }];
+        let comm = [ClassCommodity {
+            dest: t,
+            demand: 2.0,
+        }];
         let paths = round_to_unsplittable(&g, &cost, flow, s, &comm).unwrap();
         assert_eq!(paths.len(), 1);
         // The cheap route (via a) must be chosen: pushing the cycle in the
@@ -288,8 +296,14 @@ mod tests {
         flow[sy.index()] = 1.5;
         flow[xy.index()] = 0.5;
         let comm = [
-            ClassCommodity { dest: x, demand: 1.0 },
-            ClassCommodity { dest: y, demand: 2.0 },
+            ClassCommodity {
+                dest: x,
+                demand: 1.0,
+            },
+            ClassCommodity {
+                dest: y,
+                demand: 2.0,
+            },
         ];
         let paths = round_to_unsplittable(&g, &cost, flow, s, &comm).unwrap();
         assert_eq!(paths[0].target(&g), Some(x));
@@ -326,14 +340,16 @@ mod tests {
         flow[e[3].index()] = 1.0;
         flow[e[4].index()] = 0.5;
         flow[e[5].index()] = 0.5;
-        let split_cost: f64 = flow
-            .iter()
-            .zip(&cost)
-            .map(|(f, c)| f * c)
-            .sum();
+        let split_cost: f64 = flow.iter().zip(&cost).map(|(f, c)| f * c).sum();
         let comm = [
-            ClassCommodity { dest: t1, demand: 2.0 },
-            ClassCommodity { dest: t2, demand: 1.0 },
+            ClassCommodity {
+                dest: t1,
+                demand: 2.0,
+            },
+            ClassCommodity {
+                dest: t2,
+                demand: 1.0,
+            },
         ];
         let paths = round_to_unsplittable(&g, &cost, flow, s, &comm).unwrap();
         let unsplit_cost: f64 = paths
@@ -354,11 +370,16 @@ mod tests {
         let t = g.add_node();
         g.add_edge(s, t);
         let comm = [
-            ClassCommodity { dest: t, demand: 1.0 },
-            ClassCommodity { dest: t, demand: 3.0 },
+            ClassCommodity {
+                dest: t,
+                demand: 1.0,
+            },
+            ClassCommodity {
+                dest: t,
+                demand: 3.0,
+            },
         ];
-        let err =
-            round_to_unsplittable(&g, &[1.0], vec![4.0], s, &comm).unwrap_err();
+        let err = round_to_unsplittable(&g, &[1.0], vec![4.0], s, &comm).unwrap_err();
         assert!(matches!(err, FlowError::Numerical(_)));
     }
 

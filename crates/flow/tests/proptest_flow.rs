@@ -1,15 +1,18 @@
-//! Property-based tests for the flow substrate: conservation, optimality
-//! cross-checks against the LP formulation, decomposition identities, and
-//! the Theorem 4.7 guarantees of the MSUFP algorithm on random networks.
+//! Randomized property tests for the flow substrate: conservation,
+//! optimality cross-checks against the LP formulation, decomposition
+//! identities, and the Theorem 4.7 guarantees of the MSUFP algorithm on
+//! random networks. Instances are drawn from the in-tree seeded PRNG, so
+//! every run checks the same cases.
 
-use proptest::prelude::*;
-
+use jcr_ctx::rng::{Rng, SeedableRng, StdRng};
 use jcr_flow::cyclecancel::min_cost_flow_cycle_canceling;
 use jcr_flow::decompose::{cancel_cycles, decompose_single_source};
 use jcr_flow::mincost::{min_cost_flow, single_source_min_cost_flow};
 use jcr_flow::msufp::{solve_msufp, Demand};
 use jcr_flow::FlowError;
 use jcr_graph::{DiGraph, NodeId};
+
+const CASES: u64 = 48;
 
 /// A random layered network: source 0, one mid layer, sinks, with
 /// generous fallback edges so demands are always feasible.
@@ -22,24 +25,17 @@ struct Net {
     demands: Vec<f64>,
 }
 
-fn random_net() -> impl Strategy<Value = Net> {
-    (1usize..4, 1usize..4).prop_flat_map(|(n_mid, n_sink)| {
-        let m = n_mid + n_mid * n_sink + n_sink;
-        (
-            Just(n_mid),
-            Just(n_sink),
-            proptest::collection::vec(0.1f64..10.0, m..=m),
-            proptest::collection::vec(0.3f64..4.0, m..=m),
-            proptest::collection::vec(0.1f64..2.0, n_sink..=n_sink),
-        )
-            .prop_map(|(n_mid, n_sink, cost_seed, cap_seed, demands)| Net {
-                n_mid,
-                n_sink,
-                cost_seed,
-                cap_seed,
-                demands,
-            })
-    })
+fn random_net(rng: &mut StdRng) -> Net {
+    let n_mid = rng.gen_range(1..4usize);
+    let n_sink = rng.gen_range(1..4usize);
+    let m = n_mid + n_mid * n_sink + n_sink;
+    Net {
+        n_mid,
+        n_sink,
+        cost_seed: (0..m).map(|_| rng.gen_range(0.1..10.0)).collect(),
+        cap_seed: (0..m).map(|_| rng.gen_range(0.3..4.0)).collect(),
+        demands: (0..n_sink).map(|_| rng.gen_range(0.1..2.0)).collect(),
+    }
 }
 
 /// Builds the graph: source → mids → sinks plus direct source → sink
@@ -76,61 +72,87 @@ fn build(net: &Net) -> (DiGraph, Vec<f64>, Vec<f64>, NodeId, Vec<NodeId>) {
     (g, cost, cap, s, sinks)
 }
 
-fn check_conservation(g: &DiGraph, flow: &[f64], supply: &[f64]) -> Result<(), TestCaseError> {
+fn check_conservation(g: &DiGraph, flow: &[f64], supply: &[f64]) {
     for v in g.nodes() {
         let outflow: f64 = g.out_edges(v).iter().map(|e| flow[e.index()]).sum();
         let inflow: f64 = g.in_edges(v).iter().map(|e| flow[e.index()]).sum();
-        prop_assert!(
+        assert!(
             (outflow - inflow - supply[v.index()]).abs() < 1e-6,
             "conservation violated at {v:?}"
         );
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Min-cost flow: conservation, capacity, and optimality vs the LP.
-    #[test]
-    fn min_cost_flow_matches_lp(net in random_net()) {
+/// Min-cost flow: conservation, capacity, and optimality vs the LP.
+#[test]
+fn min_cost_flow_matches_lp() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x666c_6f77 + case);
+        let net = random_net(&mut rng);
         let (g, cost, cap, s, sinks) = build(&net);
-        let demands: Vec<(NodeId, f64)> = sinks.iter().copied().zip(net.demands.iter().copied()).collect();
+        let demands: Vec<(NodeId, f64)> = sinks
+            .iter()
+            .copied()
+            .zip(net.demands.iter().copied())
+            .collect();
         let mcf = single_source_min_cost_flow(&g, &cost, &cap, s, &demands).unwrap();
         let mut supply = vec![0.0; g.node_count()];
         for &(d, a) in &demands {
             supply[d.index()] -= a;
             supply[s.index()] += a;
         }
-        check_conservation(&g, &mcf.flow, &supply)?;
+        check_conservation(&g, &mcf.flow, &supply);
         for e in g.edges() {
-            prop_assert!(mcf.flow[e.index()] <= cap[e.index()] + 1e-6);
-            prop_assert!(mcf.flow[e.index()] >= -1e-9);
+            assert!(mcf.flow[e.index()] <= cap[e.index()] + 1e-6);
+            assert!(mcf.flow[e.index()] >= -1e-9);
         }
         // LP cross-check.
         let mut m = jcr_lp::Model::new(jcr_lp::Sense::Minimize);
-        let vars: Vec<_> = g.edges().map(|e| m.add_var(0.0, cap[e.index()], cost[e.index()])).collect();
+        let vars: Vec<_> = g
+            .edges()
+            .map(|e| m.add_var(0.0, cap[e.index()], cost[e.index()]))
+            .collect();
         for v in g.nodes() {
             let mut entries = Vec::new();
-            for &e in g.out_edges(v) { entries.push((vars[e.index()], 1.0)); }
-            for &e in g.in_edges(v) { entries.push((vars[e.index()], -1.0)); }
+            for &e in g.out_edges(v) {
+                entries.push((vars[e.index()], 1.0));
+            }
+            for &e in g.in_edges(v) {
+                entries.push((vars[e.index()], -1.0));
+            }
             m.add_row(supply[v.index()], supply[v.index()], &entries);
         }
         let lp = m.solve().unwrap();
-        prop_assert!((lp.objective - mcf.cost).abs() < 1e-5 * (1.0 + mcf.cost),
-            "LP {} vs SSP {}", lp.objective, mcf.cost);
+        assert!(
+            (lp.objective - mcf.cost).abs() < 1e-5 * (1.0 + mcf.cost),
+            "case {case}: LP {} vs SSP {}",
+            lp.objective,
+            mcf.cost
+        );
         // Third opinion: the independent cycle-canceling solver.
         let cc = min_cost_flow_cycle_canceling(&g, &cost, &cap, &supply).unwrap();
-        prop_assert!((cc.cost - mcf.cost).abs() < 1e-5 * (1.0 + mcf.cost),
-            "cycle-canceling {} vs SSP {}", cc.cost, mcf.cost);
+        assert!(
+            (cc.cost - mcf.cost).abs() < 1e-5 * (1.0 + mcf.cost),
+            "case {case}: cycle-canceling {} vs SSP {}",
+            cc.cost,
+            mcf.cost
+        );
     }
+}
 
-    /// Decomposition re-composes to the original (acyclic) flow, and every
-    /// path is simple with the right endpoints.
-    #[test]
-    fn decomposition_identity(net in random_net()) {
+/// Decomposition re-composes to the original (acyclic) flow, and every
+/// path is simple with the right endpoints.
+#[test]
+fn decomposition_identity() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xdec0 + case);
+        let net = random_net(&mut rng);
         let (g, cost, cap, s, sinks) = build(&net);
-        let demands: Vec<(NodeId, f64)> = sinks.iter().copied().zip(net.demands.iter().copied()).collect();
+        let demands: Vec<(NodeId, f64)> = sinks
+            .iter()
+            .copied()
+            .zip(net.demands.iter().copied())
+            .collect();
         let mcf = single_source_min_cost_flow(&g, &cost, &cap, s, &demands).unwrap();
         let mut acyclic = mcf.flow.clone();
         cancel_cycles(&g, &mut acyclic);
@@ -138,62 +160,82 @@ proptest! {
         let mut recomposed = vec![0.0; g.edge_count()];
         for (pfs, &(dest, amount)) in paths.iter().zip(&demands) {
             let total: f64 = pfs.iter().map(|p| p.amount).sum();
-            prop_assert!((total - amount).abs() < 1e-6);
+            assert!((total - amount).abs() < 1e-6);
             for pf in pfs {
-                prop_assert!(pf.path.is_valid(&g));
-                prop_assert!(!pf.path.has_repeated_node(&g));
-                prop_assert_eq!(pf.path.source(&g), Some(s));
-                prop_assert_eq!(pf.path.target(&g), Some(dest));
+                assert!(pf.path.is_valid(&g));
+                assert!(!pf.path.has_repeated_node(&g));
+                assert_eq!(pf.path.source(&g), Some(s));
+                assert_eq!(pf.path.target(&g), Some(dest));
                 for e in pf.path.edges() {
                     recomposed[e.index()] += pf.amount;
                 }
             }
         }
         for e in g.edges() {
-            prop_assert!(recomposed[e.index()] <= acyclic[e.index()] + 1e-6);
+            assert!(recomposed[e.index()] <= acyclic[e.index()] + 1e-6);
         }
     }
+}
 
-    /// Theorem 4.7 on random instances: cost within the splittable bound
-    /// and link loads within the bicriteria bound, for several K.
-    #[test]
-    fn msufp_theorem_4_7(net in random_net(), k in 1u32..6) {
+/// Theorem 4.7 on random instances: cost within the splittable bound
+/// and link loads within the bicriteria bound, for several K.
+#[test]
+fn msufp_theorem_4_7() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6d73 + case);
+        let net = random_net(&mut rng);
+        let k = rng.gen_range(1..6u32);
         let (g, cost, cap, s, sinks) = build(&net);
-        let demands: Vec<Demand> = sinks.iter().copied().zip(net.demands.iter().copied())
+        let demands: Vec<Demand> = sinks
+            .iter()
+            .copied()
+            .zip(net.demands.iter().copied())
             .map(|(dest, demand)| Demand { dest, demand })
             .collect();
         let sol = match solve_msufp(&g, &cost, &cap, s, &demands, k) {
             Ok(sol) => sol,
-            Err(FlowError::Infeasible) => return Ok(()), // capacities too tight
-            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+            Err(FlowError::Infeasible) => continue, // capacities too tight
+            Err(e) => panic!("case {case}: {e}"),
         };
         // (i) cost within the splittable optimum.
-        prop_assert!(sol.cost <= sol.splittable_cost + 1e-6,
-            "cost {} above splittable {}", sol.cost, sol.splittable_cost);
+        assert!(
+            sol.cost <= sol.splittable_cost + 1e-6,
+            "case {case}: cost {} above splittable {}",
+            sol.cost,
+            sol.splittable_cost
+        );
         // (ii) congestion within the bicriteria bound.
         let lambda_max = net.demands.iter().cloned().fold(0.0f64, f64::max);
         let factor = (2f64).powf(1.0 / f64::from(k));
         for e in g.edges() {
             let bound = factor / (2.0 * (factor - 1.0)) * lambda_max + factor * cap[e.index()];
-            prop_assert!(sol.link_loads[e.index()] < bound + 1e-6,
-                "K={k}: load {} ≥ bound {bound}", sol.link_loads[e.index()]);
+            assert!(
+                sol.link_loads[e.index()] < bound + 1e-6,
+                "case {case}, K={k}: load {} ≥ bound {bound}",
+                sol.link_loads[e.index()]
+            );
         }
         // Every commodity routed source → destination on a simple path.
         for (p, d) in sol.paths.iter().zip(&demands) {
-            prop_assert_eq!(p.source(&g), Some(s));
-            prop_assert_eq!(p.target(&g), Some(d.dest));
-            prop_assert!(!p.has_repeated_node(&g));
+            assert_eq!(p.source(&g), Some(s));
+            assert_eq!(p.target(&g), Some(d.dest));
+            assert!(!p.has_repeated_node(&g));
         }
     }
+}
 
-    /// Balanced random supplies on a ring: min-cost flow always finds a
-    /// feasible conservative flow when a high-capacity ring exists.
-    #[test]
-    fn ring_with_random_supplies(n in 3usize..7, raw in proptest::collection::vec(-2.0f64..2.0, 3..7)) {
-        let n = n.min(raw.len());
-        let mut supply: Vec<f64> = raw[..n].to_vec();
+/// Balanced random supplies on a ring: min-cost flow always finds a
+/// feasible conservative flow when a high-capacity ring exists.
+#[test]
+fn ring_with_random_supplies() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7269_6e67 + case);
+        let n = rng.gen_range(3..7usize);
+        let mut supply: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
         let shift: f64 = supply.iter().sum::<f64>() / n as f64;
-        for s in &mut supply { *s -= shift; }
+        for s in &mut supply {
+            *s -= shift;
+        }
         let mut g = DiGraph::new();
         let nodes = g.add_nodes(n);
         let mut cost = Vec::new();
@@ -203,11 +245,11 @@ proptest! {
         }
         let cap = vec![100.0; n];
         let mcf = min_cost_flow(&g, &cost, &cap, &supply).unwrap();
-        check_conservation(&g, &mcf.flow, &supply)?;
+        check_conservation(&g, &mcf.flow, &supply);
     }
 }
 
-/// Deterministic replay of a proptest regression (cycle-canceling once
+/// Deterministic replay of a historical regression (cycle-canceling once
 /// stopped early on this fan network).
 #[test]
 fn cycle_canceling_regression_fan() {
@@ -228,7 +270,11 @@ fn cycle_canceling_regression_fan() {
         demands: vec![0.1, 0.1],
     };
     let (g, cost, cap, s, sinks) = build(&net);
-    let demands: Vec<(NodeId, f64)> = sinks.iter().copied().zip(net.demands.iter().copied()).collect();
+    let demands: Vec<(NodeId, f64)> = sinks
+        .iter()
+        .copied()
+        .zip(net.demands.iter().copied())
+        .collect();
     let mcf = single_source_min_cost_flow(&g, &cost, &cap, s, &demands).unwrap();
     let mut supply = vec![0.0; g.node_count()];
     for &(d, a) in &demands {

@@ -65,9 +65,7 @@ impl Path {
 
     /// Checks that consecutive edges chain head-to-tail in `g`.
     pub fn is_valid(&self, g: &DiGraph) -> bool {
-        self.edges
-            .windows(2)
-            .all(|w| g.dst(w[0]) == g.src(w[1]))
+        self.edges.windows(2).all(|w| g.dst(w[0]) == g.src(w[1]))
     }
 
     /// Whether the path visits any node more than once.

@@ -1,8 +1,16 @@
 //! Shortest-path algorithms: Dijkstra, Bellman–Ford, all-pairs least costs,
 //! and Yen's k-shortest simple paths.
+//!
+//! Repeated runs (all-pairs, SSP augmentations, Yen spurs) can reuse one
+//! [`DijkstraScratch`] to avoid reallocating the distance/parent/heap
+//! buffers per source, and every entry point has a `*_with_context`
+//! variant that records [`Counter::DijkstraCalls`] and Dijkstra phase time
+//! on a [`SolverContext`].
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+use jcr_ctx::{Counter, Phase, SolverContext};
 
 use crate::graph::{DiGraph, EdgeId, NodeId};
 use crate::path::Path;
@@ -33,6 +41,11 @@ impl ShortestPathTree {
     /// All distances, indexed by node index.
     pub fn dists(&self) -> &[f64] {
         &self.dist
+    }
+
+    /// Consumes the tree, returning the distance vector without copying.
+    pub fn into_dists(self) -> Vec<f64> {
+        self.dist
     }
 
     /// Whether `v` is reachable from the source.
@@ -84,7 +97,7 @@ impl ShortestPathTree {
 }
 
 /// Min-heap entry ordered by distance.
-#[derive(PartialEq)]
+#[derive(Debug, PartialEq)]
 struct HeapEntry {
     dist: f64,
     node: NodeId,
@@ -109,6 +122,50 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Reusable buffers for repeated Dijkstra runs (all-pairs computations,
+/// SSP augmentation loops, Yen spur searches). One scratch serves any
+/// number of runs on graphs of any size; buffers grow to the largest
+/// graph seen and are reset — not reallocated — per run.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    parent: Vec<Option<EdgeId>>,
+    done: Vec<bool>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl DijkstraScratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        DijkstraScratch::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.parent.clear();
+        self.parent.resize(n, None);
+        self.done.clear();
+        self.done.resize(n, false);
+        self.heap.clear();
+    }
+
+    /// Distances of the most recent run, indexed by node index.
+    pub fn dists(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Least cost to `v` in the most recent run.
+    pub fn dist(&self, v: NodeId) -> f64 {
+        self.dist[v.index()]
+    }
+
+    /// The tree edge entering `v` in the most recent run.
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent[v.index()]
+    }
+}
+
 /// Dijkstra's algorithm from `source` under non-negative edge costs.
 ///
 /// # Panics
@@ -116,6 +173,18 @@ impl PartialOrd for HeapEntry {
 /// Panics (in debug builds) if any edge cost is negative or NaN.
 pub fn dijkstra(g: &DiGraph, source: NodeId, cost: &[f64]) -> ShortestPathTree {
     dijkstra_filtered(g, source, cost, |_| true)
+}
+
+/// [`dijkstra`] that records the call and its wall time on `ctx`.
+pub fn dijkstra_with_context(
+    g: &DiGraph,
+    source: NodeId,
+    cost: &[f64],
+    ctx: &SolverContext,
+) -> ShortestPathTree {
+    let _t = ctx.time(Phase::Dijkstra);
+    ctx.count(Counter::DijkstraCalls, 1);
+    dijkstra(g, source, cost)
 }
 
 /// Dijkstra restricted to edges for which `usable` returns `true`.
@@ -126,42 +195,53 @@ pub fn dijkstra_filtered<F: FnMut(EdgeId) -> bool>(
     g: &DiGraph,
     source: NodeId,
     cost: &[f64],
-    mut usable: F,
+    usable: F,
 ) -> ShortestPathTree {
+    let mut scratch = DijkstraScratch::new();
+    dijkstra_filtered_into(g, source, cost, usable, &mut scratch);
+    let DijkstraScratch { dist, parent, .. } = scratch;
+    ShortestPathTree::from_parts(source, dist, parent, g)
+}
+
+/// [`dijkstra_filtered`] writing into `scratch` instead of allocating a
+/// tree: afterwards `scratch.dists()` / `scratch.parent_edge()` hold the
+/// result. This is the zero-allocation core every other variant wraps.
+pub fn dijkstra_filtered_into<F: FnMut(EdgeId) -> bool>(
+    g: &DiGraph,
+    source: NodeId,
+    cost: &[f64],
+    mut usable: F,
+    scratch: &mut DijkstraScratch,
+) {
     debug_assert_eq!(cost.len(), g.edge_count(), "cost slice length mismatch");
     debug_assert!(
         cost.iter().all(|c| *c >= 0.0),
         "dijkstra requires non-negative costs"
     );
-    let n = g.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<EdgeId>> = vec![None; n];
-    let mut done = vec![false; n];
-    let mut heap = BinaryHeap::new();
-    dist[source.index()] = 0.0;
-    heap.push(HeapEntry {
+    scratch.reset(g.node_count());
+    scratch.dist[source.index()] = 0.0;
+    scratch.heap.push(HeapEntry {
         dist: 0.0,
         node: source,
     });
-    while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
-        if done[v.index()] {
+    while let Some(HeapEntry { dist: d, node: v }) = scratch.heap.pop() {
+        if scratch.done[v.index()] {
             continue;
         }
-        done[v.index()] = true;
+        scratch.done[v.index()] = true;
         for &e in g.out_edges(v) {
             if !usable(e) {
                 continue;
             }
             let w = g.dst(e);
             let nd = d + cost[e.index()];
-            if nd < dist[w.index()] {
-                dist[w.index()] = nd;
-                parent[w.index()] = Some(e);
-                heap.push(HeapEntry { dist: nd, node: w });
+            if nd < scratch.dist[w.index()] {
+                scratch.dist[w.index()] = nd;
+                scratch.parent[w.index()] = Some(e);
+                scratch.heap.push(HeapEntry { dist: nd, node: w });
             }
         }
     }
-    ShortestPathTree::from_parts(source, dist, parent, g)
 }
 
 /// The error returned by [`bellman_ford`] when a negative-cost cycle is
@@ -220,11 +300,24 @@ pub fn bellman_ford(
 /// All-pairs least costs `w[v][s]` computed by one Dijkstra run per source.
 ///
 /// Entry `[v.index()][s.index()]` is the least cost of a `v -> s` path
-/// (`f64::INFINITY` if none exists).
+/// (`f64::INFINITY` if none exists). One [`DijkstraScratch`] is reused
+/// across all sources, so the only per-source allocation is the output
+/// row itself.
 pub fn all_pairs(g: &DiGraph, cost: &[f64]) -> Vec<Vec<f64>> {
+    let mut scratch = DijkstraScratch::new();
     g.nodes()
-        .map(|v| dijkstra(g, v, cost).dist.clone())
+        .map(|v| {
+            dijkstra_filtered_into(g, v, cost, |_| true, &mut scratch);
+            scratch.dist.clone()
+        })
         .collect()
+}
+
+/// [`all_pairs`] that records one Dijkstra call per source on `ctx`.
+pub fn all_pairs_with_context(g: &DiGraph, cost: &[f64], ctx: &SolverContext) -> Vec<Vec<f64>> {
+    let _t = ctx.time(Phase::Dijkstra);
+    ctx.count(Counter::DijkstraCalls, g.node_count() as u64);
+    all_pairs(g, cost)
 }
 
 /// Yen's algorithm: up to `k` least-cost *simple* paths from `src` to `dst`.
@@ -238,8 +331,36 @@ pub fn k_shortest_paths(
     k: usize,
     cost: &[f64],
 ) -> Vec<Path> {
+    k_shortest_paths_impl(g, src, dst, k, cost, None)
+}
+
+/// [`k_shortest_paths`] that records every internal Dijkstra run (the
+/// initial tree plus one per spur node tried) on `ctx`.
+pub fn k_shortest_paths_with_context(
+    g: &DiGraph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    cost: &[f64],
+    ctx: &SolverContext,
+) -> Vec<Path> {
+    let _t = ctx.time(Phase::Dijkstra);
+    k_shortest_paths_impl(g, src, dst, k, cost, Some(ctx))
+}
+
+fn k_shortest_paths_impl(
+    g: &DiGraph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    cost: &[f64],
+    ctx: Option<&SolverContext>,
+) -> Vec<Path> {
     if k == 0 {
         return Vec::new();
+    }
+    if let Some(ctx) = ctx {
+        ctx.count(Counter::DijkstraCalls, 1);
     }
     let tree = dijkstra(g, src, cost);
     let Some(first) = tree.path(dst) else {
@@ -271,6 +392,9 @@ pub fn k_shortest_paths(
                 banned_nodes[v.index()] = true;
             }
 
+            if let Some(ctx) = ctx {
+                ctx.count(Counter::DijkstraCalls, 1);
+            }
             let spur_tree = dijkstra_filtered(g, spur_node, cost, |e| {
                 !banned_edges[e.index()]
                     && !banned_nodes[g.src(e).index()]
@@ -284,9 +408,7 @@ pub fn k_shortest_paths(
                     continue;
                 }
                 let c = total.cost(cost);
-                if !result.contains(&total)
-                    && !candidates.iter().any(|(_, p)| *p == total)
-                {
+                if !result.contains(&total) && !candidates.iter().any(|(_, p)| *p == total) {
                     candidates.push((c, total));
                 }
             }
@@ -391,7 +513,10 @@ mod tests {
         let b = g.add_node();
         g.add_edge(a, b);
         g.add_edge(b, a);
-        assert!(matches!(bellman_ford(&g, a, &[1.0, -2.0]), Err(NegativeCycle)));
+        assert!(matches!(
+            bellman_ford(&g, a, &[1.0, -2.0]),
+            Err(NegativeCycle)
+        ));
     }
 
     #[test]

@@ -82,9 +82,7 @@ pub fn scc_filtered<F: Fn(EdgeId) -> bool>(g: &DiGraph, usable: F) -> Vec<Vec<No
 /// Whether the (filtered) subgraph is a DAG — i.e. every SCC is a single
 /// node without a usable self-loop.
 pub fn is_acyclic<F: Fn(EdgeId) -> bool>(g: &DiGraph, usable: F) -> bool {
-    let has_self_loop = g
-        .edges()
-        .any(|e| usable(e) && g.src(e) == g.dst(e));
+    let has_self_loop = g.edges().any(|e| usable(e) && g.src(e) == g.dst(e));
     if has_self_loop {
         return false;
     }

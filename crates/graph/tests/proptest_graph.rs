@@ -1,23 +1,21 @@
-//! Property-based tests for the graph substrate: algorithm agreement and
-//! structural invariants on random graphs.
+//! Randomized property tests for the graph substrate: algorithm
+//! agreement and structural invariants on random graphs drawn from the
+//! in-tree seeded PRNG (same cases every run).
 
-use proptest::prelude::*;
-
+use jcr_ctx::rng::{Rng, SeedableRng, StdRng};
 use jcr_graph::{shortest, DiGraph, NodeId};
 
-/// Strategy: a random directed graph as (node count, edge list, costs).
-fn random_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<f64>)> {
-    (2usize..10).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n, 0..n), 1..30);
-        edges.prop_flat_map(move |es| {
-            let m = es.len();
-            (
-                Just(n),
-                Just(es),
-                proptest::collection::vec(0.0f64..50.0, m..=m),
-            )
-        })
-    })
+const CASES: u64 = 256;
+
+/// A random directed graph as (node count, edge list, costs).
+fn random_graph(rng: &mut StdRng) -> (usize, Vec<(usize, usize)>, Vec<f64>) {
+    let n = rng.gen_range(2..10usize);
+    let m = rng.gen_range(1..30usize);
+    let edges: Vec<(usize, usize)> = (0..m)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+    let costs = (0..m).map(|_| rng.gen_range(0.0..50.0)).collect();
+    (n, edges, costs)
 }
 
 fn build(n: usize, edges: &[(usize, usize)]) -> DiGraph {
@@ -29,114 +27,140 @@ fn build(n: usize, edges: &[(usize, usize)]) -> DiGraph {
     g
 }
 
-proptest! {
-    /// Dijkstra and Bellman–Ford agree on non-negative costs.
-    #[test]
-    fn dijkstra_matches_bellman_ford((n, edges, costs) in random_graph()) {
+/// Dijkstra and Bellman–Ford agree on non-negative costs.
+#[test]
+fn dijkstra_matches_bellman_ford() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6469_6a6b + case);
+        let (n, edges, costs) = random_graph(&mut rng);
         let g = build(n, &edges);
         let src = NodeId::new(0);
         let dj = shortest::dijkstra(&g, src, &costs);
         let bf = shortest::bellman_ford(&g, src, &costs).expect("no negative cycles");
         for v in g.nodes() {
             let (a, b) = (dj.dist(v), bf.dist(v));
-            prop_assert!(
+            assert!(
                 (a.is_infinite() && b.is_infinite()) || (a - b).abs() < 1e-6,
-                "{v:?}: dijkstra {a} vs bellman-ford {b}"
+                "case {case}, {v:?}: dijkstra {a} vs bellman-ford {b}"
             );
         }
     }
+}
 
-    /// Reconstructed shortest paths are valid and their cost equals the
-    /// reported distance.
-    #[test]
-    fn paths_are_valid_and_cost_consistent((n, edges, costs) in random_graph()) {
+/// Reconstructed shortest paths are valid and their cost equals the
+/// reported distance.
+#[test]
+fn paths_are_valid_and_cost_consistent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7061_7468 + case);
+        let (n, edges, costs) = random_graph(&mut rng);
         let g = build(n, &edges);
         let src = NodeId::new(0);
         let tree = shortest::dijkstra(&g, src, &costs);
         for v in g.nodes() {
             if let Some(path) = tree.path(v) {
-                prop_assert!(path.is_valid(&g));
+                assert!(path.is_valid(&g));
                 if !path.is_empty() {
-                    prop_assert_eq!(path.source(&g), Some(src));
-                    prop_assert_eq!(path.target(&g), Some(v));
+                    assert_eq!(path.source(&g), Some(src));
+                    assert_eq!(path.target(&g), Some(v));
                 }
-                prop_assert!((path.cost(&costs) - tree.dist(v)).abs() < 1e-6);
+                assert!((path.cost(&costs) - tree.dist(v)).abs() < 1e-6);
             }
         }
     }
+}
 
-    /// Triangle inequality of the all-pairs matrix.
-    #[test]
-    fn all_pairs_triangle_inequality((n, edges, costs) in random_graph()) {
+/// Triangle inequality of the all-pairs matrix.
+#[test]
+fn all_pairs_triangle_inequality() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6170_7370 + case);
+        let (n, edges, costs) = random_graph(&mut rng);
         let g = build(n, &edges);
         let d = shortest::all_pairs(&g, &costs);
         for a in 0..n {
             for b in 0..n {
                 for c in 0..n {
                     if d[a][b].is_finite() && d[b][c].is_finite() {
-                        prop_assert!(d[a][c] <= d[a][b] + d[b][c] + 1e-6);
+                        assert!(d[a][c] <= d[a][b] + d[b][c] + 1e-6, "case {case}");
                     }
                 }
             }
         }
     }
+}
 
-    /// Yen's paths are simple, distinct, sorted by cost, and start with
-    /// the true shortest path.
-    #[test]
-    fn yen_invariants((n, edges, costs) in random_graph()) {
+/// Yen's paths are simple, distinct, sorted by cost, and start with
+/// the true shortest path.
+#[test]
+fn yen_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7965_6e21 + case);
+        let (n, edges, costs) = random_graph(&mut rng);
         let g = build(n, &edges);
         let src = NodeId::new(0);
         let dst = NodeId::new(n - 1);
         let paths = shortest::k_shortest_paths(&g, src, dst, 5, &costs);
         let tree = shortest::dijkstra(&g, src, &costs);
         if let Some(first) = paths.first() {
-            prop_assert!((first.cost(&costs) - tree.dist(dst)).abs() < 1e-6);
+            assert!(
+                (first.cost(&costs) - tree.dist(dst)).abs() < 1e-6,
+                "case {case}"
+            );
         } else {
-            prop_assert!(!tree.is_reachable(dst) || src == dst);
+            assert!(!tree.is_reachable(dst) || src == dst, "case {case}");
         }
         for w in paths.windows(2) {
-            prop_assert!(w[0].cost(&costs) <= w[1].cost(&costs) + 1e-9);
-            prop_assert!(w[0] != w[1], "duplicate path");
+            assert!(w[0].cost(&costs) <= w[1].cost(&costs) + 1e-9);
+            assert!(w[0] != w[1], "duplicate path in case {case}");
         }
         for p in &paths {
-            prop_assert!(p.is_valid(&g));
-            prop_assert!(!p.has_repeated_node(&g), "non-simple path");
+            assert!(p.is_valid(&g));
+            assert!(!p.has_repeated_node(&g), "non-simple path in case {case}");
         }
     }
 }
 
-proptest! {
-    /// SCCs partition the node set, and contracting them yields a DAG
-    /// (equivalently: the graph is acyclic iff every SCC is trivial and
-    /// no self-loop exists), consistent with `topological_order`.
-    #[test]
-    fn scc_partition_and_acyclicity((n, edges, _costs) in random_graph()) {
-        use jcr_graph::structure::{is_acyclic, strongly_connected_components, topological_order};
+/// SCCs partition the node set, and contracting them yields a DAG
+/// (equivalently: the graph is acyclic iff every SCC is trivial and
+/// no self-loop exists), consistent with `topological_order`.
+#[test]
+fn scc_partition_and_acyclicity() {
+    use jcr_graph::structure::{is_acyclic, strongly_connected_components, topological_order};
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7363_6331 + case);
+        let (n, edges, _costs) = random_graph(&mut rng);
         let g = build(n, &edges);
         let sccs = strongly_connected_components(&g);
         let mut seen = vec![0usize; n];
         for c in &sccs {
-            prop_assert!(!c.is_empty());
+            assert!(!c.is_empty());
             for v in c {
                 seen[v.index()] += 1;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s == 1), "SCCs must partition the nodes");
+        assert!(
+            seen.iter().all(|&s| s == 1),
+            "SCCs must partition the nodes"
+        );
         let acyclic = is_acyclic(&g, |_| true);
-        prop_assert_eq!(acyclic, topological_order(&g).is_some());
+        assert_eq!(acyclic, topological_order(&g).is_some());
         if acyclic {
-            prop_assert!(sccs.iter().all(|c| c.len() == 1));
+            assert!(sccs.iter().all(|c| c.len() == 1));
         }
     }
+}
 
-    /// Nodes in one SCC reach each other; Tarjan emits components in
-    /// reverse topological order (no edge from an earlier to a later
-    /// component... i.e. edges can only go from later-emitted components
-    /// to earlier-emitted ones).
-    #[test]
-    fn scc_mutual_reachability((n, edges, _costs) in random_graph()) {
-        use jcr_graph::structure::strongly_connected_components;
+/// Nodes in one SCC reach each other; Tarjan emits components in
+/// reverse topological order (no edge from an earlier to a later
+/// component... i.e. edges can only go from later-emitted components
+/// to earlier-emitted ones).
+#[test]
+fn scc_mutual_reachability() {
+    use jcr_graph::structure::strongly_connected_components;
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7363_6332 + case);
+        let (n, edges, _costs) = random_graph(&mut rng);
         let g = build(n, &edges);
         let sccs = strongly_connected_components(&g);
         let mut comp_of = vec![0usize; n];
@@ -149,14 +173,14 @@ proptest! {
             let root = c[0];
             let reach = g.reachable_from(root, |_| true);
             for v in c {
-                prop_assert!(reach[v.index()], "{root:?} must reach {v:?} inside its SCC");
+                assert!(reach[v.index()], "{root:?} must reach {v:?} inside its SCC");
             }
         }
         // Reverse topological order: every edge goes to an equal-or-earlier
         // emitted component.
         for e in g.edges() {
             let (u, v) = g.endpoints(e);
-            prop_assert!(comp_of[u.index()] >= comp_of[v.index()]);
+            assert!(comp_of[u.index()] >= comp_of[v.index()]);
         }
     }
 }

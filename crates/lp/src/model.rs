@@ -110,7 +110,10 @@ impl Model {
     ///
     /// Panics if `lower > upper` or any argument is NaN.
     pub fn add_var(&mut self, lower: f64, upper: f64, obj: f64) -> VarId {
-        assert!(!lower.is_nan() && !upper.is_nan() && !obj.is_nan(), "NaN in variable");
+        assert!(
+            !lower.is_nan() && !upper.is_nan() && !obj.is_nan(),
+            "NaN in variable"
+        );
         assert!(lower <= upper, "variable lower bound exceeds upper bound");
         let id = VarId(self.obj.len());
         self.obj.push(obj);
@@ -231,10 +234,24 @@ impl Model {
         Simplex::new(self).solve()
     }
 
+    /// [`Model::solve`] under an explicit [`SolverContext`] — the context
+    /// bounds the pivot loop and records simplex statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`], plus [`LpError::Budget`] when the
+    /// context's deadline or simplex iteration cap trips.
+    pub fn solve_with_context(&self, ctx: &jcr_ctx::SolverContext) -> Result<Solution, LpError> {
+        Simplex::new(self).solve_with_context(ctx)
+    }
+
     /// Creates a reusable solver for this model, allowing columns to be
     /// added between solves (column generation) with warm starts.
     pub fn into_solver(self) -> ModelSolver {
-        ModelSolver { model: self, simplex: None }
+        ModelSolver {
+            model: self,
+            simplex: None,
+        }
     }
 }
 
@@ -292,11 +309,25 @@ impl ModelSolver {
     ///
     /// Same as [`Model::solve`].
     pub fn solve(&mut self) -> Result<Solution, LpError> {
+        self.solve_with_context(&jcr_ctx::SolverContext::new())
+    }
+
+    /// [`ModelSolver::solve`] under an explicit context (budgets +
+    /// instrumentation for the warm-started pivot loop).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Model::solve`], plus [`LpError::Budget`] when the
+    /// context's deadline or simplex iteration cap trips.
+    pub fn solve_with_context(
+        &mut self,
+        ctx: &jcr_ctx::SolverContext,
+    ) -> Result<Solution, LpError> {
         match &mut self.simplex {
-            Some(s) => s.resolve(&self.model),
+            Some(s) => s.resolve_with_context(&self.model, ctx),
             None => {
                 let mut s = Simplex::new(&self.model);
-                let result = s.solve();
+                let result = s.solve_with_context(ctx);
                 self.simplex = Some(s);
                 result
             }

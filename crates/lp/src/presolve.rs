@@ -40,12 +40,38 @@ pub fn solve(model: &Model) -> Result<Solution, LpError> {
     Ok(solution)
 }
 
+/// [`solve`] under an explicit [`jcr_ctx::SolverContext`]: the reduced
+/// LP's simplex obeys the context's budget and records its statistics.
+///
+/// # Errors
+///
+/// Same as [`solve`], plus [`LpError::Budget`] when the budget trips.
+pub fn solve_with_context(
+    model: &Model,
+    ctx: &jcr_ctx::SolverContext,
+) -> Result<Solution, LpError> {
+    let (solution, _info) = solve_with_info_ctx(model, ctx)?;
+    Ok(solution)
+}
+
 /// Like [`solve`], also reporting what presolve eliminated.
 ///
 /// # Errors
 ///
 /// Same as [`solve`].
 pub fn solve_with_info(model: &Model) -> Result<(Solution, PresolveInfo), LpError> {
+    solve_with_info_ctx(model, &jcr_ctx::SolverContext::new())
+}
+
+/// Like [`solve_with_info`], under an explicit context.
+///
+/// # Errors
+///
+/// Same as [`solve_with_context`].
+pub fn solve_with_info_ctx(
+    model: &Model,
+    ctx: &jcr_ctx::SolverContext,
+) -> Result<(Solution, PresolveInfo), LpError> {
     let n = model.num_vars();
     let m = model.num_rows();
     let tol = 1e-9;
@@ -173,9 +199,10 @@ pub fn solve_with_info(model: &Model) -> Result<(Solution, PresolveInfo), LpErro
         }
     }
 
-    let sub = reduced.solve()?;
+    let sub = reduced.solve_with_context(ctx)?;
 
-    // Map back.
+    // Map back. `var_map[j]` is Some exactly when `var_fixed[j]` is None —
+    // both were filled from the same `var_fixed` scan above.
     let mut x = vec![0.0; n];
     for j in 0..n {
         x[j] = match var_fixed[j] {
@@ -195,8 +222,15 @@ pub fn solve_with_info(model: &Model) -> Result<(Solution, PresolveInfo), LpErro
         }
     }
     Ok((
-        Solution { x, objective: sub.objective + fixed_obj, duals },
-        PresolveInfo { fixed_vars: fixed_count, dropped_rows: dropped_count },
+        Solution {
+            x,
+            objective: sub.objective + fixed_obj,
+            duals,
+        },
+        PresolveInfo {
+            fixed_vars: fixed_count,
+            dropped_rows: dropped_count,
+        },
     ))
 }
 
@@ -260,10 +294,10 @@ mod tests {
 
     #[test]
     fn matches_direct_on_random_lps() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        use jcr_ctx::rng::{Rng, SeedableRng};
+        let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(44);
         for _case in 0..30 {
-            let n = rng.gen_range(2..8);
+            let n = rng.gen_range(2..8usize);
             let mut m = Model::new(Sense::Minimize);
             let vars: Vec<_> = (0..n)
                 .map(|_| {
@@ -280,12 +314,14 @@ mod tests {
                 if rng.gen_bool(0.25) {
                     // Singleton row.
                     let j = rng.gen_range(0..n);
-                    m.add_row(f64::NEG_INFINITY, rng.gen_range(0.5..5.0), &[(vars[j], 1.0)]);
+                    m.add_row(
+                        f64::NEG_INFINITY,
+                        rng.gen_range(0.5..5.0),
+                        &[(vars[j], 1.0)],
+                    );
                 } else {
-                    let entries: Vec<_> = vars
-                        .iter()
-                        .map(|&v| (v, rng.gen_range(0.0..2.0)))
-                        .collect();
+                    let entries: Vec<_> =
+                        vars.iter().map(|&v| (v, rng.gen_range(0.0..2.0))).collect();
                     m.add_row(f64::NEG_INFINITY, rng.gen_range(2.0..10.0), &entries);
                 }
             }

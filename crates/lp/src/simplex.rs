@@ -14,6 +14,8 @@
 
 use std::fmt;
 
+use jcr_ctx::{BudgetExceeded, Counter, SolverContext};
+
 use crate::model::Model;
 
 /// Feasibility tolerance on variable bounds and row activities.
@@ -36,6 +38,9 @@ pub enum LpError {
     Unbounded,
     /// The solver lost too much numerical precision to certify an answer.
     Numerical(String),
+    /// A [`SolverContext`] budget (deadline or simplex iteration cap)
+    /// tripped mid-solve.
+    Budget(BudgetExceeded),
 }
 
 impl fmt::Display for LpError {
@@ -44,11 +49,18 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "infeasible linear program"),
             LpError::Unbounded => write!(f, "unbounded linear program"),
             LpError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            LpError::Budget(b) => write!(f, "{b}"),
         }
     }
 }
 
 impl std::error::Error for LpError {}
+
+impl From<BudgetExceeded> for LpError {
+    fn from(b: BudgetExceeded) -> Self {
+        LpError::Budget(b)
+    }
+}
 
 /// An optimal solution of a [`Model`](crate::Model).
 #[derive(Clone, Debug)]
@@ -181,7 +193,11 @@ impl Simplex {
     pub fn add_column(&mut self, model: &Model, var: usize) {
         debug_assert_eq!(var, self.n_struct, "columns must be added in order");
         let j_internal = self.n_struct; // new structural index
-        let obj = if self.maximize { -model.obj[var] } else { model.obj[var] };
+        let obj = if self.maximize {
+            -model.obj[var]
+        } else {
+            model.obj[var]
+        };
         self.c.insert(j_internal, obj);
         self.lo.insert(j_internal, model.lower[var]);
         self.up.insert(j_internal, model.upper[var]);
@@ -207,23 +223,41 @@ impl Simplex {
         }
     }
 
-    /// Solves from the current state.
+    /// Solves from the current state under a fresh default (unlimited)
+    /// context.
     pub fn solve(&mut self) -> Result<Solution, LpError> {
-        self.run(Phase::One)?;
+        self.solve_with_context(&SolverContext::new())
+    }
+
+    /// Solves from the current state; `ctx` bounds the pivot loop
+    /// ([`jcr_ctx::Phase::Simplex`] iteration cap and deadline) and records
+    /// pivot/refactorization counts and phase wall time.
+    pub fn solve_with_context(&mut self, ctx: &SolverContext) -> Result<Solution, LpError> {
+        let _t = ctx.time(jcr_ctx::Phase::Simplex);
+        self.run(Phase::One, ctx)?;
         if self.infeasibility() > FEAS_TOL * 10.0 {
             return Err(LpError::Infeasible);
         }
-        self.run(Phase::Two)?;
+        self.run(Phase::Two, ctx)?;
         Ok(self.extract())
     }
 
-    /// Re-solves after external modifications (e.g. new columns).
-    pub fn resolve(&mut self, model: &Model) -> Result<Solution, LpError> {
+    /// Re-solves after external modifications (e.g. new columns) under an
+    /// explicit context.
+    pub fn resolve_with_context(
+        &mut self,
+        model: &Model,
+        ctx: &SolverContext,
+    ) -> Result<Solution, LpError> {
         // Pick up objective changes on existing columns.
         for j in 0..self.n_struct {
-            self.c[j] = if self.maximize { -model.obj[j] } else { model.obj[j] };
+            self.c[j] = if self.maximize {
+                -model.obj[j]
+            } else {
+                model.obj[j]
+            };
         }
-        self.solve()
+        self.solve_with_context(ctx)
     }
 
     // ----- core machinery -------------------------------------------------
@@ -244,22 +278,28 @@ impl Simplex {
         }
     }
 
-    /// `B⁻¹ · A_j`.
-    fn ftran(&self, j: usize) -> Vec<f64> {
+    /// `B⁻¹ · A_j`, written into `out` (reused across pivots).
+    fn ftran_into(&self, j: usize, out: &mut [f64]) {
         let m = self.m;
-        let mut out = vec![0.0; m];
+        out.fill(0.0);
         self.for_col(j, |r, v| {
-            for i in 0..m {
-                out[i] += self.binv[i * m + r] * v;
+            for (i, o) in out.iter_mut().enumerate() {
+                *o += self.binv[i * m + r] * v;
             }
         });
-        out
     }
 
     /// `yᵀ = cbᵀ · B⁻¹` for the given basic cost vector.
     fn btran(&self, cb: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        self.btran_into(cb, &mut y);
+        y
+    }
+
+    /// [`Simplex::btran`] written into `y` (reused across pivots).
+    fn btran_into(&self, cb: &[f64], y: &mut [f64]) {
         let m = self.m;
-        let mut y = vec![0.0; m];
+        y.fill(0.0);
         for (i, &ci) in cb.iter().enumerate() {
             if ci != 0.0 {
                 let row = &self.binv[i * m..(i + 1) * m];
@@ -268,7 +308,6 @@ impl Simplex {
                 }
             }
         }
-        y
     }
 
     fn dot_col(&self, y: &[f64], j: usize) -> f64 {
@@ -391,11 +430,15 @@ impl Simplex {
     }
 
     fn basic_cost_vector(&self, phase: Phase) -> Vec<f64> {
-        match phase {
-            Phase::One => self
-                .basis
-                .iter()
-                .map(|&j| {
+        let mut cb = vec![0.0; self.m];
+        self.basic_cost_into(phase, &mut cb);
+        cb
+    }
+
+    fn basic_cost_into(&self, phase: Phase, cb: &mut [f64]) {
+        for (i, &j) in self.basis.iter().enumerate() {
+            cb[i] = match phase {
+                Phase::One => {
                     let v = self.xval[j];
                     if v < self.lo[j] - FEAS_TOL {
                         -1.0
@@ -404,27 +447,50 @@ impl Simplex {
                     } else {
                         0.0
                     }
-                })
-                .collect(),
-            Phase::Two => self.basis.iter().map(|&j| self.c[j]).collect(),
+                }
+                Phase::Two => self.c[j],
+            };
         }
     }
 
-    fn run(&mut self, phase: Phase) -> Result<(), LpError> {
+    /// One simplex phase. The three m-length work vectors (basic costs,
+    /// duals, pivot column) come from the context's scratch arena so
+    /// thousands of pivots reuse the same allocations.
+    fn run(&mut self, phase: Phase, ctx: &SolverContext) -> Result<(), LpError> {
+        let scratch = ctx.scratch();
+        let mut cb = scratch.take_f64(self.m, 0.0);
+        let mut y = scratch.take_f64(self.m, 0.0);
+        let mut alpha = scratch.take_f64(self.m, 0.0);
+        let out = self.run_inner(phase, ctx, &mut cb, &mut y, &mut alpha);
+        scratch.put_f64(alpha);
+        scratch.put_f64(y);
+        scratch.put_f64(cb);
+        out
+    }
+
+    fn run_inner(
+        &mut self,
+        phase: Phase,
+        ctx: &SolverContext,
+        cb: &mut [f64],
+        y: &mut [f64],
+        alpha: &mut [f64],
+    ) -> Result<(), LpError> {
         let ncols = self.n_struct + self.m;
         let max_iter = 200 * (self.m + ncols) + 20_000;
         let mut stall = 0usize;
         let mut last_obj = f64::INFINITY;
 
         for _iter in 0..max_iter {
+            ctx.check(jcr_ctx::Phase::Simplex)?;
             if phase == Phase::One && self.infeasibility() <= FEAS_TOL {
                 return Ok(());
             }
-            let cb = self.basic_cost_vector(phase);
+            self.basic_cost_into(phase, cb);
             if phase == Phase::One && cb.iter().all(|&v| v == 0.0) {
                 return Ok(());
             }
-            let y = self.btran(&cb);
+            self.btran_into(cb, y);
 
             let bland = stall >= STALL_LIMIT;
             // Pricing: pick entering column.
@@ -433,7 +499,7 @@ impl Simplex {
                 if self.status[j] == ColStatus::Basic {
                     continue;
                 }
-                let d = self.phase_cost(phase, j) - self.dot_col(&y, j);
+                let d = self.phase_cost(phase, j) - self.dot_col(y, j);
                 let (eligible, dir) = match self.status[j] {
                     ColStatus::AtLower => (d < -DUAL_TOL, 1i8),
                     ColStatus::AtUpper => (d > DUAL_TOL, -1i8),
@@ -463,7 +529,7 @@ impl Simplex {
             };
             let dir = dir as f64;
 
-            let alpha = self.ftran(q);
+            self.ftran_into(q, alpha);
             // Ratio test.
             let mut t_best = f64::INFINITY;
             let mut leave: Option<usize> = None; // basis position
@@ -562,7 +628,11 @@ impl Simplex {
                 } else {
                     ColStatus::AtLower
                 };
-                self.xval[old] = if leave_to_upper { self.up[old] } else { self.lo[old] };
+                self.xval[old] = if leave_to_upper {
+                    self.up[old]
+                } else {
+                    self.lo[old]
+                };
                 let enter_val = self.xval[q] + dir * t;
                 self.basis[r] = q;
                 self.status[q] = ColStatus::Basic;
@@ -581,9 +651,11 @@ impl Simplex {
                         }
                     }
                 }
+                ctx.count(Counter::SimplexPivots, 1);
                 self.pivots_since_refactor += 1;
                 if self.pivots_since_refactor >= REFACTOR_EVERY {
                     self.refactorize()?;
+                    ctx.count(Counter::Refactorizations, 1);
                 }
             }
 
@@ -616,7 +688,11 @@ impl Simplex {
         } else {
             (obj_min, y)
         };
-        Solution { x, objective, duals }
+        Solution {
+            x,
+            objective,
+            duals,
+        }
     }
 }
 
@@ -790,8 +866,8 @@ mod tests {
 
     #[test]
     fn medium_random_lp_is_feasible_and_not_worse_than_samples() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use jcr_ctx::rng::{Rng, SeedableRng};
+        let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(7);
         for _case in 0..20 {
             let n = rng.gen_range(3..10);
             let rows = rng.gen_range(1..8);
@@ -801,17 +877,16 @@ mod tests {
                 .collect();
             // Rows of the form Σ a x ≤ U with a ≥ 0, always feasible at x = 0.
             for _ in 0..rows {
-                let entries: Vec<_> = vars
-                    .iter()
-                    .map(|&v| (v, rng.gen_range(0.0..2.0)))
-                    .collect();
+                let entries: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(0.0..2.0))).collect();
                 m.add_row(f64::NEG_INFINITY, rng.gen_range(1.0..6.0), &entries);
             }
             let s = m.solve().unwrap();
             assert!(m.is_feasible(&s.x, 1e-6));
             // Sample random feasible points; none may beat the optimum.
             for _ in 0..50 {
-                let mut x: Vec<f64> = (0..n).map(|j| rng.gen_range(0.0..1.0) * m.upper[j]).collect();
+                let mut x: Vec<f64> = (0..n)
+                    .map(|j| rng.gen_range(0.0..1.0) * m.upper[j])
+                    .collect();
                 // Scale down until feasible.
                 while !m.is_feasible(&x, 1e-9) {
                     for v in &mut x {

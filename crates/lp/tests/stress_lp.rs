@@ -23,12 +23,12 @@ fn assignment_lp_matches_brute_force() {
             row.push(m.add_var(0.0, 1.0, cost(i, j)));
         }
     }
-    for i in 0..n {
-        let entries: Vec<_> = (0..n).map(|j| (vars[i][j], 1.0)).collect();
+    for row in vars.iter().take(n) {
+        let entries: Vec<_> = (0..n).map(|j| (row[j], 1.0)).collect();
         m.add_row(1.0, 1.0, &entries);
     }
     for j in 0..n {
-        let entries: Vec<_> = (0..n).map(|i| (vars[i][j], 1.0)).collect();
+        let entries: Vec<_> = vars.iter().take(n).map(|row| (row[j], 1.0)).collect();
         m.add_row(1.0, 1.0, &entries);
     }
     let lp = m.solve().unwrap();
@@ -47,7 +47,10 @@ fn assignment_lp_matches_brute_force() {
     for row in &vars {
         for &v in row {
             let x = lp.x[v.index()];
-            assert!(x < 1e-6 || x > 1.0 - 1e-6, "fractional assignment {x}");
+            assert!(
+                !(1e-6..=1.0 - 1e-6).contains(&x),
+                "fractional assignment {x}"
+            );
         }
     }
 }
@@ -70,9 +73,18 @@ fn permute(p: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
 #[test]
 fn max_flow_lp_hits_the_cut() {
     // s -> a (3), s -> b (2), a -> t (2), b -> t (3), a -> b (1): max flow 5.
-    let arcs = [(0usize, 1usize, 3.0), (0, 2, 2.0), (1, 3, 2.0), (2, 3, 3.0), (1, 2, 1.0)];
+    let arcs = [
+        (0usize, 1usize, 3.0),
+        (0, 2, 2.0),
+        (1, 3, 2.0),
+        (2, 3, 3.0),
+        (1, 2, 1.0),
+    ];
     let mut m = Model::new(Sense::Maximize);
-    let f: Vec<_> = arcs.iter().map(|&(_, _, c)| m.add_var(0.0, c, 0.0)).collect();
+    let f: Vec<_> = arcs
+        .iter()
+        .map(|&(_, _, c)| m.add_var(0.0, c, 0.0))
+        .collect();
     let value = m.add_var(0.0, f64::INFINITY, 1.0);
     // Conservation at interior nodes 1, 2; source emits `value`.
     for node in [1usize, 2] {
@@ -124,7 +136,11 @@ fn knapsack_relaxation_fills_by_density() {
     let budget = 7.0;
     let mut m = Model::new(Sense::Maximize);
     let vars: Vec<_> = items.iter().map(|&(v, _)| m.add_var(0.0, 1.0, v)).collect();
-    let entries: Vec<_> = vars.iter().zip(&items).map(|(&x, &(_, w))| (x, w)).collect();
+    let entries: Vec<_> = vars
+        .iter()
+        .zip(&items)
+        .map(|(&x, &(_, w))| (x, w))
+        .collect();
     m.add_row(f64::NEG_INFINITY, budget, &entries);
     let lp = m.solve().unwrap();
     // Take items 1 and 2 fully (weight 5), half of item 3 → 10 + 9 + 4 = 23.
@@ -140,7 +156,9 @@ fn knapsack_relaxation_fills_by_density() {
 fn equality_chain() {
     let n = 60;
     let mut m = Model::new(Sense::Minimize);
-    let vars: Vec<_> = (0..n).map(|i| m.add_var(0.0, 10.0, (i % 3) as f64)).collect();
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_var(0.0, 10.0, (i % 3) as f64))
+        .collect();
     // x_0 = 1; x_{i+1} = x_i.
     m.add_row(1.0, 1.0, &[(vars[0], 1.0)]);
     for i in 0..n - 1 {

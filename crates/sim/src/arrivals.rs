@@ -4,8 +4,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jcr_ctx::rng::StdRng;
+use jcr_ctx::rng::{Rng, SeedableRng};
 
 use jcr_core::instance::Instance;
 
@@ -61,7 +61,10 @@ impl ArrivalGenerator {
         let mut heap = BinaryHeap::with_capacity(rates.len());
         for (request, &rate) in rates.iter().enumerate() {
             if rate > 0.0 {
-                heap.push(HeapEntry { time: exp_sample(&mut rng, rate), request });
+                heap.push(HeapEntry {
+                    time: exp_sample(&mut rng, rate),
+                    request,
+                });
             }
         }
         ArrivalGenerator { rates, heap, rng }
@@ -108,8 +111,16 @@ mod tests {
             vec![0.0, 0.0],
             vec![1.0, 1.0],
             vec![
-                Request { item: 0, node: s, rate: rate_a },
-                Request { item: 1, node: s, rate: rate_b },
+                Request {
+                    item: 0,
+                    node: s,
+                    rate: rate_a,
+                },
+                Request {
+                    item: 1,
+                    node: s,
+                    rate: rate_b,
+                },
             ],
             Some(o),
         )

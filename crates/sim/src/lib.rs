@@ -80,7 +80,11 @@ impl SimReport {
     /// law-of-large-numbers check in one number: values of a few percent
     /// mean the fluid model predicts the packet-level reality.
     pub fn max_relative_load_deviation(&self, predicted: &[f64], floor: f64) -> f64 {
-        assert_eq!(predicted.len(), self.link_loads.len(), "one prediction per link");
+        assert_eq!(
+            predicted.len(),
+            self.link_loads.len(),
+            "one prediction per link"
+        );
         self.link_loads
             .iter()
             .zip(predicted)
@@ -114,14 +118,21 @@ pub struct Simulator {
 
 impl Default for Simulator {
     fn default() -> Self {
-        Simulator { horizon: 1.0, max_events: 2_000_000, seed: 0 }
+        Simulator {
+            horizon: 1.0,
+            max_events: 2_000_000,
+            seed: 0,
+        }
     }
 }
 
 impl Simulator {
     /// Creates a simulator with the given horizon (hours).
     pub fn new(horizon: f64) -> Self {
-        Simulator { horizon, ..Simulator::default() }
+        Simulator {
+            horizon,
+            ..Simulator::default()
+        }
     }
 
     /// Replays Poisson arrivals for every request type of `inst` through
@@ -164,16 +175,17 @@ impl Simulator {
             }
             served += 1;
         }
-        let link_loads = link_volume
-            .into_iter()
-            .map(|v| v / self.horizon)
-            .collect();
+        let link_loads = link_volume.into_iter().map(|v| v / self.horizon).collect();
         SimReport {
             requests_served: served,
             horizon: self.horizon,
             total_cost,
             link_loads,
-            local_hit_ratio: if served == 0 { 0.0 } else { local_hits as f64 / served as f64 },
+            local_hit_ratio: if served == 0 {
+                0.0
+            } else {
+                local_hits as f64 / served as f64
+            },
         }
     }
 }
@@ -248,17 +260,24 @@ mod tests {
         let expected_loads = routing.link_loads(&inst);
         let solution = Solution { placement, routing };
         let mut policy = StaticPolicy::new(&solution);
-        let report = Simulator { horizon: 4.0, seed: 7, ..Simulator::default() }
-            .run(&inst, &mut policy);
+        let report = Simulator {
+            horizon: 4.0,
+            seed: 7,
+            ..Simulator::default()
+        }
+        .run(&inst, &mut policy);
         assert!(report.requests_served > 10_000);
         // Law of large numbers: every meaningful link within a few percent.
-        let dev = report
-            .max_relative_load_deviation(&expected_loads, 0.02 * inst.total_rate());
+        let dev = report.max_relative_load_deviation(&expected_loads, 0.02 * inst.total_rate());
         assert!(dev < 0.1, "max relative deviation {dev}");
         // Cost rate likewise.
         let fluid_cost = solution.routing.cost(&inst);
         let rel = (report.cost_rate() - fluid_cost).abs() / fluid_cost;
-        assert!(rel < 0.05, "cost rate {} vs fluid {fluid_cost}", report.cost_rate());
+        assert!(
+            rel < 0.05,
+            "cost rate {} vs fluid {fluid_cost}",
+            report.cost_rate()
+        );
     }
 
     #[test]
@@ -267,12 +286,23 @@ mod tests {
         let placement = Placement::empty(&inst);
         let routing = rnr::route_to_nearest_replica(&inst, &placement).unwrap();
         let solution = Solution { placement, routing };
-        let short = Simulator { horizon: 0.5, seed: 1, ..Simulator::default() }
-            .run(&inst, &mut StaticPolicy::new(&solution));
-        let long = Simulator { horizon: 2.0, seed: 1, ..Simulator::default() }
-            .run(&inst, &mut StaticPolicy::new(&solution));
+        let short = Simulator {
+            horizon: 0.5,
+            seed: 1,
+            ..Simulator::default()
+        }
+        .run(&inst, &mut StaticPolicy::new(&solution));
+        let long = Simulator {
+            horizon: 2.0,
+            seed: 1,
+            ..Simulator::default()
+        }
+        .run(&inst, &mut StaticPolicy::new(&solution));
         let ratio = long.requests_served as f64 / short.requests_served as f64;
-        assert!((ratio - 4.0).abs() < 0.3, "event count should scale with horizon: {ratio}");
+        assert!(
+            (ratio - 4.0).abs() < 0.3,
+            "event count should scale with horizon: {ratio}"
+        );
     }
 
     #[test]
@@ -282,7 +312,11 @@ mod tests {
         let inst = small_instance();
         let refs = [&inst, &inst];
         let mut policy = ReactivePolicy::new(&inst, Replacement::Lru);
-        let sim = Simulator { horizon: 0.5, seed: 3, ..Simulator::default() };
+        let sim = Simulator {
+            horizon: 0.5,
+            seed: 3,
+            ..Simulator::default()
+        };
         let reports = sim.run_sequence(&refs, &mut policy);
         assert_eq!(reports.len(), 2);
         assert!(

@@ -1,8 +1,8 @@
 //! Serving policies: how a single request arrival is routed (and how
 //! caches react to it).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jcr_ctx::rng::StdRng;
+use jcr_ctx::rng::{Rng, SeedableRng};
 
 use jcr_core::instance::Instance;
 use jcr_core::routing::Solution;
@@ -45,7 +45,10 @@ impl StaticPolicy {
                     .collect()
             })
             .collect();
-        StaticPolicy { distributions, rng: StdRng::seed_from_u64(0x7374_6174_6963) }
+        StaticPolicy {
+            distributions,
+            rng: StdRng::seed_from_u64(0x7374_6174_6963),
+        }
     }
 }
 
@@ -98,13 +101,7 @@ impl CacheState {
 
     /// Inserts `item`, evicting per `discipline` until it fits. Items
     /// larger than the whole cache are not admitted.
-    fn insert(
-        &mut self,
-        item: usize,
-        size: f64,
-        stamp: u64,
-        discipline: Replacement,
-    ) {
+    fn insert(&mut self, item: usize, size: f64, stamp: u64, discipline: Replacement) {
         if self.contains(item) || size > self.capacity {
             return;
         }
@@ -161,7 +158,11 @@ impl ReactivePolicy {
                 })
             })
             .collect();
-        ReactivePolicy { discipline, caches, stamp: 0 }
+        ReactivePolicy {
+            discipline,
+            caches,
+            stamp: 0,
+        }
     }
 
     /// The nearest node currently holding `item` for requester `s`
@@ -234,9 +235,21 @@ mod tests {
             vec![0.0, zeta],
             vec![1.0, 1.0, 1.0],
             vec![
-                Request { item: 0, node: s, rate: 5.0 },
-                Request { item: 1, node: s, rate: 2.0 },
-                Request { item: 2, node: s, rate: 1.0 },
+                Request {
+                    item: 0,
+                    node: s,
+                    rate: 5.0,
+                },
+                Request {
+                    item: 1,
+                    node: s,
+                    rate: 2.0,
+                },
+                Request {
+                    item: 2,
+                    node: s,
+                    rate: 1.0,
+                },
             ],
             Some(o),
         )
@@ -303,9 +316,21 @@ mod tests {
             vec![0.0, 5.0],
             vec![3.0, 3.0, 2.0],
             vec![
-                Request { item: 0, node: s, rate: 1.0 },
-                Request { item: 1, node: s, rate: 1.0 },
-                Request { item: 2, node: s, rate: 1.0 },
+                Request {
+                    item: 0,
+                    node: s,
+                    rate: 1.0,
+                },
+                Request {
+                    item: 1,
+                    node: s,
+                    rate: 1.0,
+                },
+                Request {
+                    item: 2,
+                    node: s,
+                    rate: 1.0,
+                },
             ],
             Some(o),
         )
@@ -335,14 +360,24 @@ mod tests {
             vec![f64::INFINITY, f64::INFINITY],
             vec![0.0, 0.0],
             vec![1.0],
-            vec![Request { item: 0, node: s, rate: 4.0 }],
+            vec![Request {
+                item: 0,
+                node: s,
+                rate: 4.0,
+            }],
             Some(o),
         )
         .unwrap();
         let routing = jcr_core::routing::Routing {
             per_request: vec![vec![
-                jcr_flow::PathFlow { path: jcr_graph::Path::new(vec![e0]), amount: 3.0 },
-                jcr_flow::PathFlow { path: jcr_graph::Path::new(vec![e1]), amount: 1.0 },
+                jcr_flow::PathFlow {
+                    path: jcr_graph::Path::new(vec![e0]),
+                    amount: 3.0,
+                },
+                jcr_flow::PathFlow {
+                    path: jcr_graph::Path::new(vec![e1]),
+                    amount: 1.0,
+                },
             ]],
         };
         let sol = Solution {
@@ -358,7 +393,10 @@ mod tests {
             }
         }
         let share = on_e0 as f64 / n as f64;
-        assert!((share - 0.75).abs() < 0.04, "sampled share {share}, want 0.75");
+        assert!(
+            (share - 0.75).abs() < 0.04,
+            "sampled share {share}, want 0.75"
+        );
     }
 
     #[test]

@@ -37,7 +37,12 @@ impl WeightedCoverage {
             set.dedup();
         }
         let covered = vec![false; weights.len()];
-        WeightedCoverage { sets, weights, covered, value: 0.0 }
+        WeightedCoverage {
+            sets,
+            weights,
+            covered,
+            value: 0.0,
+        }
     }
 }
 
@@ -186,9 +191,8 @@ mod tests {
 
     #[test]
     fn brute_force_finds_exact_optimum() {
-        let make_oracle = || {
-            WeightedCoverage::new(vec![vec![0], vec![1], vec![0, 1]], vec![2.0, 3.0])
-        };
+        let make_oracle =
+            || WeightedCoverage::new(vec![vec![0], vec![1], vec![0, 1]], vec![2.0, 3.0]);
         let best = brute_force_best(make_oracle, || Unconstrained, 3);
         assert!((best - 5.0).abs() < 1e-12);
     }

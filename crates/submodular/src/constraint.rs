@@ -40,7 +40,11 @@ impl PartitionMatroid {
             "element group out of range"
         );
         let used = vec![0; budget.len()];
-        PartitionMatroid { group_of, budget, used }
+        PartitionMatroid {
+            group_of,
+            budget,
+            used,
+        }
     }
 
     /// Remaining budget of the group containing `element`.
@@ -93,7 +97,12 @@ impl Knapsack {
             "element group out of range"
         );
         let used = vec![0.0; capacity.len()];
-        Knapsack { group_of, size, capacity, used }
+        Knapsack {
+            group_of,
+            size,
+            capacity,
+            used,
+        }
     }
 
     /// The independence parameter `p = ⌈b_max / b_min⌉` of Lemma 5.1.

@@ -58,7 +58,11 @@ pub fn lazy_greedy<O: Oracle, C: Constraint>(oracle: &mut O, constraint: &mut C)
         if constraint.can_add(e) {
             let g = oracle.gain(e);
             if g > 0.0 {
-                heap.push(HeapEntry { gain: g, element: e, round: 0 });
+                heap.push(HeapEntry {
+                    gain: g,
+                    element: e,
+                    round: 0,
+                });
             }
         }
     }
@@ -76,11 +80,18 @@ pub fn lazy_greedy<O: Oracle, C: Constraint>(oracle: &mut O, constraint: &mut C)
             // Stale: re-evaluate and re-queue.
             let g = oracle.gain(top.element);
             if g > 0.0 {
-                heap.push(HeapEntry { gain: g, element: top.element, round: selected.len() });
+                heap.push(HeapEntry {
+                    gain: g,
+                    element: top.element,
+                    round: selected.len(),
+                });
             }
         }
     }
-    GreedyResult { value: oracle.value(), selected }
+    GreedyResult {
+        value: oracle.value(),
+        selected,
+    }
 }
 
 /// Plain (non-lazy) greedy; used to cross-check the lazy variant in tests
@@ -104,7 +115,10 @@ pub fn plain_greedy<O: Oracle, C: Constraint>(oracle: &mut O, constraint: &mut C
         constraint.insert(e);
         selected.push(e);
     }
-    GreedyResult { value: oracle.value(), selected }
+    GreedyResult {
+        value: oracle.value(),
+        selected,
+    }
 }
 
 #[cfg(test)]
@@ -158,17 +172,13 @@ mod tests {
 
     #[test]
     fn half_approximation_on_random_instances() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        use jcr_ctx::rng::{Rng, SeedableRng};
+        let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(99);
         for _ in 0..30 {
             let n_points = rng.gen_range(3..7);
             let n_elems = rng.gen_range(2..7);
             let sets: Vec<Vec<usize>> = (0..n_elems)
-                .map(|_| {
-                    (0..n_points)
-                        .filter(|_| rng.gen_bool(0.5))
-                        .collect()
-                })
+                .map(|_| (0..n_points).filter(|_| rng.gen_bool(0.5)).collect())
                 .collect();
             let weights: Vec<f64> = (0..n_points).map(|_| rng.gen_range(0.1..5.0)).collect();
             let groups: Vec<usize> = (0..n_elems).map(|_| rng.gen_range(0..2)).collect();

@@ -51,10 +51,7 @@ pub fn pipage_round<G: FnMut(usize, &[f64]) -> f64>(
         saturate_group(x, coords, capacity[g], &mut grad);
         loop {
             // Find two fractional coordinates in this group.
-            let mut fracs = coords
-                .iter()
-                .copied()
-                .filter(|&i| is_fractional(x[i]));
+            let mut fracs = coords.iter().copied().filter(|&i| is_fractional(x[i]));
             let Some(i) = fracs.next() else { break };
             let Some(j) = fracs.next() else {
                 // A single fractional coordinate can remain only when the
@@ -66,7 +63,11 @@ pub fn pipage_round<G: FnMut(usize, &[f64]) -> f64>(
                 let gi = grad(i, x);
                 let mass: f64 = coords.iter().map(|&k| x[k]).sum();
                 let room = capacity[g] - (mass - x[i]);
-                x[i] = if gi > 0.0 && room >= 1.0 - INT_TOL { 1.0 } else { 0.0 };
+                x[i] = if gi > 0.0 && room >= 1.0 - INT_TOL {
+                    1.0
+                } else {
+                    0.0
+                };
                 break;
             };
             let (wi, wj) = (grad(i, x), grad(j, x));
@@ -146,8 +147,8 @@ mod tests {
 
     #[test]
     fn objective_never_decreases_on_linear_objectives() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        use jcr_ctx::rng::{Rng, SeedableRng};
+        let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(5);
         for _ in 0..50 {
             let n = rng.gen_range(2..8);
             let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..4.0)).collect();

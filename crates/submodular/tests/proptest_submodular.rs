@@ -1,12 +1,14 @@
-//! Property-based tests for the submodular toolkit: approximation
-//! guarantees against brute force and rounding invariants.
+//! Randomized property tests for the submodular toolkit: approximation
+//! guarantees against brute force and rounding invariants, on cases
+//! drawn from the in-tree seeded PRNG (same cases every run).
 
-use proptest::prelude::*;
-
+use jcr_ctx::rng::{Rng, SeedableRng, StdRng};
 use jcr_submodular::brute::{brute_force_best, is_monotone, is_submodular, WeightedCoverage};
 use jcr_submodular::constraint::{Constraint, Knapsack, PartitionMatroid};
 use jcr_submodular::greedy::{lazy_greedy, plain_greedy};
 use jcr_submodular::pipage::pipage_round;
+
+const CASES: u64 = 64;
 
 #[derive(Debug, Clone)]
 struct Coverage {
@@ -14,32 +16,39 @@ struct Coverage {
     weights: Vec<f64>,
 }
 
-fn random_coverage() -> impl Strategy<Value = Coverage> {
-    (2usize..6, 2usize..7).prop_flat_map(|(n_points, n_elems)| {
-        let sets = proptest::collection::vec(
-            proptest::collection::vec(0..n_points, 0..n_points),
-            n_elems..=n_elems,
-        );
-        let weights = proptest::collection::vec(0.0f64..5.0, n_points..=n_points);
-        (sets, weights).prop_map(|(sets, weights)| Coverage { sets, weights })
-    })
+fn random_coverage(rng: &mut StdRng) -> Coverage {
+    let n_points = rng.gen_range(2..6usize);
+    let n_elems = rng.gen_range(2..7usize);
+    let sets = (0..n_elems)
+        .map(|_| {
+            let len = rng.gen_range(0..n_points);
+            (0..len).map(|_| rng.gen_range(0..n_points)).collect()
+        })
+        .collect();
+    let weights = (0..n_points).map(|_| rng.gen_range(0.0..5.0)).collect();
+    Coverage { sets, weights }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Weighted coverage is always monotone submodular.
-    #[test]
-    fn coverage_is_monotone_submodular(cov in random_coverage()) {
+/// Weighted coverage is always monotone submodular.
+#[test]
+fn coverage_is_monotone_submodular() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7375_3031 + case);
+        let cov = random_coverage(&mut rng);
         let n = cov.sets.len();
         let make = || WeightedCoverage::new(cov.sets.clone(), cov.weights.clone());
-        prop_assert!(is_monotone(make, n, 1e-9));
-        prop_assert!(is_submodular(make, n, 1e-9));
+        assert!(is_monotone(make, n, 1e-9), "case {case}");
+        assert!(is_submodular(make, n, 1e-9), "case {case}");
     }
+}
 
-    /// Greedy under a partition matroid achieves ≥ 1/2 · OPT.
-    #[test]
-    fn greedy_half_approximation(cov in random_coverage(), budget in 1usize..3) {
+/// Greedy under a partition matroid achieves ≥ 1/2 · OPT.
+#[test]
+fn greedy_half_approximation() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7375_3032 + case);
+        let cov = random_coverage(&mut rng);
+        let budget = rng.gen_range(1..3usize);
         let n = cov.sets.len();
         let groups: Vec<usize> = (0..n).map(|e| e % 2).collect();
         let budgets = vec![budget; 2];
@@ -51,17 +60,24 @@ proptest! {
             || PartitionMatroid::new(groups.clone(), budgets.clone()),
             n,
         );
-        prop_assert!(greedy.value >= 0.5 * opt - 1e-9,
-            "greedy {} < OPT/2 = {}", greedy.value, opt / 2.0);
+        assert!(
+            greedy.value >= 0.5 * opt - 1e-9,
+            "case {case}: greedy {} < OPT/2 = {}",
+            greedy.value,
+            opt / 2.0
+        );
     }
+}
 
-    /// Greedy under a knapsack achieves ≥ OPT/(1+p) (Theorem 5.2).
-    #[test]
-    fn greedy_knapsack_approximation(cov in random_coverage(),
-                                     sizes in proptest::collection::vec(1.0f64..4.0, 7),
-                                     capacity in 2.0f64..8.0) {
+/// Greedy under a knapsack achieves ≥ OPT/(1+p) (Theorem 5.2).
+#[test]
+fn greedy_knapsack_approximation() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7375_3033 + case);
+        let cov = random_coverage(&mut rng);
         let n = cov.sets.len();
-        let sizes: Vec<f64> = sizes[..n].to_vec();
+        let sizes: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..4.0)).collect();
+        let capacity = rng.gen_range(2.0..8.0);
         let make_cons = || Knapsack::new(vec![0; n], sizes.clone(), vec![capacity]);
         let p = make_cons().independence_parameter();
         let mut oracle = WeightedCoverage::new(cov.sets.clone(), cov.weights.clone());
@@ -73,13 +89,21 @@ proptest! {
             n,
         );
         let bound = opt / (1.0 + p as f64);
-        prop_assert!(greedy.value >= bound - 1e-9,
-            "greedy {} < OPT/(1+{p}) = {bound}", greedy.value);
+        assert!(
+            greedy.value >= bound - 1e-9,
+            "case {case}: greedy {} < OPT/(1+{p}) = {bound}",
+            greedy.value
+        );
     }
+}
 
-    /// Lazy and plain greedy select sets of equal value.
-    #[test]
-    fn lazy_equals_plain(cov in random_coverage(), budget in 1usize..4) {
+/// Lazy and plain greedy select sets of equal value.
+#[test]
+fn lazy_equals_plain() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7375_3034 + case);
+        let cov = random_coverage(&mut rng);
+        let budget = rng.gen_range(1..4usize);
         let n = cov.sets.len();
         let groups: Vec<usize> = (0..n).map(|e| e % 3).collect();
         let budgets = vec![budget; 3];
@@ -89,31 +113,56 @@ proptest! {
         let mut c2 = PartitionMatroid::new(groups.clone(), budgets.clone());
         let lazy = lazy_greedy(&mut o1, &mut c1);
         let plain = plain_greedy(&mut o2, &mut c2);
-        prop_assert!((lazy.value - plain.value).abs() < 1e-9);
+        assert!((lazy.value - plain.value).abs() < 1e-9, "case {case}");
     }
+}
 
-    /// Pipage rounding yields integral, capacity-respecting solutions and
-    /// never decreases a linear objective.
-    #[test]
-    fn pipage_invariants(weights in proptest::collection::vec(0.0f64..5.0, 2..8),
-                         fracs in proptest::collection::vec(0.0f64..1.0, 2..8),
-                         cap in 1usize..5) {
-        let n = weights.len().min(fracs.len());
-        let weights = &weights[..n];
-        let mut x: Vec<f64> = fracs[..n].to_vec();
-        let cap = cap.min(n) as f64;
+/// Pipage rounding yields integral, capacity-respecting solutions and
+/// never decreases a linear objective.
+#[test]
+fn pipage_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7375_3035 + case);
+        let n = rng.gen_range(2..8usize);
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..5.0)).collect();
+        let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let cap = rng.gen_range(1..5usize).min(n) as f64;
         let mass: f64 = x.iter().sum();
         if mass > cap {
-            for v in &mut x { *v *= cap / mass; }
+            for v in &mut x {
+                *v *= cap / mass;
+            }
         }
-        let before: f64 = x.iter().zip(weights).map(|(v, w)| v * w).sum();
+        let before: f64 = x.iter().zip(&weights).map(|(v, w)| v * w).sum();
         let groups = vec![(0..n).collect::<Vec<_>>()];
         pipage_round(&mut x, &groups, &[cap], |i, _| weights[i]);
-        let after: f64 = x.iter().zip(weights).map(|(v, w)| v * w).sum();
-        prop_assert!(after >= before - 1e-9);
-        prop_assert!(x.iter().all(|&v| v == 0.0 || v == 1.0));
-        prop_assert!(x.iter().sum::<f64>() <= cap + 1e-9);
+        let after: f64 = x.iter().zip(&weights).map(|(v, w)| v * w).sum();
+        assert!(after >= before - 1e-9, "case {case}");
+        assert!(x.iter().all(|&v| v == 0.0 || v == 1.0), "case {case}");
+        assert!(x.iter().sum::<f64>() <= cap + 1e-9, "case {case}");
     }
+}
+
+/// Deterministic replay of a historical shrunken failure case for the
+/// 1/2-approximation bound (empty sets and duplicate points).
+#[test]
+fn greedy_half_approximation_regression() {
+    let cov = Coverage {
+        sets: vec![vec![0, 0], vec![0], vec![1, 2], vec![]],
+        weights: vec![1.9583814393503214, 2.521818764267787, 0.36280294435881205],
+    };
+    let n = cov.sets.len();
+    let groups: Vec<usize> = (0..n).map(|e| e % 2).collect();
+    let budgets = vec![1; 2];
+    let mut oracle = WeightedCoverage::new(cov.sets.clone(), cov.weights.clone());
+    let mut cons = PartitionMatroid::new(groups.clone(), budgets.clone());
+    let greedy = lazy_greedy(&mut oracle, &mut cons);
+    let opt = brute_force_best(
+        || WeightedCoverage::new(cov.sets.clone(), cov.weights.clone()),
+        || PartitionMatroid::new(groups.clone(), budgets.clone()),
+        n,
+    );
+    assert!(greedy.value >= 0.5 * opt - 1e-9);
 }
 
 /// Knapsack feasibility is downward-closed: removing an element keeps the

@@ -23,8 +23,8 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jcr_ctx::rng::StdRng;
+use jcr_ctx::rng::{Rng, SeedableRng};
 
 use jcr_graph::{shortest, DiGraph, NodeId};
 
@@ -188,10 +188,11 @@ impl Topology {
         let mut undirected: Vec<(usize, usize)> = Vec::with_capacity(m);
         let mut adj = vec![vec![false; n]; n];
         let mut degree = vec![0usize; n];
-        let connect = |u: usize, v: usize,
-                           undirected: &mut Vec<(usize, usize)>,
-                           adj: &mut Vec<Vec<bool>>,
-                           degree: &mut Vec<usize>| {
+        let connect = |u: usize,
+                       v: usize,
+                       undirected: &mut Vec<(usize, usize)>,
+                       adj: &mut Vec<Vec<bool>>,
+                       degree: &mut Vec<usize>| {
             undirected.push((u, v));
             adj[u][v] = true;
             adj[v][u] = true;
@@ -250,7 +251,13 @@ impl Topology {
             .collect();
 
         debug_assert!(graph.is_weakly_connected());
-        Ok(Topology { graph, cost, capacity, origin, edge_nodes })
+        Ok(Topology {
+            graph,
+            cost,
+            capacity,
+            origin,
+            edge_nodes,
+        })
     }
 
     /// Parses a plain-text edge list.
@@ -285,7 +292,9 @@ impl Topology {
             let mut next_usize = |what: &str| -> Result<usize, TopoError> {
                 parts
                     .next()
-                    .ok_or_else(|| TopoError::Parse(format!("line {}: missing {what}", lineno + 1)))?
+                    .ok_or_else(|| {
+                        TopoError::Parse(format!("line {}: missing {what}", lineno + 1))
+                    })?
                     .parse()
                     .map_err(|_| TopoError::Parse(format!("line {}: bad {what}", lineno + 1)))
             };
@@ -322,7 +331,9 @@ impl Topology {
         }
         let origin =
             origin.ok_or_else(|| TopoError::Parse("missing `origin` declaration".into()))?;
-        max_node = max_node.max(origin).max(edges_decl.iter().copied().max().unwrap_or(0));
+        max_node = max_node
+            .max(origin)
+            .max(edges_decl.iter().copied().max().unwrap_or(0));
 
         let mut graph = DiGraph::with_capacity(max_node + 1, 2 * links.len());
         let nodes = graph.add_nodes(max_node + 1);
@@ -381,7 +392,11 @@ impl Topology {
     /// Panics if `demand.len() != edge_nodes.len()` or an edge node is
     /// unreachable from the origin.
     pub fn augment_origin_paths(&mut self, demand: &[f64]) {
-        assert_eq!(demand.len(), self.edge_nodes.len(), "one demand per edge node");
+        assert_eq!(
+            demand.len(),
+            self.edge_nodes.len(),
+            "one demand per edge node"
+        );
         for (k, &e_node) in self.edge_nodes.iter().enumerate() {
             let path = self
                 .random_simple_path(self.origin, e_node, k as u64)
@@ -393,7 +408,12 @@ impl Topology {
     }
 
     /// A seeded random simple `src → dst` path (randomized DFS).
-    fn random_simple_path(&self, src: NodeId, dst: NodeId, seed: u64) -> Option<Vec<jcr_graph::EdgeId>> {
+    fn random_simple_path(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        seed: u64,
+    ) -> Option<Vec<jcr_graph::EdgeId>> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x6175_676d_656e_7421);
         let n = self.graph.node_count();
         let mut visited = vec![false; n];
@@ -442,12 +462,8 @@ impl Topology {
                 NodeRole::Edge => ("blue", "circle"),
                 NodeRole::Internal => ("grey", "circle"),
             };
-            writeln!(
-                out,
-                "  n{} [color={color}, shape={shape}];",
-                v.index()
-            )
-            .expect("write to string");
+            writeln!(out, "  n{} [color={color}, shape={shape}];", v.index())
+                .expect("write to string");
         }
         // Draw each undirected pair once; directed costs as the label.
         let mut seen = vec![false; self.graph.edge_count()];
@@ -464,8 +480,13 @@ impl Topology {
                 Some(b) => format!("{:.0}/{:.0}", self.cost[e.index()], self.cost[b.index()]),
                 None => format!("{:.0}", self.cost[e.index()]),
             };
-            writeln!(out, "  n{} -- n{} [label=\"{label}\"];", u.index(), v.index())
-                .expect("write to string");
+            writeln!(
+                out,
+                "  n{} -- n{} [label=\"{label}\"];",
+                u.index(),
+                v.index()
+            )
+            .expect("write to string");
         }
         out.push_str("}\n");
         out
@@ -553,8 +574,8 @@ impl TopologyStats {
 fn weighted_node<R: Rng>(rng: &mut R, degree: &[usize], lo: usize, hi: usize) -> usize {
     let total: usize = degree[lo..hi].iter().map(|d| d + 1).sum();
     let mut pick = rng.gen_range(0..total);
-    for v in lo..hi {
-        let w = degree[v] + 1;
+    for (v, d) in degree.iter().enumerate().take(hi).skip(lo) {
+        let w = d + 1;
         if pick < w {
             return v;
         }
@@ -688,7 +709,10 @@ link 1 2 5 6 2.5
         // 31 undirected links → mean degree 2·31/23.
         assert!((stats.mean_degree() - 2.0 * 31.0 / 23.0).abs() < 1e-9);
         assert_eq!(stats.degrees[t.origin.index()], 1);
-        assert!(stats.max_degree() >= 3, "preferential attachment creates hubs");
+        assert!(
+            stats.max_degree() >= 3,
+            "preferential attachment creates hubs"
+        );
         assert!(stats.diameter > 100.0, "origin link dominates the diameter");
         assert!(stats.mean_origin_edge_cost > 100.0);
         assert!(stats.mean_origin_edge_cost <= stats.diameter);

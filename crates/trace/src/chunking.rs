@@ -37,10 +37,14 @@ impl Chunking {
         for (fi, &size) in file_sizes.iter().enumerate() {
             let count = (size / chunk_size).ceil() as usize;
             let start = file_of_chunk.len();
-            file_of_chunk.extend(std::iter::repeat(fi).take(count));
+            file_of_chunk.extend(std::iter::repeat_n(fi, count));
             chunks_of_file.push((start, start + count));
         }
-        Chunking { file_of_chunk, chunks_of_file, chunk_size }
+        Chunking {
+            file_of_chunk,
+            chunks_of_file,
+            chunk_size,
+        }
     }
 
     /// Total number of chunks.
@@ -59,7 +63,11 @@ impl Chunking {
     /// requests each of its chunks once, so each chunk inherits its file's
     /// rate profile.
     pub fn expand_rates(&self, file_rates: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        assert_eq!(file_rates.len(), self.chunks_of_file.len(), "one row per file");
+        assert_eq!(
+            file_rates.len(),
+            self.chunks_of_file.len(),
+            "one row per file"
+        );
         self.file_of_chunk
             .iter()
             .map(|&fi| file_rates[fi].clone())
@@ -130,7 +138,10 @@ mod tests {
         let big = Chunking::new(&sizes, 100.0).padding_overhead(&sizes);
         let small = Chunking::new(&sizes, 25.0).padding_overhead(&sizes);
         assert!(big >= 1.0 && small >= 1.0);
-        assert!(small <= big, "finer chunks waste less padding: {small} vs {big}");
+        assert!(
+            small <= big,
+            "finer chunks waste less padding: {small} vs {big}"
+        );
     }
 
     #[test]

@@ -297,8 +297,15 @@ mod tests {
             .iter()
             .map(|t| (2.0 * std::f64::consts::PI * t / 24.0).sin())
             .collect();
-        let fixed = Gpr::fit(Kernel { noise_var: 1.0, ..Kernel::default() }, &times, &values)
-            .unwrap();
+        let fixed = Gpr::fit(
+            Kernel {
+                noise_var: 1.0,
+                ..Kernel::default()
+            },
+            &times,
+            &values,
+        )
+        .unwrap();
         let grid = Gpr::fit_grid(&times, &values).unwrap();
         assert!(grid.log_marginal() >= fixed.log_marginal());
     }
@@ -313,7 +320,10 @@ mod tests {
         }
         // The periodic component repeats every `period` hours: at lag 24
         // the periodic part is maximal again (only the RBF decays).
-        let no_rbf = Kernel { rbf_var: 0.0, ..Kernel::default() };
+        let no_rbf = Kernel {
+            rbf_var: 0.0,
+            ..Kernel::default()
+        };
         assert!((no_rbf.eval(0.0, 24.0) - no_rbf.eval(0.0, 0.0)).abs() < 1e-12);
         assert!(no_rbf.eval(0.0, 12.0) < no_rbf.eval(0.0, 24.0));
     }
@@ -340,8 +350,8 @@ mod tests {
         // Periodic signal with mild noise: GPR should out-predict the
         // "previous hour" baseline.
         use crate::standard_normal;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        use jcr_ctx::rng::SeedableRng;
+        let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(12);
         let n = 120;
         let eval = 24;
         let series: Vec<f64> = (0..n)

@@ -28,7 +28,7 @@ pub mod zipf;
 
 /// Samples a standard normal via Box–Muller (the `rand` crate alone does
 /// not ship distributions).
-pub fn standard_normal<R: rand::Rng>(rng: &mut R) -> f64 {
+pub fn standard_normal<R: jcr_ctx::rng::Rng>(rng: &mut R) -> f64 {
     loop {
         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);
@@ -42,11 +42,11 @@ pub fn standard_normal<R: rand::Rng>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use jcr_ctx::rng::SeedableRng;
 
     #[test]
     fn standard_normal_moments() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(1);
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;

@@ -13,8 +13,8 @@
 //! scaled so that the evaluation window sums exactly to the published
 //! `total_views`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jcr_ctx::rng::StdRng;
+use jcr_ctx::rng::{Rng, SeedableRng};
 
 use crate::standard_normal;
 use crate::videos::{VideoStats, EVAL_HOURS, TRAIN_HOURS};
@@ -73,7 +73,11 @@ impl ViewTrace {
             }
             views.push(series);
         }
-        ViewTrace { views, train_hours, eval_hours }
+        ViewTrace {
+            views,
+            train_hours,
+            eval_hours,
+        }
     }
 
     /// Views of video `vi` during evaluation hour `h` (0-based).
@@ -152,7 +156,10 @@ impl ViewTrace {
                 }
                 "series" => {
                     let series: Vec<f64> = parts
-                        .map(|t| t.parse().map_err(|_| format!("line {}: bad value", lineno + 1)))
+                        .map(|t| {
+                            t.parse()
+                                .map_err(|_| format!("line {}: bad value", lineno + 1))
+                        })
                         .collect::<Result<_, _>>()?;
                     views.push(series);
                 }
@@ -173,7 +180,11 @@ impl ViewTrace {
                 ));
             }
         }
-        Ok(ViewTrace { views, train_hours, eval_hours })
+        Ok(ViewTrace {
+            views,
+            train_hours,
+            eval_hours,
+        })
     }
 }
 
@@ -273,20 +284,20 @@ mod tests {
         assert!(ViewTrace::from_text("").is_err());
         assert!(ViewTrace::from_text("nope").is_err());
         assert!(ViewTrace::from_text("jcr-trace v1\ntrain_hours 2").is_err());
-        assert!(ViewTrace::from_text(
-            "jcr-trace v1\ntrain_hours 1\neval_hours 1\nseries 1 2 3"
-        )
-        .is_err());
-        assert!(ViewTrace::from_text(
-            "jcr-trace v1\ntrain_hours 1\neval_hours 1\nseries 1 oops"
-        )
-        .is_err());
+        assert!(
+            ViewTrace::from_text("jcr-trace v1\ntrain_hours 1\neval_hours 1\nseries 1 2 3")
+                .is_err()
+        );
+        assert!(
+            ViewTrace::from_text("jcr-trace v1\ntrain_hours 1\neval_hours 1\nseries 1 oops")
+                .is_err()
+        );
     }
 
     #[test]
     fn perturbation_clamps_at_zero() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use jcr_ctx::rng::SeedableRng;
+        let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(1);
         let rates = vec![1.0, 0.001, 100.0];
         let noisy = perturb_demand(&rates, 10.0, &mut rng);
         assert!(noisy.iter().all(|&r| r >= 0.0));
@@ -296,8 +307,8 @@ mod tests {
 
     #[test]
     fn edge_shares_normalized() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        use jcr_ctx::rng::SeedableRng;
+        let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(2);
         let shares = random_edge_shares(4, 6, &mut rng);
         for row in &shares {
             assert_eq!(row.len(), 6);

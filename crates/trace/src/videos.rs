@@ -17,18 +17,78 @@ pub struct VideoStats {
 /// Table 1 of the paper, in row order (the first 10 rows are the "top-10"
 /// videos used by the default setting).
 pub const TABLE1: [VideoStats; 12] = [
-    VideoStats { id: "dNCWe_6HAM8", size_mb: 450.8789, chunks_100mb: 5, total_views: 14_144_021 },
-    VideoStats { id: "f5_wn8mexmM", size_mb: 611.7188, chunks_100mb: 7, total_views: 6_046_921 },
-    VideoStats { id: "3YqPKLZF_WU", size_mb: 746.1914, chunks_100mb: 8, total_views: 3_516_996 },
-    VideoStats { id: "2dTMIH5gCHg", size_mb: 387.5977, chunks_100mb: 4, total_views: 2_724_433 },
-    VideoStats { id: "CULF91XH87w", size_mb: 851.6602, chunks_100mb: 9, total_views: 1_935_258 },
-    VideoStats { id: "QDYDRA5JPLE", size_mb: 427.1484, chunks_100mb: 5, total_views: 1_606_676 },
-    VideoStats { id: "LWAI7HkQMyc", size_mb: 158.2031, chunks_100mb: 2, total_views: 2_701_699 },
-    VideoStats { id: "Zpi7CTDvi1A", size_mb: 709.2773, chunks_100mb: 8, total_views: 1_286_994 },
-    VideoStats { id: "vH7n1vj-cwQ", size_mb: 155.5664, chunks_100mb: 2, total_views: 128_860 },
-    VideoStats { id: "JNCkUEeUFy0", size_mb: 308.4961, chunks_100mb: 4, total_views: 369_157 },
-    VideoStats { id: "CaimKeDcudo", size_mb: 337.5, chunks_100mb: 4, total_views: 613_737 },
-    VideoStats { id: "gXH7_XaGuPc", size_mb: 680.2734, chunks_100mb: 7, total_views: 368_432 },
+    VideoStats {
+        id: "dNCWe_6HAM8",
+        size_mb: 450.8789,
+        chunks_100mb: 5,
+        total_views: 14_144_021,
+    },
+    VideoStats {
+        id: "f5_wn8mexmM",
+        size_mb: 611.7188,
+        chunks_100mb: 7,
+        total_views: 6_046_921,
+    },
+    VideoStats {
+        id: "3YqPKLZF_WU",
+        size_mb: 746.1914,
+        chunks_100mb: 8,
+        total_views: 3_516_996,
+    },
+    VideoStats {
+        id: "2dTMIH5gCHg",
+        size_mb: 387.5977,
+        chunks_100mb: 4,
+        total_views: 2_724_433,
+    },
+    VideoStats {
+        id: "CULF91XH87w",
+        size_mb: 851.6602,
+        chunks_100mb: 9,
+        total_views: 1_935_258,
+    },
+    VideoStats {
+        id: "QDYDRA5JPLE",
+        size_mb: 427.1484,
+        chunks_100mb: 5,
+        total_views: 1_606_676,
+    },
+    VideoStats {
+        id: "LWAI7HkQMyc",
+        size_mb: 158.2031,
+        chunks_100mb: 2,
+        total_views: 2_701_699,
+    },
+    VideoStats {
+        id: "Zpi7CTDvi1A",
+        size_mb: 709.2773,
+        chunks_100mb: 8,
+        total_views: 1_286_994,
+    },
+    VideoStats {
+        id: "vH7n1vj-cwQ",
+        size_mb: 155.5664,
+        chunks_100mb: 2,
+        total_views: 128_860,
+    },
+    VideoStats {
+        id: "JNCkUEeUFy0",
+        size_mb: 308.4961,
+        chunks_100mb: 4,
+        total_views: 369_157,
+    },
+    VideoStats {
+        id: "CaimKeDcudo",
+        size_mb: 337.5,
+        chunks_100mb: 4,
+        total_views: 613_737,
+    },
+    VideoStats {
+        id: "gXH7_XaGuPc",
+        size_mb: 680.2734,
+        chunks_100mb: 7,
+        total_views: 368_432,
+    },
 ];
 
 /// Number of evaluation hours in the trace (§6).

@@ -1,6 +1,6 @@
 //! Zipf-distributed synthetic demand (the conference version's workload).
 
-use rand::Rng;
+use jcr_ctx::rng::Rng;
 
 /// Zipf popularity weights: `p_i ∝ 1 / (i+1)^alpha`, normalized to sum
 /// to 1.
@@ -30,7 +30,9 @@ pub fn zipf_demand<R: Rng>(
     weights
         .iter()
         .map(|w| {
-            let raw: Vec<f64> = (0..n_requesters).map(|_| rng.gen_range(0.05..1.0)).collect();
+            let raw: Vec<f64> = (0..n_requesters)
+                .map(|_| rng.gen_range(0.05..1.0))
+                .collect();
             let s: f64 = raw.iter().sum();
             raw.into_iter().map(|r| total_rate * w * r / s).collect()
         })
@@ -40,7 +42,7 @@ pub fn zipf_demand<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use jcr_ctx::rng::SeedableRng;
 
     #[test]
     fn weights_normalized_and_decreasing() {
@@ -61,7 +63,7 @@ mod tests {
 
     #[test]
     fn demand_totals_match() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(3);
         let d = zipf_demand(5, 3, 1.0, 100.0, &mut rng);
         let total: f64 = d.iter().flatten().sum();
         assert!((total - 100.0).abs() < 1e-9);

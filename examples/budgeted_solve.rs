@@ -1,0 +1,61 @@
+//! Solving under a `SolverContext`: wall-clock/iteration budgets with a
+//! feasible incumbent on interruption, and the instrumentation counters.
+//!
+//! ```text
+//! cargo run --release --example budgeted_solve
+//! ```
+
+use std::time::Duration;
+
+use jcr::core::prelude::*;
+use jcr::core::report;
+use jcr::ctx::{Budget, Phase, SolverContext};
+use jcr::topo::{Topology, TopologyKind};
+
+fn main() {
+    let inst = InstanceBuilder::new(Topology::generate(TopologyKind::Abovenet, 1).unwrap())
+        .items(10)
+        .cache_capacity(3.0)
+        .zipf_demand(0.8, 1_000.0, 1)
+        .link_capacity_fraction(0.05)
+        .build()
+        .unwrap();
+
+    // Unbudgeted solve, instrumented: the context records what the solver did.
+    let ctx = SolverContext::new();
+    let sol = Alternating::new()
+        .solve_with_context(&inst, &ctx)
+        .expect("feasible instance");
+    println!(
+        "{}",
+        report::solution_report_with_stats(&inst, &sol.solution, &ctx.stats())
+    );
+
+    // Interrupted solve: one alternating iteration only. The error carries
+    // the best feasible iterate found before the budget tripped.
+    let capped =
+        SolverContext::with_budget(Budget::unlimited().with_phase_cap(Phase::Alternating, 1));
+    match Alternating::new().solve_with_context(&inst, &capped) {
+        Err(JcrError::BudgetExceeded {
+            phase,
+            best_so_far: Some(best),
+        }) => {
+            println!(
+                "\nbudget tripped in phase `{phase}`; incumbent cost {:.3}, congestion {:.3}",
+                best.cost(&inst),
+                best.congestion(&inst)
+            );
+        }
+        other => println!(
+            "\nconverged within the cap: {:?}",
+            other.map(|s| s.iterations)
+        ),
+    }
+
+    // A zero deadline fails fast instead of hanging.
+    let zero = SolverContext::with_budget(Budget::deadline(Duration::ZERO));
+    let err = Algorithm1::new()
+        .solve_with_context(&inst, &zero)
+        .unwrap_err();
+    println!("zero deadline: {err}");
+}

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One edge node hosts a full catalog replica (plus the origin).
     let replica = inst.cache_nodes()[0];
-    println!("full replica at {replica}, origin at {}\n", inst.origin.unwrap());
+    println!(
+        "full replica at {replica}, origin at {}\n",
+        inst.origin.unwrap()
+    );
 
     println!(
         "{:<18}{:>14}{:>18}{:>14}",
@@ -32,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for k in [1u32, 2, 8, 64, 1000] {
         let sol = alg2::solve_binary_caches(&inst, &[replica], k)?;
-        let name = if k == 2 { "Alg2 K=2 ([33])".to_string() } else { format!("Alg2 K={k}") };
+        let name = if k == 2 {
+            "Alg2 K=2 ([33])".to_string()
+        } else {
+            format!("Alg2 K={k}")
+        };
         println!(
             "{:<18}{:>14.1}{:>17.3}x{:>14.2}",
             name,

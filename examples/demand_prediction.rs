@@ -8,12 +8,12 @@
 
 use jcr::core::prelude::*;
 use jcr::topo::{Topology, TopologyKind};
+use jcr::trace::gpr;
 use jcr::trace::synth::{random_edge_shares, ViewTrace};
 use jcr::trace::videos::top_videos;
-use jcr::trace::gpr;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use jcr_ctx::rng::SeedableRng;
+use jcr_ctx::rng::StdRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vids = top_videos(6);
@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             views
                 .iter()
                 .enumerate()
-                .map(|(vi, &v)| (0..n_edges).map(|k| (v * shares[vi][k]).max(1e-6)).collect())
+                .map(|(vi, &v)| {
+                    (0..n_edges)
+                        .map(|k| (v * shares[vi][k]).max(1e-6))
+                        .collect()
+                })
                 .collect()
         };
         let build = |rates: Vec<Vec<f64>>| {

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .link_capacity_fraction(0.02)
         .build()?;
 
-    println!("{} requests, {} items, IC-IR (integral caching & routing)\n", inst.requests.len(), inst.num_items());
+    println!(
+        "{} requests, {} items, IC-IR (integral caching & routing)\n",
+        inst.requests.len(),
+        inst.num_items()
+    );
 
     // Our alternating optimization (§4.3.3).
     let result = Alternating::new().solve(&inst)?;
@@ -34,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sp_rnr = IoannidisYeh::sp_rnr().solve(&inst)?;
     let ksp_rnr = IoannidisYeh::ksp_rnr(10).solve(&inst)?;
 
-    println!("\n{:<22}{:>14}{:>14}", "algorithm", "routing cost", "congestion");
+    println!(
+        "\n{:<22}{:>14}{:>14}",
+        "algorithm", "routing cost", "congestion"
+    );
     for (name, sol) in [
         ("alternating (ours)", alt),
         ("SP [38]", &sp),

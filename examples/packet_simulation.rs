@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", report::solution_report(&inst, &solution));
 
     // ...then replay three hours of Poisson arrivals against it.
-    let simulator = Simulator { horizon: 3.0, seed: 2, ..Simulator::default() };
+    let simulator = Simulator {
+        horizon: 3.0,
+        seed: 2,
+        ..Simulator::default()
+    };
     let optimized = simulator.run(&inst, &mut StaticPolicy::new(&solution));
     let lru = simulator.run(&inst, &mut ReactivePolicy::new(&inst, Replacement::Lru));
     let lfu = simulator.run(&inst, &mut ReactivePolicy::new(&inst, Replacement::Lfu));
@@ -35,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<22}{:>14}{:>12}{:>10}{:>12}",
         "policy", "cost/hour", "congestion", "hit rate", "#requests"
     );
-    for (name, r) in [("optimized (static)", &optimized), ("reactive LRU", &lru), ("reactive LFU", &lfu)] {
+    for (name, r) in [
+        ("optimized (static)", &optimized),
+        ("reactive LRU", &lru),
+        ("reactive LFU", &lfu),
+    ] {
         println!(
             "{:<22}{:>14.1}{:>12.2}{:>10.3}{:>12}",
             name,

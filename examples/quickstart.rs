@@ -28,8 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     // Baseline: no caching, every request served by the origin.
-    let origin_only = rnr::rnr_cost(&inst, &Placement::empty(&inst))
-        .expect("origin reaches all requesters");
+    let origin_only =
+        rnr::rnr_cost(&inst, &Placement::empty(&inst)).expect("origin reaches all requesters");
 
     // Algorithm 1: (1 − 1/e)-approximate joint caching + routing.
     let solution = Algorithm1::new().solve(&inst)?;
@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("origin-only routing cost : {origin_only:.1}");
     println!("Algorithm 1 routing cost : {cost:.1}");
-    println!("saving                   : {:.1}%", 100.0 * (1.0 - cost / origin_only));
+    println!(
+        "saving                   : {:.1}%",
+        100.0 * (1.0 - cost / origin_only)
+    );
     println!("\nplacement (edge node -> items):");
     for v in inst.cache_nodes() {
         let items: Vec<usize> = solution.placement.items_at(v).collect();

@@ -8,6 +8,9 @@
 //! constraints. This crate simply re-exports the member crates under short
 //! module names; see each member for details:
 //!
+//! * [`ctx`] — solver context threaded through every solver: budgets
+//!   (deadlines, per-phase iteration caps), instrumentation counters/timers,
+//!   reusable scratch arenas, and the in-tree seeded PRNG.
 //! * [`graph`] — directed-graph substrate (Dijkstra, Yen's k-shortest paths).
 //! * [`lp`] — revised-simplex linear-programming solver with bounded
 //!   variables and incremental columns (for column generation).
@@ -44,10 +47,11 @@
 //! ```
 
 pub use jcr_core as core;
+pub use jcr_ctx as ctx;
 pub use jcr_flow as flow;
 pub use jcr_graph as graph;
 pub use jcr_lp as lp;
-pub use jcr_submodular as submodular;
 pub use jcr_sim as sim;
+pub use jcr_submodular as submodular;
 pub use jcr_topo as topo;
 pub use jcr_trace as trace;

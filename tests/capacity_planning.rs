@@ -46,7 +46,11 @@ fn unaugmented_uniform_capacity_is_insufficient() {
     let topo = Topology::generate(TopologyKind::Abovenet, 3).unwrap();
     let n_edges = topo.edge_nodes.len();
     let demand_per_edge = 100.0;
-    let demands: Vec<_> = topo.edge_nodes.iter().map(|&v| (v, demand_per_edge)).collect();
+    let demands: Vec<_> = topo
+        .edge_nodes
+        .iter()
+        .map(|&v| (v, demand_per_edge))
+        .collect();
     let total = demand_per_edge * n_edges as f64;
     let kappa = 0.007 * total;
     let cap = vec![kappa; topo.graph.edge_count()];

@@ -3,8 +3,8 @@
 //! placement is held fixed* (fractional routing relaxes integral routing).
 
 use jcr::core::alternating::{Alternating, RoutingMethod};
-use jcr::core::prelude::*;
 use jcr::core::fcfr;
+use jcr::core::prelude::*;
 use jcr::topo::Topology;
 
 fn small_instance(seed: u64) -> Instance {
@@ -24,9 +24,13 @@ fn fcfr_lower_bounds_capacity_feasible_solutions() {
         let fcfr_cost = fcfr::solve_fcfr(&inst).unwrap().cost;
         // IC-FR routes fractionally (MMSFP), so it always respects
         // capacities and the LP bound applies unconditionally.
-        let icfr = Alternating { integral_routing: false, seed, ..Alternating::default() }
-            .solve(&inst)
-            .unwrap();
+        let icfr = Alternating {
+            integral_routing: false,
+            seed,
+            ..Alternating::default()
+        }
+        .solve(&inst)
+        .unwrap();
         assert!(icfr.solution.congestion(&inst) <= 1.0 + 1e-6, "seed {seed}");
         assert!(
             fcfr_cost <= icfr.solution.cost(&inst) + 1e-6,
@@ -37,7 +41,12 @@ fn fcfr_lower_bounds_capacity_feasible_solutions() {
         // IC-IR's randomized rounding may overload links; the bound
         // applies only when the rounded routing stays within capacity —
         // an undercut *requires* a capacity violation.
-        let icir = Alternating { seed, ..Alternating::default() }.solve(&inst).unwrap();
+        let icir = Alternating {
+            seed,
+            ..Alternating::default()
+        }
+        .solve(&inst)
+        .unwrap();
         let cost = icir.solution.cost(&inst);
         if cost + 1e-6 < fcfr_cost {
             assert!(
@@ -55,18 +64,28 @@ fn fractional_routing_of_fixed_placement_never_costs_more() {
     // for the first inequality and a typical one for the second.
     for seed in 0..3 {
         let inst = small_instance(seed);
-        let placement = Alternating { seed, ..Alternating::default() }
-            .solve(&inst)
-            .unwrap()
-            .solution
-            .placement;
+        let placement = Alternating {
+            seed,
+            ..Alternating::default()
+        }
+        .solve(&inst)
+        .unwrap()
+        .solution
+        .placement;
 
-        let fractional = Alternating { integral_routing: false, seed, ..Alternating::default() }
-            .route_given_placement(&inst, &placement)
-            .unwrap();
-        let rounded = Alternating { seed, ..Alternating::default() }
-            .route_given_placement(&inst, &placement)
-            .unwrap();
+        let fractional = Alternating {
+            integral_routing: false,
+            seed,
+            ..Alternating::default()
+        }
+        .route_given_placement(&inst, &placement)
+        .unwrap();
+        let rounded = Alternating {
+            seed,
+            ..Alternating::default()
+        }
+        .route_given_placement(&inst, &placement)
+        .unwrap();
         // The fractional optimum lower-bounds every *capacity-feasible*
         // integral routing; a cheaper rounded routing must be overloaded.
         if rounded.cost(&inst) + 1e-6 < fractional.cost(&inst) {
@@ -89,7 +108,10 @@ fn greedy_routing_serves_all_within_reasonable_cost() {
     for seed in 0..3 {
         let inst = small_instance(seed);
         let placement = Placement::empty(&inst);
-        let lp_cfg = Alternating { seed, ..Alternating::default() };
+        let lp_cfg = Alternating {
+            seed,
+            ..Alternating::default()
+        };
         let greedy_cfg = Alternating {
             routing: RoutingMethod::GreedySequential,
             seed,

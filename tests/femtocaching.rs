@@ -99,14 +99,15 @@ fn brute_force_opt(inst: &Instance) -> f64 {
 #[test]
 fn achieves_femtocaching_guarantee() {
     // 2 helpers × 4 items, overlapping coverage — the regime [32] studied.
-    let (inst, _) = femto_instance(2, 3, 4, 2.0, 1.0, 30.0, |hi, ui| {
-        ui == hi || ui == hi + 1
-    });
+    let (inst, _) = femto_instance(2, 3, 4, 2.0, 1.0, 30.0, |hi, ui| ui == hi || ui == hi + 1);
     let sol = Algorithm1::new().solve(&inst).unwrap();
     let achieved = f_rnr(&inst, &sol.placement);
     let opt = brute_force_opt(&inst);
     let bound = (1.0 - 1.0 / std::f64::consts::E) * opt;
-    assert!(achieved >= bound - 1e-6, "{achieved} < (1 − 1/e)·OPT = {bound}");
+    assert!(
+        achieved >= bound - 1e-6,
+        "{achieved} < (1 − 1/e)·OPT = {bound}"
+    );
 }
 
 #[test]

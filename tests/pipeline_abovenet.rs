@@ -34,16 +34,29 @@ fn all_algorithms_serve_all_requests_feasibly() {
         ),
         ("SP", &cap, ShortestPathPlacement.solve(&cap).unwrap()),
         ("SP+RNR", &cap, IoannidisYeh::sp_rnr().solve(&cap).unwrap()),
-        ("k-SP+RNR", &cap, IoannidisYeh::ksp_rnr(5).solve(&cap).unwrap()),
+        (
+            "k-SP+RNR",
+            &cap,
+            IoannidisYeh::ksp_rnr(5).solve(&cap).unwrap(),
+        ),
     ];
     for (name, inst, sol) in &solutions {
-        assert!(sol.placement.is_feasible(inst), "{name}: infeasible placement");
-        assert!(sol.routing.serves_all(inst), "{name}: under-served requests");
+        assert!(
+            sol.placement.is_feasible(inst),
+            "{name}: infeasible placement"
+        );
+        assert!(
+            sol.routing.serves_all(inst),
+            "{name}: under-served requests"
+        );
         assert!(
             sol.routing.sources_valid(inst, &sol.placement),
             "{name}: path from a non-storing source"
         );
-        assert!(sol.routing.is_integral(), "{name}: IC-IR requires one path per request");
+        assert!(
+            sol.routing.is_integral(),
+            "{name}: IC-IR requires one path per request"
+        );
     }
 }
 
@@ -59,7 +72,11 @@ fn cost_ordering_fcfr_lower_bounds_everything() {
         .build()
         .unwrap();
     let lb = fcfr::solve_fcfr(&inst).unwrap().cost;
-    let alt = Alternating::new().solve(&inst).unwrap().solution.cost(&inst);
+    let alt = Alternating::new()
+        .solve(&inst)
+        .unwrap()
+        .solution
+        .cost(&inst);
     let sp = ShortestPathPlacement.solve(&inst).unwrap().cost(&inst);
     assert!(lb <= alt + 1e-6, "FC-FR {lb} > alternating {alt}");
     assert!(lb <= sp + 1e-6, "FC-FR {lb} > SP {sp}");

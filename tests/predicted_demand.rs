@@ -2,8 +2,8 @@
 //! demand, evaluated against the true demand — the advantage over the
 //! baselines must survive prediction errors (observation (ii) of §1.2).
 
-use jcr_bench::{build_instance, flatten_rates, Scenario};
 use jcr::core::prelude::*;
+use jcr_bench::{build_instance, flatten_rates, Scenario};
 
 #[test]
 fn predicted_decisions_stay_close_to_true_decisions() {
@@ -34,7 +34,10 @@ fn predicted_decisions_stay_close_to_true_decisions() {
             pred_cost <= 2.0 * oracle_cost + 1e-6,
             "hour {h}: predicted-decision cost {pred_cost} vs oracle {oracle_cost}"
         );
-        assert!(pred_cong < 5.0, "hour {h}: congestion exploded: {pred_cong}");
+        assert!(
+            pred_cong < 5.0,
+            "hour {h}: congestion exploded: {pred_cong}"
+        );
     }
 }
 
@@ -68,7 +71,7 @@ fn advantage_over_baselines_survives_prediction() {
 
 #[test]
 fn perturbed_demand_keeps_solutions_valid() {
-    use rand::SeedableRng;
+    use jcr_ctx::rng::SeedableRng;
     let mut sc = Scenario::chunk_default();
     sc.n_videos = 4;
     sc.hours = 1;
@@ -76,7 +79,7 @@ fn perturbed_demand_keeps_solutions_valid() {
     let n_edges = sc.topology().edge_nodes.len();
     let demand = sc.demand(n_edges);
     let true_rates = demand.true_rates(0, n_edges);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(3);
     let sigma = jcr_bench::mean(&flatten_rates(&true_rates));
     let noisy: Vec<Vec<f64>> = true_rates
         .iter()

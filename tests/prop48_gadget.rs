@@ -38,8 +38,16 @@ fn gadget(eps: f64) -> (Instance, [jcr::graph::NodeId; 4]) {
         cache_cap,
         vec![1.0, 1.0],
         vec![
-            Request { item: 0, node: s, rate: lambda },
-            Request { item: 1, node: s, rate: eps },
+            Request {
+                item: 0,
+                node: s,
+                rate: lambda,
+            },
+            Request {
+                item: 1,
+                node: s,
+                rate: eps,
+            },
         ],
         Some(vs),
     )
@@ -59,7 +67,10 @@ fn bad_equilibrium_costs_match_the_proof() {
             .unwrap()
             .cost(&inst);
         // λw + ε² from the proof of Proposition 4.8.
-        assert!((ne_cost - (1.0 + eps * eps)).abs() < 1e-9, "eps={eps}: {ne_cost}");
+        assert!(
+            (ne_cost - (1.0 + eps * eps)).abs() < 1e-9,
+            "eps={eps}: {ne_cost}"
+        );
 
         // Optimum: item 0 at v1, item 1 at v2 → ε(λ + w).
         let mut opt = Placement::empty(&inst);
@@ -87,7 +98,10 @@ fn bad_equilibrium_is_a_fixed_point_of_the_placement_step() {
     // prefix — so the placement step cannot improve the cost.
     let re_placed = placement_opt::optimize_placement(&inst, &ne_routing).unwrap();
     let f = placement_opt::f_given_routing(&inst, &ne_routing, &re_placed);
-    assert!(f.abs() < 1e-9, "no placement saves anything under the NE routing");
+    assert!(
+        f.abs() < 1e-9,
+        "no placement saves anything under the NE routing"
+    );
     // And the cost of the routing is exactly the NE cost regardless of x.
     let cost = placement_opt::cost_given_routing(&inst, &ne_routing, &re_placed);
     assert!((cost - ne_routing.cost(&inst)).abs() < 1e-9);

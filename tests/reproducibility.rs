@@ -2,9 +2,9 @@
 //! identical seeds must give bit-identical experiment inputs and
 //! identical solver outputs.
 
-use jcr_bench::{build_instance, Scenario};
 use jcr::core::prelude::*;
 use jcr::core::serial;
+use jcr_bench::{build_instance, Scenario};
 
 fn scenario() -> Scenario {
     let mut sc = Scenario::chunk_default();
@@ -42,11 +42,14 @@ fn solvers_are_deterministic_given_seeds() {
     let inst = build_instance(&sc, &rates);
 
     let run = || {
-        Alternating { seed: 5, ..Alternating::default() }
-            .solve(&inst)
-            .unwrap()
-            .solution
-            .cost(&inst)
+        Alternating {
+            seed: 5,
+            ..Alternating::default()
+        }
+        .solve(&inst)
+        .unwrap()
+        .solution
+        .cost(&inst)
     };
     assert_eq!(run().to_bits(), run().to_bits());
 

@@ -3,10 +3,10 @@
 //! setting (|C| = 54, ζ = 12, Abovenet-like) and the largest topology
 //! (Deltacom-like, 113 nodes).
 
-use jcr_bench::{build_instance, Scenario};
-use jcr::core::prelude::*;
 use jcr::core::alg2;
+use jcr::core::prelude::*;
 use jcr::topo::TopologyKind;
+use jcr_bench::{build_instance, Scenario};
 
 fn default_instance(kind: TopologyKind) -> Instance {
     let mut sc = Scenario::chunk_default();
