@@ -4,7 +4,7 @@
 //! experiments <id>... [--runs N] [--hours N] [--seed N] [--full]
 //!
 //!   ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology
-//!        table1 table2 table3 table4 stats all
+//!        table1 table2 table3 table4 stats faults all
 //! ```
 //!
 //! Run with `--release`; the quick defaults finish in minutes, `--full`
@@ -70,6 +70,7 @@ fn main() {
             "table3",
             "table4",
             "stats",
+            "faults",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -104,6 +105,7 @@ fn main() {
             "table3" => exp::table3(cfg),
             "table4" => exp::table4(cfg),
             "stats" => exp::stats(cfg),
+            "faults" => exp::faults(cfg),
             other => usage(&format!("unknown experiment {other}")),
         }
     }
@@ -116,7 +118,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: experiments <id>... [--runs N] [--hours N] [--seed N] [--full]\n\
          ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology \
-         table1 table2 table3 table4 stats all"
+         table1 table2 table3 table4 stats faults all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -1591,4 +1591,127 @@ pub fn stats(cfg: ExpConfig) {
         &header,
         &rows,
     );
+
+    // Monte-Carlo aggregation: the same counters across runs × hours of
+    // the alternating solver, each solve under a fresh context, reported
+    // as mean and max per counter (how much work a typical vs worst hour
+    // costs).
+    let mut samples: Vec<jcr_ctx::SolverStats> = Vec::new();
+    for run in 0..cfg.runs.max(1) {
+        let mut s = cfg.seeded(Scenario::chunk_default());
+        s.share_seed = s.share_seed.wrapping_add(run as u64 * 1009);
+        s.hours = cfg.hours.max(1);
+        let demand = s.demand(n_edges);
+        for h in 0..s.hours {
+            let inst = build_instance(&s, &demand.true_rates(h, n_edges));
+            let ctx = SolverContext::new();
+            let solver = Alternating {
+                seed: run as u64,
+                ..Alternating::default()
+            };
+            let _ = solver.solve_with_context(&inst, &ctx);
+            samples.push(ctx.stats());
+        }
+    }
+    let mut rows = Vec::new();
+    for &c in Counter::ALL.iter() {
+        let values: Vec<f64> = samples.iter().map(|s| s.counter(c) as f64).collect();
+        let max = values.iter().fold(0.0f64, |a, &b| a.max(b));
+        rows.push(vec![c.name().to_string(), fmt(mean(&values)), fmt(max)]);
+    }
+    print_table(
+        &format!(
+            "Solver statistics — alternating, aggregated over {} solves (runs × hours)",
+            samples.len()
+        ),
+        &["counter".into(), "mean".into(), "max".into()],
+        &rows,
+    );
+}
+
+/// Fault-injection sweep: the online loop's anytime degradation ladder
+/// under seeded link/node failures, capacity cuts, demand spikes, and
+/// solver-budget trips, sweeping the per-class fault probability. Reports
+/// realized cost, cache churn, the number of injected faults, and the
+/// histogram of ladder rungs that served the hours — the ladder's
+/// acceptance criterion is that every hour is served (no errors) no
+/// matter the fault rate.
+pub fn faults(cfg: ExpConfig) {
+    use std::time::Duration;
+
+    use jcr_core::online::{AnytimeConfig, OnlineSimulator, Rung};
+    use jcr_ctx::Budget;
+    use jcr_sim::faults::{FaultConfig, FaultInjector};
+
+    let rates: &[f64] = if cfg.full {
+        &[0.0, 0.1, 0.25, 0.5]
+    } else {
+        &[0.0, 0.35]
+    };
+    let mut sc = cfg.seeded(Scenario::chunk_default());
+    sc.n_videos = if cfg.full { 10 } else { 6 };
+    sc.hours = cfg.hours.max(4);
+    let n_edges = sc.topology().edge_nodes.len();
+    let base_budget = Budget::deadline(Duration::from_secs(10));
+
+    let mut rows = Vec::new();
+    for &rate in rates {
+        let mut costs = Vec::new();
+        let mut churns = Vec::new();
+        let mut fault_count = 0usize;
+        let mut hist = [0usize; Rung::ALL.len()];
+        for run in 0..cfg.runs.max(1) {
+            let mut s = sc.clone();
+            s.share_seed = s.share_seed.wrapping_add(run as u64 * 1009);
+            let demand = s.demand(n_edges);
+            let injector = FaultInjector::new(FaultConfig::uniform(
+                cfg.seed.wrapping_add(run as u64 * 7919),
+                rate,
+            ));
+            let mut sim = OnlineSimulator::new(Alternating {
+                seed: run as u64,
+                ..Alternating::default()
+            });
+            for h in 0..s.hours {
+                let true_rates = demand.true_rates(h, n_edges);
+                let pred_rates = demand.predicted_rates(h, n_edges);
+                let base = build_instance(&s, &pred_rates);
+                let faulted = injector.inject(h, &base, base_budget);
+                fault_count += faulted.events.len();
+                // Demand spikes scale rates but never change the request
+                // set or order, so the flattened truth stays aligned.
+                let flat_true: Vec<f64> = flatten_rates(&true_rates)
+                    .into_iter()
+                    .map(|r| r.max(1e-6))
+                    .collect();
+                let cfg_hour = AnytimeConfig::new().with_budget(faulted.budget);
+                let outcome = sim
+                    .step_anytime(&faulted.instance, &flat_true, &cfg_hour)
+                    .expect("the ladder serves every servable hour");
+                hist[outcome.rung.index()] += 1;
+                costs.push(outcome.realized_cost);
+                churns.push(outcome.placement_churn as f64);
+            }
+        }
+        let mut row = vec![
+            fmt(rate),
+            fmt(mean(&costs)),
+            fmt(mean(&churns)),
+            fault_count.to_string(),
+        ];
+        row.extend(hist.iter().map(usize::to_string));
+        rows.push(row);
+    }
+    let mut header = vec![
+        "fault rate".to_string(),
+        "realized cost".into(),
+        "mean churn".into(),
+        "#faults".into(),
+    ];
+    header.extend(Rung::ALL.iter().map(|r| r.name().to_string()));
+    print_table(
+        "Fault injection — realized cost, churn, and the rung histogram of the anytime ladder vs fault rate",
+        &header,
+        &rows,
+    );
 }

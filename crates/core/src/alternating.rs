@@ -275,8 +275,13 @@ impl Alternating {
             })
             .collect();
         if self.integral_routing && self.routing == RoutingMethod::GreedySequential {
-            let greedy =
-                multicommodity::greedy_unsplittable(&aux.graph, &aux.cost, &aux.cap, &commodities)?;
+            let greedy = multicommodity::greedy_unsplittable_with_context(
+                &aux.graph,
+                &aux.cost,
+                &aux.cap,
+                &commodities,
+                ctx,
+            )?;
             return Ok(Routing {
                 per_request: greedy
                     .paths

@@ -27,6 +27,19 @@ pub enum JcrError {
     },
 }
 
+impl JcrError {
+    /// Extracts the feasible incumbent carried by a budget error, if any.
+    /// Non-budget errors (and budget errors without an incumbent) yield
+    /// `None`. Used by the online degradation ladder to serve an hour
+    /// from the best solution an interrupted solve produced.
+    pub fn into_incumbent(self) -> Option<Box<Solution>> {
+        match self {
+            JcrError::BudgetExceeded { best_so_far, .. } => best_so_far,
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for JcrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

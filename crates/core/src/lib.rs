@@ -32,6 +32,9 @@
 //!   \[38\].
 //! * [`fcfr`] — the exact LP for fractional caching + fractional routing
 //!   (the polynomial-time case of Fig. 1).
+//! * [`online`] / [`repair`] — the hourly re-optimization protocol (§6)
+//!   with a fault-tolerant anytime degradation ladder and solution
+//!   repair for carried decisions.
 
 pub mod alg1;
 pub mod alg2;
@@ -46,6 +49,7 @@ pub mod instance;
 pub mod online;
 pub mod placement;
 pub mod placement_opt;
+pub mod repair;
 pub mod report;
 pub mod rnr;
 pub mod routing;
@@ -62,7 +66,8 @@ pub mod prelude {
     pub use crate::baselines::{CandidateRouting, IoannidisYeh, ShortestPathPlacement};
     pub use crate::error::JcrError;
     pub use crate::instance::{Instance, InstanceBuilder, Request};
-    pub use crate::online::{HourOutcome, OnlineSimulator};
+    pub use crate::online::{AnytimeConfig, HourOutcome, OnlineSimulator, Rung};
     pub use crate::placement::Placement;
+    pub use crate::repair::{repair_solution, RepairStats};
     pub use crate::routing::{Routing, Solution};
 }

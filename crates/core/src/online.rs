@@ -8,12 +8,140 @@
 //! predicted demand"); this module packages it as a reusable driver and
 //! additionally reports cache churn (how many items move per hour), the
 //! operational cost a provider would watch.
+//!
+//! # The anytime degradation ladder
+//!
+//! A production control loop cannot afford to skip an hour because the
+//! solver ran out of time or the instance turned hostile (failed links,
+//! demand spikes). [`OnlineSimulator::step_anytime`] therefore runs each
+//! hour under the hour's wall-clock budget (via
+//! [`SolverContext`]) and, on failure, walks an
+//! explicit ladder of increasingly cheap fallbacks:
+//!
+//! 1. [`Rung::Full`] — the full alternating re-solve;
+//! 2. [`Rung::Incumbent`] — on [`JcrError::BudgetExceeded`], the
+//!    validated best incumbent the interrupted solve produced;
+//! 3. [`Rung::RetryHalved`] — one retry with halved iteration caps under
+//!    the remaining budget;
+//! 4. [`Rung::RoutingOnly`] — re-route over the carried placement without
+//!    touching the caches;
+//! 5. [`Rung::CarryForward`] — repair the previous hour's solution
+//!    against the current instance ([`crate::repair`]) and serve from it.
+//!
+//! Every candidate is checked with [`validate_solution`] before it is
+//! served; the rung that produced the served solution is recorded in
+//! [`HourOutcome::rung`] and streamed as a structured `"rung"` event
+//! through the configured [`Probe`].
+
+use std::fmt;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use jcr_ctx::{Budget, Phase, Probe, SolverContext};
 
 use crate::alternating::Alternating;
 use crate::error::JcrError;
 use crate::instance::Instance;
 use crate::placement::Placement;
+use crate::repair::{repair_solution, RepairStats};
+use crate::rnr;
 use crate::routing::Solution;
+use crate::validate::validate_solution;
+
+/// The degradation-ladder rung that served an hour (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rung {
+    /// Full alternating re-solve succeeded.
+    Full,
+    /// Budget tripped; the interrupted solve's best incumbent served.
+    Incumbent,
+    /// A retry with halved iteration caps served.
+    RetryHalved,
+    /// Routing-only re-solve over the carried placement served.
+    RoutingOnly,
+    /// The previous hour's solution served after repair.
+    CarryForward,
+}
+
+impl Rung {
+    /// All rungs, in ladder order.
+    pub const ALL: [Rung; 5] = [
+        Rung::Full,
+        Rung::Incumbent,
+        Rung::RetryHalved,
+        Rung::RoutingOnly,
+        Rung::CarryForward,
+    ];
+
+    /// Stable human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Full => "full",
+            Rung::Incumbent => "incumbent",
+            Rung::RetryHalved => "retry-halved",
+            Rung::RoutingOnly => "routing-only",
+            Rung::CarryForward => "carry-forward",
+        }
+    }
+
+    /// Position in [`Rung::ALL`] (for histogram indexing).
+    pub fn index(self) -> usize {
+        match self {
+            Rung::Full => 0,
+            Rung::Incumbent => 1,
+            Rung::RetryHalved => 2,
+            Rung::RoutingOnly => 3,
+            Rung::CarryForward => 4,
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration for [`OnlineSimulator::step_anytime`].
+#[derive(Default)]
+pub struct AnytimeConfig {
+    /// The hour's solver budget. The wall-clock deadline, if any, spans
+    /// the *whole* ladder: later rungs run under whatever remains.
+    pub budget: Budget,
+    /// Structured-event sink: rung transitions are emitted as `"rung"`
+    /// events, and every per-rung [`SolverContext`] mirrors its counters
+    /// and phase timings here (e.g. a
+    /// [`JsonLinesProbe`](jcr_ctx::probe::JsonLinesProbe)).
+    pub probe: Option<Rc<dyn Probe>>,
+}
+
+impl fmt::Debug for AnytimeConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnytimeConfig")
+            .field("budget", &self.budget)
+            .field("probe", &self.probe.is_some())
+            .finish()
+    }
+}
+
+impl AnytimeConfig {
+    /// An unlimited budget and no probe.
+    pub fn new() -> Self {
+        AnytimeConfig::default()
+    }
+
+    /// Sets the hour budget (builder style).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the structured-event probe (builder style).
+    pub fn with_probe(mut self, probe: Rc<dyn Probe>) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+}
 
 /// Outcome of one online step.
 #[derive(Clone, Debug)]
@@ -27,6 +155,14 @@ pub struct HourOutcome {
     /// Items inserted plus evicted relative to the previous hour's
     /// placement (cache churn).
     pub placement_churn: usize,
+    /// The degradation-ladder rung that produced the solution
+    /// ([`Rung::Full`] when the regular solve succeeded).
+    pub rung: Rung,
+    /// Repair work performed on the served candidate: always present for
+    /// [`Rung::CarryForward`], and on earlier rungs whenever the
+    /// candidate needed a repair polish (e.g. a slight link overload from
+    /// the bicriteria rounding) to pass validation.
+    pub repair: Option<RepairStats>,
     /// The decision itself.
     pub solution: Solution,
 }
@@ -38,7 +174,7 @@ pub struct OnlineSimulator {
     /// Warm-start each hour from the previous placement (vs from empty
     /// caches).
     pub warm_start: bool,
-    previous: Option<Placement>,
+    previous: Option<Solution>,
     hour: usize,
 }
 
@@ -65,44 +201,313 @@ impl OnlineSimulator {
     ///
     /// # Errors
     ///
-    /// Propagates solver failures; the previous placement is kept so a
-    /// failed hour can be retried.
+    /// Propagates solver failures. A failed hour leaves the simulator
+    /// untouched — same hour counter, same per-hour seed perturbation,
+    /// same carried solution — so retrying it reproduces the unfailed
+    /// step bit for bit.
     pub fn step(
         &mut self,
         decision_inst: &Instance,
         true_rates: &[f64],
     ) -> Result<HourOutcome, JcrError> {
-        let mut solver = self.solver.clone();
-        solver.seed = self.solver.seed.wrapping_add(self.hour as u64);
-        let initial = match (&self.previous, self.warm_start) {
-            (Some(p), true) if p.is_feasible(decision_inst) => p.clone(),
-            _ => Placement::empty(decision_inst),
-        };
+        let solver = self.hour_solver();
+        let initial = self.initial_placement(decision_inst);
         let result = solver.solve_from(decision_inst, initial)?;
-        let solution = result.solution;
+        Ok(self.commit(decision_inst, true_rates, result.solution, Rung::Full, None))
+    }
 
-        let decided_cost = solution.cost(decision_inst);
-        let (realized_cost, realized_congestion) =
-            solution.evaluate_under(decision_inst, true_rates);
-        let placement_churn = match &self.previous {
-            Some(prev) => churn(prev, &solution.placement, decision_inst),
-            None => solution.placement.len(),
+    /// Executes one hour with the fault-tolerant anytime ladder (see the
+    /// module docs): never gives an hour up while any rung can produce a
+    /// [`validate_solution`]-clean decision.
+    ///
+    /// # Errors
+    ///
+    /// Only when every rung fails — which requires the instance itself to
+    /// be unservable (e.g. a requester unreachable from every replica and
+    /// the origin). As with [`OnlineSimulator::step`], a failed hour
+    /// leaves the simulator untouched.
+    pub fn step_anytime(
+        &mut self,
+        decision_inst: &Instance,
+        true_rates: &[f64],
+        cfg: &AnytimeConfig,
+    ) -> Result<HourOutcome, JcrError> {
+        let started = Instant::now();
+        let hour = self.hour.to_string();
+        let emit = |rung: Rung, status: &str, detail: &str| {
+            if let Some(p) = &cfg.probe {
+                p.event(
+                    "rung",
+                    &[
+                        ("hour", hour.as_str()),
+                        ("rung", rung.name()),
+                        ("status", status),
+                        ("detail", detail),
+                    ],
+                );
+            }
         };
-        self.previous = Some(solution.placement.clone());
-        self.hour += 1;
-        Ok(HourOutcome {
-            decided_cost,
-            realized_cost,
-            realized_congestion,
-            placement_churn,
-            solution,
-        })
+        let solver = self.hour_solver();
+        let initial = self.initial_placement(decision_inst);
+        let mut last_err = JcrError::Infeasible;
+
+        // Rung 1: full re-solve under the hour budget.
+        // Rung 2: on budget exhaustion, the validated incumbent.
+        let ctx = rung_context(cfg, cfg.budget);
+        match solver.solve_from_with_context(decision_inst, initial.clone(), &ctx) {
+            Ok(result) => {
+                if let Some((solution, repair)) = accept(decision_inst, result.solution) {
+                    emit(Rung::Full, "served", polish_note(&repair));
+                    return Ok(self.commit(
+                        decision_inst,
+                        true_rates,
+                        solution,
+                        Rung::Full,
+                        repair,
+                    ));
+                }
+                emit(Rung::Full, "failed", "candidate failed validation");
+            }
+            Err(e) => {
+                emit(Rung::Full, "failed", &e.to_string());
+                let budget_tripped = matches!(e, JcrError::BudgetExceeded { .. });
+                if let Some(incumbent) = e.clone().into_incumbent() {
+                    if let Some((solution, repair)) = accept(decision_inst, *incumbent) {
+                        emit(Rung::Incumbent, "served", polish_note(&repair));
+                        return Ok(self.commit(
+                            decision_inst,
+                            true_rates,
+                            solution,
+                            Rung::Incumbent,
+                            repair,
+                        ));
+                    }
+                    emit(Rung::Incumbent, "failed", "incumbent failed validation");
+                } else if budget_tripped {
+                    emit(Rung::Incumbent, "failed", "no incumbent to fall back on");
+                }
+                last_err = e;
+            }
+        }
+
+        // Rung 3: one retry with halved iteration caps, on what remains
+        // of the hour budget.
+        let mut halved = solver.clone();
+        halved.max_iters = (halved.max_iters / 2).max(1);
+        halved.rounding_draws = (halved.rounding_draws / 2).max(1);
+        let budget = halve_caps(remaining_budget(&cfg.budget, started.elapsed()));
+        let ctx = rung_context(cfg, budget);
+        match halved.solve_from_with_context(decision_inst, initial.clone(), &ctx) {
+            Ok(result) => {
+                if let Some((solution, repair)) = accept(decision_inst, result.solution) {
+                    emit(Rung::RetryHalved, "served", polish_note(&repair));
+                    return Ok(self.commit(
+                        decision_inst,
+                        true_rates,
+                        solution,
+                        Rung::RetryHalved,
+                        repair,
+                    ));
+                }
+                emit(Rung::RetryHalved, "failed", "candidate failed validation");
+            }
+            Err(e) => {
+                emit(Rung::RetryHalved, "failed", &e.to_string());
+                if let Some(incumbent) = e.clone().into_incumbent() {
+                    if let Some((solution, repair)) = accept(decision_inst, *incumbent) {
+                        emit(Rung::RetryHalved, "served", "interrupted retry's incumbent");
+                        return Ok(self.commit(
+                            decision_inst,
+                            true_rates,
+                            solution,
+                            Rung::RetryHalved,
+                            repair,
+                        ));
+                    }
+                }
+                last_err = e;
+            }
+        }
+
+        // Rung 4: keep the carried placement, only re-route.
+        let budget = remaining_budget(&cfg.budget, started.elapsed());
+        let ctx = rung_context(cfg, budget);
+        match solver.route_given_placement_with_context(decision_inst, &initial, &ctx) {
+            Ok(routing) => {
+                let candidate = Solution {
+                    placement: initial.clone(),
+                    routing,
+                };
+                if let Some((solution, repair)) = accept(decision_inst, candidate) {
+                    emit(Rung::RoutingOnly, "served", polish_note(&repair));
+                    return Ok(self.commit(
+                        decision_inst,
+                        true_rates,
+                        solution,
+                        Rung::RoutingOnly,
+                        repair,
+                    ));
+                }
+                emit(Rung::RoutingOnly, "failed", "candidate failed validation");
+            }
+            Err(e) => {
+                emit(Rung::RoutingOnly, "failed", &e.to_string());
+                last_err = e;
+            }
+        }
+
+        // Rung 5: carry the previous hour's solution, repaired against
+        // the current instance. With no previous hour (or when its repair
+        // fails), fall back to an origin-only solution. Repair is
+        // budget-free by design: this rung must always produce an answer.
+        let mut candidates: Vec<Solution> = Vec::new();
+        if let Some(prev) = &self.previous {
+            candidates.push(prev.clone());
+        }
+        if let Some(routing) =
+            rnr::route_to_nearest_replica(decision_inst, &Placement::empty(decision_inst))
+        {
+            candidates.push(Solution {
+                placement: Placement::empty(decision_inst),
+                routing,
+            });
+        }
+        for base in candidates {
+            let (repaired, stats) = repair_solution(decision_inst, &base);
+            if validate_solution(decision_inst, &repaired).is_empty() {
+                emit(Rung::CarryForward, "served", "");
+                return Ok(self.commit(
+                    decision_inst,
+                    true_rates,
+                    repaired,
+                    Rung::CarryForward,
+                    Some(stats),
+                ));
+            }
+        }
+        emit(Rung::CarryForward, "failed", "no repairable candidate");
+        Err(last_err)
+    }
+
+    /// The solution carried into the next hour, if any step succeeded.
+    pub fn current_solution(&self) -> Option<&Solution> {
+        self.previous.as_ref()
     }
 
     /// The placement carried into the next hour, if any step succeeded.
     pub fn current_placement(&self) -> Option<&Placement> {
-        self.previous.as_ref()
+        self.previous.as_ref().map(|s| &s.placement)
     }
+
+    /// The hour's solver: the configured one with the seed perturbed by
+    /// the hour index, so every hour makes fresh randomized-rounding
+    /// draws. Pure in `self` — a failed hour repeats identically.
+    fn hour_solver(&self) -> Alternating {
+        let mut solver = self.solver.clone();
+        solver.seed = self.solver.seed.wrapping_add(self.hour as u64);
+        solver
+    }
+
+    /// The warm-start placement for the current hour: the carried
+    /// placement when enabled, dimension-compatible, and feasible.
+    fn initial_placement(&self, decision_inst: &Instance) -> Placement {
+        match &self.previous {
+            Some(prev)
+                if self.warm_start
+                    && prev.placement.dims_match(decision_inst)
+                    && prev.placement.is_feasible(decision_inst) =>
+            {
+                prev.placement.clone()
+            }
+            _ => Placement::empty(decision_inst),
+        }
+    }
+
+    /// Commits a served hour: computes the outcome metrics and only then
+    /// advances the carried state. All mutation of `self` funnels through
+    /// here, so failure paths cannot leave the simulator inconsistent.
+    fn commit(
+        &mut self,
+        decision_inst: &Instance,
+        true_rates: &[f64],
+        solution: Solution,
+        rung: Rung,
+        repair: Option<RepairStats>,
+    ) -> HourOutcome {
+        let decided_cost = solution.cost(decision_inst);
+        let (realized_cost, realized_congestion) =
+            solution.evaluate_under(decision_inst, true_rates);
+        let placement_churn = match &self.previous {
+            Some(prev) if prev.placement.dims_match(decision_inst) => {
+                churn(&prev.placement, &solution.placement, decision_inst)
+            }
+            _ => solution.placement.len(),
+        };
+        self.previous = Some(solution.clone());
+        self.hour += 1;
+        HourOutcome {
+            decided_cost,
+            realized_cost,
+            realized_congestion,
+            placement_churn,
+            rung,
+            repair,
+            solution,
+        }
+    }
+}
+
+/// Accepts a rung's candidate if it validates, polishing it with one
+/// repair pass when it does not (the alternating solver's randomized
+/// rounding is bicriteria, so a legitimate solve can overload links
+/// slightly). `None` when even the repaired candidate fails validation.
+fn accept(inst: &Instance, solution: Solution) -> Option<(Solution, Option<RepairStats>)> {
+    if validate_solution(inst, &solution).is_empty() {
+        return Some((solution, None));
+    }
+    let (repaired, stats) = repair_solution(inst, &solution);
+    if validate_solution(inst, &repaired).is_empty() {
+        return Some((repaired, Some(stats)));
+    }
+    None
+}
+
+/// Probe detail string for an accepted candidate.
+fn polish_note(repair: &Option<RepairStats>) -> &'static str {
+    if repair.is_some() {
+        "after repair polish"
+    } else {
+        ""
+    }
+}
+
+/// A context for one ladder rung, mirroring into the configured probe.
+fn rung_context(cfg: &AnytimeConfig, budget: Budget) -> SolverContext {
+    let ctx = SolverContext::with_budget(budget);
+    match &cfg.probe {
+        Some(p) => ctx.with_probe(Box::new(Rc::clone(p))),
+        None => ctx,
+    }
+}
+
+/// `budget` with its deadline shrunk by the time already spent (phase
+/// caps are kept — they are per-context and reset with each rung).
+fn remaining_budget(budget: &Budget, elapsed: Duration) -> Budget {
+    match budget.deadline_limit() {
+        Some(limit) => budget.with_deadline(limit.saturating_sub(elapsed)),
+        None => *budget,
+    }
+}
+
+/// `budget` with every phase iteration cap halved (minimum 1).
+fn halve_caps(budget: Budget) -> Budget {
+    let mut out = budget;
+    for phase in Phase::ALL {
+        if let Some(cap) = budget.phase_cap(phase) {
+            out = out.with_phase_cap(phase, (cap / 2).max(1));
+        }
+    }
+    out
 }
 
 /// Symmetric-difference size between two placements.
@@ -144,6 +549,21 @@ mod tests {
             .unwrap()
     }
 
+    /// The same instance with every link capacity zeroed: nothing can be
+    /// routed, so any solve fails with [`JcrError::Infeasible`].
+    fn unroutable(inst: &Instance) -> Instance {
+        Instance::new(
+            inst.graph.clone(),
+            inst.link_cost.clone(),
+            vec![0.0; inst.graph.edge_count()],
+            inst.cache_cap.clone(),
+            inst.item_size.clone(),
+            inst.requests.clone(),
+            inst.origin,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn steps_accumulate_and_report() {
         let mut sim = OnlineSimulator::new(Alternating::new());
@@ -158,6 +578,7 @@ mod tests {
                     < 1e-6 * outcome.decided_cost
             );
             assert!(outcome.solution.placement.is_feasible(&decision));
+            assert_eq!(outcome.rung, Rung::Full);
         }
         assert_eq!(sim.hour(), 3);
         assert!(sim.current_placement().is_some());
@@ -190,5 +611,100 @@ mod tests {
         let a = sim.step(&decision, &truth).unwrap();
         let b = sim.step(&decision, &truth).unwrap();
         assert!(a.realized_cost > 0.0 && b.realized_cost > 0.0);
+    }
+
+    #[test]
+    fn failed_hour_leaves_state_untouched_and_retries_bit_identically() {
+        let good0 = hourly_instance(100.0, 3);
+        let good1 = hourly_instance(120.0, 4);
+        let truth0: Vec<f64> = good0.requests.iter().map(|r| r.rate).collect();
+        let truth1: Vec<f64> = good1.requests.iter().map(|r| r.rate).collect();
+        let bad = unroutable(&good1);
+
+        // Simulator A fails hour 1 once, then retries it.
+        let mut a = OnlineSimulator::new(Alternating::new());
+        let a0 = a.step(&good0, &truth0).unwrap();
+        let before = (a.hour(), a.current_solution().cloned());
+        a.step(&bad, &truth1).expect_err("unroutable instance");
+        assert_eq!(a.hour(), before.0, "failed hour advanced the clock");
+        assert_eq!(
+            a.current_solution().cloned(),
+            before.1,
+            "failed hour mutated the carried solution"
+        );
+        let a1 = a.step(&good1, &truth1).unwrap();
+
+        // Simulator B never sees the failure.
+        let mut b = OnlineSimulator::new(Alternating::new());
+        let b0 = b.step(&good0, &truth0).unwrap();
+        let b1 = b.step(&good1, &truth1).unwrap();
+
+        assert_eq!(a0.solution, b0.solution);
+        assert_eq!(
+            a1.solution, b1.solution,
+            "retried hour is not bit-identical to the unfailed one"
+        );
+        assert_eq!(a1.decided_cost.to_bits(), b1.decided_cost.to_bits());
+        assert_eq!(a1.placement_churn, b1.placement_churn);
+    }
+
+    #[test]
+    fn step_anytime_matches_step_when_unconstrained() {
+        let decision = hourly_instance(100.0, 6);
+        let truth: Vec<f64> = decision.requests.iter().map(|r| r.rate).collect();
+        let mut plain = OnlineSimulator::new(Alternating::new());
+        let mut anytime = OnlineSimulator::new(Alternating::new());
+        let p = plain.step(&decision, &truth).unwrap();
+        let q = anytime
+            .step_anytime(&decision, &truth, &AnytimeConfig::new())
+            .unwrap();
+        assert_eq!(q.rung, Rung::Full);
+        assert!(validate_solution(&decision, &q.solution).is_empty());
+        // The anytime path only diverges from the plain one when the
+        // bicriteria rounding needed a repair polish to validate.
+        if validate_solution(&decision, &p.solution).is_empty() {
+            assert!(q.repair.is_none());
+            assert_eq!(p.solution, q.solution);
+            assert_eq!(p.decided_cost.to_bits(), q.decided_cost.to_bits());
+        } else {
+            assert!(q.repair.is_some());
+        }
+    }
+
+    #[test]
+    fn zero_deadline_carries_forward_and_repairs() {
+        let decision = hourly_instance(100.0, 7);
+        let truth: Vec<f64> = decision.requests.iter().map(|r| r.rate).collect();
+        let mut sim = OnlineSimulator::new(Alternating::new());
+        // No previous hour: the ladder bottoms out at a repaired
+        // origin-only solution.
+        let cfg = AnytimeConfig::new().with_budget(Budget::deadline(Duration::ZERO));
+        let outcome = sim.step_anytime(&decision, &truth, &cfg).unwrap();
+        assert_eq!(outcome.rung, Rung::CarryForward);
+        assert!(outcome.repair.is_some());
+        assert!(validate_solution(&decision, &outcome.solution).is_empty());
+        assert_eq!(sim.hour(), 1);
+
+        // With a previous hour, the carried solution is repaired instead.
+        let mut warm = OnlineSimulator::new(Alternating::new());
+        warm.step(&decision, &truth).unwrap();
+        let outcome = warm.step_anytime(&decision, &truth, &cfg).unwrap();
+        assert_eq!(outcome.rung, Rung::CarryForward);
+        assert!(validate_solution(&decision, &outcome.solution).is_empty());
+    }
+
+    #[test]
+    fn unservable_instance_still_errors() {
+        // Acceptance criterion scoping: the ladder only guarantees
+        // service for servable instances. All-zero link capacities defeat
+        // every rung — including repair — and must surface an error, not
+        // a bogus outcome.
+        let decision = hourly_instance(100.0, 8);
+        let truth: Vec<f64> = decision.requests.iter().map(|r| r.rate).collect();
+        let bad = unroutable(&decision);
+        let mut sim = OnlineSimulator::new(Alternating::new());
+        let err = sim.step_anytime(&bad, &truth, &AnytimeConfig::new());
+        assert!(err.is_err(), "{err:?}");
+        assert_eq!(sim.hour(), 0);
     }
 }

@@ -93,6 +93,59 @@ impl Placement {
             .all(|v| self.occupancy(inst, v) <= inst.cache_cap[v.index()] + 1e-9)
     }
 
+    /// Whether the placement's dimensions match `inst` (same node and
+    /// item counts). A placement carried across re-optimization epochs
+    /// may have been built for a different instance.
+    pub fn dims_match(&self, inst: &Instance) -> bool {
+        self.stored.len() == inst.graph.node_count() && self.n_items == inst.num_items()
+    }
+
+    /// Repairs the placement against `inst` so that every cache fits its
+    /// capacity: overflowing nodes greedily evict their least valuable
+    /// items (lowest locally requested rate per unit of size) until
+    /// constraint (1f)/(16) holds. A dimension mismatch resets the
+    /// placement to empty. Returns the number of evicted (node, item)
+    /// pairs.
+    ///
+    /// This is the placement half of the carry-forward repair rung in the
+    /// online loop's degradation ladder (see `jcr_core::repair`).
+    pub fn repair(&mut self, inst: &Instance) -> usize {
+        if !self.dims_match(inst) {
+            let evicted = self.len();
+            *self = Placement::empty(inst);
+            return evicted;
+        }
+        let mut evicted = 0;
+        for v in inst.graph.nodes() {
+            let cap = inst.cache_cap[v.index()];
+            if self.occupancy(inst, v) <= cap + 1e-9 {
+                continue;
+            }
+            // Local demand for each stored item, as rate per unit size.
+            let mut stored: Vec<(f64, usize)> = self
+                .items_at(v)
+                .map(|i| {
+                    let rate: f64 = inst
+                        .requests
+                        .iter()
+                        .filter(|r| r.node == v && r.item == i)
+                        .map(|r| r.rate)
+                        .sum();
+                    (rate / inst.item_size[i].max(1e-12), i)
+                })
+                .collect();
+            stored.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            for &(_, i) in &stored {
+                if self.occupancy(inst, v) <= cap + 1e-9 {
+                    break;
+                }
+                self.set(v, i, false);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
     /// Total number of stored (node, item) pairs.
     pub fn len(&self) -> usize {
         self.stored
@@ -158,6 +211,55 @@ mod tests {
         p.set(v, 2, true);
         assert!(!p.is_feasible(&inst));
         assert!(p.max_occupancy_ratio(&inst) > 1.0);
+    }
+
+    #[test]
+    fn repair_evicts_least_demanded_first() {
+        let inst = InstanceBuilder::new(Topology::generate(TopologyKind::Abovenet, 2).unwrap())
+            .items(4)
+            .cache_capacity(2.0)
+            .zipf_demand(0.8, 100.0, 2)
+            .build()
+            .unwrap();
+        let v = inst.cache_nodes()[0];
+        let mut p = Placement::empty(&inst);
+        for i in 0..inst.num_items() {
+            p.set(v, i, true); // 4 unit items in a 2-unit cache
+        }
+        let evicted = p.repair(&inst);
+        assert_eq!(evicted, 2);
+        assert!(p.is_feasible(&inst));
+        // Zipf demand decreases in the item index, so the heavy head
+        // items survive.
+        assert!(p.has(v, 0));
+        assert!(!p.has(v, 3));
+    }
+
+    #[test]
+    fn repair_resets_on_dimension_mismatch() {
+        let small = inst();
+        let big = InstanceBuilder::new(Topology::generate(TopologyKind::Abovenet, 2).unwrap())
+            .items(9)
+            .cache_capacity(2.0)
+            .build()
+            .unwrap();
+        let mut p = Placement::empty(&big);
+        p.set(big.cache_nodes()[0], 7, true);
+        assert!(!p.dims_match(&small));
+        let evicted = p.repair(&small);
+        assert_eq!(evicted, 1);
+        assert!(p.is_empty());
+        assert!(p.dims_match(&small));
+    }
+
+    #[test]
+    fn repair_is_a_noop_on_feasible_placements() {
+        let inst = inst();
+        let mut p = Placement::empty(&inst);
+        p.set(inst.cache_nodes()[0], 1, true);
+        let before = p.clone();
+        assert_eq!(p.repair(&inst), 0);
+        assert_eq!(p, before);
     }
 
     #[test]

@@ -109,6 +109,59 @@ pub fn solution_report_with_stats(
     out
 }
 
+/// A summary of an online run: realized cost and churn per hour plus the
+/// degradation-ladder rung histogram ("how often did the anytime loop
+/// have to fall back, and how far") and the total repair work. What an
+/// operator would check after a faulty day.
+pub fn online_report(outcomes: &[crate::online::HourOutcome]) -> String {
+    use crate::online::Rung;
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "== online anytime run ({} hours) ==", outcomes.len()).expect("write to string");
+    if outcomes.is_empty() {
+        return out;
+    }
+    let n = outcomes.len() as f64;
+    let cost: f64 = outcomes.iter().map(|o| o.realized_cost).sum::<f64>() / n;
+    let churn: f64 = outcomes
+        .iter()
+        .map(|o| o.placement_churn as f64)
+        .sum::<f64>()
+        / n;
+    writeln!(
+        out,
+        "mean realized cost: {cost:.3}   mean churn: {churn:.1}"
+    )
+    .expect("write to string");
+    writeln!(out, "\n-- rung histogram --").expect("write to string");
+    let mut hist = [0usize; Rung::ALL.len()];
+    for o in outcomes {
+        hist[o.rung.index()] += 1;
+    }
+    for (rung, count) in Rung::ALL.iter().zip(hist) {
+        writeln!(out, "  {:>13}: {count}", rung.name()).expect("write to string");
+    }
+    let repaired: Vec<&crate::repair::RepairStats> =
+        outcomes.iter().filter_map(|o| o.repair.as_ref()).collect();
+    if !repaired.is_empty() {
+        writeln!(
+            out,
+            "\n-- repair work ({} hours repaired) --",
+            repaired.len()
+        )
+        .expect("write to string");
+        writeln!(
+            out,
+            "  evicted: {}   dropped flows: {}   rerouted: {}",
+            repaired.iter().map(|r| r.evicted).sum::<usize>(),
+            repaired.iter().map(|r| r.dropped_flows).sum::<usize>(),
+            repaired.iter().map(|r| r.rerouted).sum::<usize>(),
+        )
+        .expect("write to string");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +192,38 @@ mod tests {
             .filter(|l| l.trim_start().starts_with('n'))
             .count();
         assert_eq!(placement_lines, inst.cache_nodes().len());
+    }
+
+    #[test]
+    fn online_report_shows_rungs_and_repair_work() {
+        use crate::alternating::Alternating;
+        use crate::online::{AnytimeConfig, OnlineSimulator, Rung};
+        use jcr_ctx::Budget;
+        let inst = InstanceBuilder::new(Topology::generate(TopologyKind::Abovenet, 4).unwrap())
+            .items(6)
+            .cache_capacity(2.0)
+            .zipf_demand(0.8, 200.0, 4)
+            .link_capacity_fraction(0.1)
+            .build()
+            .unwrap();
+        let truth: Vec<f64> = inst.requests.iter().map(|r| r.rate).collect();
+        let mut sim = OnlineSimulator::new(Alternating::new());
+        let mut outcomes = Vec::new();
+        outcomes.push(
+            sim.step_anytime(&inst, &truth, &AnytimeConfig::new())
+                .unwrap(),
+        );
+        let starved = AnytimeConfig::new().with_budget(Budget::deadline(std::time::Duration::ZERO));
+        outcomes.push(sim.step_anytime(&inst, &truth, &starved).unwrap());
+        assert_eq!(outcomes[1].rung, Rung::CarryForward);
+        let text = online_report(&outcomes);
+        assert!(
+            text.contains("== online anytime run (2 hours) =="),
+            "{text}"
+        );
+        assert!(text.contains("-- rung histogram --"), "{text}");
+        assert!(text.contains("carry-forward: 1"), "{text}");
+        assert!(text.contains("repair work"), "{text}");
     }
 
     #[test]

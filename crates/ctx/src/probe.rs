@@ -1,0 +1,201 @@
+//! Probe implementations beyond the context's built-in accumulator.
+//!
+//! The [`SolverContext`](crate::SolverContext) records effort into its
+//! own [`SolverStats`](crate::SolverStats); an *extra* probe mirrors the
+//! same event stream elsewhere. This module provides the structured log
+//! sink: [`JsonLinesProbe`] serializes every counter increment, phase
+//! timing, and named event as one JSON object per line behind any
+//! [`Write`] — a file, a `Vec<u8>`, stderr — so solver effort can be
+//! tailed and post-processed without a logging dependency.
+//!
+//! A single probe often needs to back several contexts (the online loop
+//! creates one context per degradation rung); the blanket
+//! `impl Probe for Rc<P>` below makes `Box::new(Rc::clone(&probe))`
+//! attachable to each of them.
+//!
+//! # Examples
+//!
+//! ```
+//! use jcr_ctx::probe::JsonLinesProbe;
+//! use jcr_ctx::{Counter, Probe, SolverContext};
+//!
+//! let probe = JsonLinesProbe::new(Vec::new());
+//! probe.event("rung", &[("hour", "3"), ("rung", "carry-forward")]);
+//! let ctx = SolverContext::new().with_probe(Box::new(probe));
+//! ctx.count(Counter::SimplexPivots, 2);
+//! ```
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+use crate::{Counter, Phase, Probe};
+
+impl<P: Probe + ?Sized> Probe for Rc<P> {
+    fn count(&self, counter: Counter, by: u64) {
+        (**self).count(counter, by);
+    }
+
+    fn phase_elapsed(&self, phase: Phase, nanos: u64) {
+        (**self).phase_elapsed(phase, nanos);
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, &str)]) {
+        (**self).event(name, fields);
+    }
+}
+
+/// A [`Probe`] that streams solver events as JSON lines to a writer.
+///
+/// Each call produces one self-contained JSON object terminated by a
+/// newline:
+///
+/// ```text
+/// {"event":"count","counter":"simplex pivots","by":17}
+/// {"event":"phase","phase":"simplex","nanos":48211}
+/// {"event":"rung","hour":"2","rung":"incumbent","status":"served"}
+/// ```
+///
+/// Write errors are swallowed: observability must never fail a solve.
+pub struct JsonLinesProbe<W: Write> {
+    sink: RefCell<W>,
+}
+
+impl<W: Write> JsonLinesProbe<W> {
+    /// Wraps `sink`; every probe call appends one JSON line to it.
+    pub fn new(sink: W) -> Self {
+        JsonLinesProbe {
+            sink: RefCell::new(sink),
+        }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        let mut sink = self.sink.into_inner();
+        let _ = sink.flush();
+        sink
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut sink = self.sink.borrow_mut();
+        let _ = writeln!(sink, "{line}");
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl<W: Write> Probe for JsonLinesProbe<W> {
+    fn count(&self, counter: Counter, by: u64) {
+        self.write_line(&format!(
+            "{{\"event\":\"count\",\"counter\":\"{}\",\"by\":{by}}}",
+            escape(counter.name())
+        ));
+    }
+
+    fn phase_elapsed(&self, phase: Phase, nanos: u64) {
+        self.write_line(&format!(
+            "{{\"event\":\"phase\",\"phase\":\"{}\",\"nanos\":{nanos}}}",
+            escape(phase.name())
+        ));
+    }
+
+    fn event(&self, name: &str, fields: &[(&str, &str)]) {
+        let mut line = format!("{{\"event\":\"{}\"", escape(name));
+        for (key, value) in fields {
+            line.push_str(&format!(",\"{}\":\"{}\"", escape(key), escape(value)));
+        }
+        line.push('}');
+        self.write_line(&line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolverContext;
+
+    /// A shared in-memory sink (the probe consumes its writer, so tests
+    /// keep a second handle to read what was written).
+    #[derive(Clone, Default)]
+    struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.borrow().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn streams_counters_phases_and_events_as_json_lines() {
+        let buf = SharedBuf::default();
+        let probe = JsonLinesProbe::new(buf.clone());
+        probe.count(Counter::SimplexPivots, 17);
+        probe.phase_elapsed(Phase::Simplex, 48);
+        probe.event("rung", &[("hour", "2"), ("rung", "incumbent")]);
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"count\",\"counter\":\"simplex pivots\",\"by\":17}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"phase\",\"phase\":\"simplex\",\"nanos\":48}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"event\":\"rung\",\"hour\":\"2\",\"rung\":\"incumbent\"}"
+        );
+    }
+
+    #[test]
+    fn escapes_json_special_characters() {
+        let probe = JsonLinesProbe::new(Vec::new());
+        probe.event("note", &[("msg", "a \"quoted\"\\\nline")]);
+        let text = String::from_utf8(probe.into_inner()).unwrap();
+        assert_eq!(
+            text.trim_end(),
+            "{\"event\":\"note\",\"msg\":\"a \\\"quoted\\\"\\\\\\nline\"}"
+        );
+    }
+
+    #[test]
+    fn shared_probe_backs_multiple_contexts() {
+        let buf = SharedBuf::default();
+        let probe: Rc<dyn Probe> = Rc::new(JsonLinesProbe::new(buf.clone()));
+        let a = SolverContext::new().with_probe(Box::new(Rc::clone(&probe)));
+        let b = SolverContext::new().with_probe(Box::new(Rc::clone(&probe)));
+        a.count(Counter::DijkstraCalls, 1);
+        b.emit("rung", &[("rung", "full")]);
+        let text = buf.contents();
+        assert!(text.contains("\"counter\":\"dijkstra calls\""), "{text}");
+        assert!(text.contains("\"rung\":\"full\""), "{text}");
+    }
+}

@@ -347,6 +347,29 @@ pub fn greedy_unsplittable(
     cap: &[f64],
     commodities: &[Commodity],
 ) -> Result<UnsplittableSolution, FlowError> {
+    greedy_unsplittable_with_context(g, cost, cap, commodities, &SolverContext::new())
+}
+
+/// [`greedy_unsplittable`] under an explicit [`SolverContext`]: each
+/// commodity charges one `Phase::MinCostFlow` iteration (so caps and the
+/// wall-clock deadline bound the sequential routing), Dijkstra runs are
+/// counted, and the whole call is timed under that phase. This is the
+/// budget plumbing behind the online loop's routing-only degradation
+/// rung.
+///
+/// # Errors
+///
+/// Same as [`greedy_unsplittable`], plus [`FlowError::Budget`] when the
+/// budget trips mid-routing.
+pub fn greedy_unsplittable_with_context(
+    g: &DiGraph,
+    cost: &[f64],
+    cap: &[f64],
+    commodities: &[Commodity],
+    ctx: &SolverContext,
+) -> Result<UnsplittableSolution, FlowError> {
+    let _t = ctx.time(Phase::MinCostFlow);
+    ctx.check_deadline(Phase::MinCostFlow)?;
     let mut order: Vec<usize> = (0..commodities.len()).collect();
     order.sort_by(|&a, &b| {
         commodities[b]
@@ -357,7 +380,9 @@ pub fn greedy_unsplittable(
     let mut residual: Vec<f64> = cap.to_vec();
     let mut paths: Vec<Option<Path>> = vec![None; commodities.len()];
     for &i in &order {
+        ctx.check(Phase::MinCostFlow)?;
         let c = commodities[i];
+        ctx.count(Counter::DijkstraCalls, 1);
         let fits = shortest::dijkstra_filtered(g, c.source, cost, |e| {
             residual[e.index()] + FLOW_EPS >= c.demand
         });
@@ -365,6 +390,7 @@ pub fn greedy_unsplittable(
             Some(p) => p,
             None => {
                 // Overload: cheapest path regardless of capacity.
+                ctx.count(Counter::DijkstraCalls, 1);
                 let any = shortest::dijkstra(g, c.source, cost);
                 match any.path(c.dest) {
                     Some(p) => p,
@@ -521,6 +547,33 @@ mod tests {
         }];
         let sol = greedy_unsplittable(&g, &[1.0], &[1.0], &commodities).unwrap();
         assert!((sol.congestion(&[1.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_respects_budget_and_counts_dijkstras() {
+        let (g, cost, cap, commodities) = bottleneck_instance();
+
+        // An unconstrained context reproduces the plain entry point and
+        // records one Dijkstra per routed commodity.
+        let ctx = SolverContext::new();
+        let sol = greedy_unsplittable_with_context(&g, &cost, &cap, &commodities, &ctx).unwrap();
+        let plain = greedy_unsplittable(&g, &cost, &cap, &commodities).unwrap();
+        assert_eq!(sol.paths, plain.paths);
+        assert!(ctx.stats().dijkstra_calls >= commodities.len() as u64);
+
+        // A cap below the commodity count trips mid-routing.
+        let ctx = SolverContext::with_budget(
+            jcr_ctx::Budget::unlimited().with_phase_cap(Phase::MinCostFlow, 1),
+        );
+        let err = greedy_unsplittable_with_context(&g, &cost, &cap, &commodities, &ctx)
+            .expect_err("cap of 1 must interrupt 2 commodities");
+        assert!(matches!(err, FlowError::Budget(b) if b.phase == Phase::MinCostFlow));
+
+        // A spent deadline fails before any routing.
+        let ctx = SolverContext::with_budget(jcr_ctx::Budget::deadline(std::time::Duration::ZERO));
+        let err = greedy_unsplittable_with_context(&g, &cost, &cap, &commodities, &ctx)
+            .expect_err("zero deadline must fail fast");
+        assert!(matches!(err, FlowError::Budget(_)));
     }
 
     #[test]

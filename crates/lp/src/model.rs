@@ -234,7 +234,7 @@ impl Model {
         Simplex::new(self).solve()
     }
 
-    /// [`Model::solve`] under an explicit [`SolverContext`] — the context
+    /// [`Model::solve`] under an explicit [`jcr_ctx::SolverContext`] — the context
     /// bounds the pivot loop and records simplex statistics.
     ///
     /// # Errors

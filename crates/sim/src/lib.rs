@@ -17,6 +17,9 @@
 //!   nearest-replica routing against the *current* cache contents).
 //! * [`Simulator`] — drives arrivals through a policy and accumulates
 //!   [`SimReport`] statistics.
+//! * [`faults::FaultInjector`] — deterministic seeded fault injection
+//!   (link/node failures, capacity cuts, demand spikes, budget trips) for
+//!   exercising the online loop's anytime degradation ladder.
 //!
 //! [`Solution`]: jcr_core::routing::Solution
 //!
@@ -45,6 +48,7 @@
 //! ```
 
 pub mod arrivals;
+pub mod faults;
 pub mod policy;
 
 use jcr_core::instance::Instance;
