@@ -1,20 +1,29 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments <id>... [--runs N] [--hours N] [--seed N] [--full]
+//! experiments <id>... [--runs N] [--hours N] [--seed N] [--workers N] [--full]
+//!                     [--out PATH] [--baseline PATH] [--tolerance F]
 //!
 //!   ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology
-//!        table1 table2 table3 table4 stats faults all
+//!        table1 table2 table3 table4 stats faults bench all
 //! ```
 //!
 //! Run with `--release`; the quick defaults finish in minutes, `--full`
-//! uses paper-scale sweeps.
+//! uses paper-scale sweeps. `bench` emits a machine-readable report
+//! (`--out BENCH.json`) and, given `--baseline BENCH_BASELINE.json`, exits
+//! nonzero on regressions (checksums/counters exactly, wall clock within
+//! `--tolerance`, default 0.25).
 
 use jcr_bench::exp::{self, ExpConfig};
+use jcr_bench::perf::{self, BenchOpts};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ExpConfig::default();
+    let mut bench_opts = BenchOpts {
+        tolerance: 0.25,
+        ..BenchOpts::default()
+    };
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -36,6 +45,32 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seed needs a number"));
+            }
+            "--workers" => {
+                cfg.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--workers needs a number"));
+            }
+            "--out" => {
+                bench_opts.out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--out needs a path")),
+                );
+            }
+            "--baseline" => {
+                bench_opts.baseline = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--baseline needs a path")),
+                );
+            }
+            "--tolerance" => {
+                bench_opts.tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--tolerance needs a number"));
             }
             "--full" => cfg.full = true,
             "--help" | "-h" => usage(""),
@@ -106,6 +141,12 @@ fn main() {
             "table4" => exp::table4(cfg),
             "stats" => exp::stats(cfg),
             "faults" => exp::faults(cfg),
+            "bench" => {
+                if let Err(msg) = perf::bench(cfg, &bench_opts) {
+                    eprintln!("error: {msg}");
+                    std::process::exit(1);
+                }
+            }
             other => usage(&format!("unknown experiment {other}")),
         }
     }
@@ -116,9 +157,10 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: experiments <id>... [--runs N] [--hours N] [--seed N] [--full]\n\
+        "usage: experiments <id>... [--runs N] [--hours N] [--seed N] [--workers N] [--full] \
+         [--out PATH] [--baseline PATH] [--tolerance F]\n\
          ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology \
-         table1 table2 table3 table4 stats faults all"
+         table1 table2 table3 table4 stats faults bench all"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

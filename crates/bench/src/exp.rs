@@ -27,6 +27,9 @@ pub struct ExpConfig {
     pub full: bool,
     /// Base seed offsetting every scenario (topology, trace, shares).
     pub seed: u64,
+    /// Worker threads for Monte-Carlo fan-out (`0` = the context default:
+    /// `JCR_WORKERS` or the machine's available parallelism).
+    pub workers: usize,
 }
 
 impl Default for ExpConfig {
@@ -36,6 +39,7 @@ impl Default for ExpConfig {
             hours: 2,
             full: false,
             seed: 0,
+            workers: 0,
         }
     }
 }
@@ -46,6 +50,16 @@ impl ExpConfig {
         sc.seed = sc.seed.wrapping_add(self.seed);
         sc.share_seed = sc.share_seed.wrapping_add(self.seed);
         sc
+    }
+
+    /// A context whose pool width follows `self.workers` (0 = default).
+    pub(crate) fn pool_ctx(&self) -> jcr_ctx::SolverContext {
+        let ctx = jcr_ctx::SolverContext::new();
+        if self.workers == 0 {
+            ctx
+        } else {
+            ctx.with_workers(self.workers)
+        }
     }
 }
 
@@ -91,52 +105,51 @@ pub struct Metrics {
 }
 
 /// Runs every algorithm over `runs × hours` instances of a scenario and
-/// averages the metrics (the paper's Monte-Carlo protocol). Runs execute
-/// in parallel scoped threads.
+/// averages the metrics (the paper's Monte-Carlo protocol). Runs fan out
+/// over the deterministic pool ([`jcr_ctx::par`]); per-run samples are
+/// merged in run order, so the float accumulation — and thus every mean —
+/// is bit-identical for any worker count.
 pub fn evaluate(scenario: &Scenario, algos: &[Algo], cfg: ExpConfig) -> Vec<Metrics> {
     let n_edges = scenario.topology().edge_nodes.len();
-    let acc: std::sync::Mutex<Vec<Vec<f64>>> =
-        std::sync::Mutex::new(vec![Vec::new(); algos.len() * 6]);
-    std::thread::scope(|scope| {
-        for run in 0..cfg.runs {
-            let acc = &acc;
-            scope.spawn(move || {
-                let mut sc = scenario.clone();
-                sc.share_seed = scenario.share_seed.wrapping_add(run as u64 * 1009);
-                sc.hours = cfg.hours.max(1);
-                let demand = sc.demand(n_edges);
-                let mut local: Vec<Vec<f64>> = vec![Vec::new(); algos.len() * 6];
-                for h in 0..sc.hours {
-                    let true_rates = demand.true_rates(h, n_edges);
-                    let pred_rates = demand.predicted_rates(h, n_edges);
-                    let inst_true = build_instance(&sc, &true_rates);
-                    let inst_pred = build_instance(&sc, &pred_rates);
-                    let floored_true: Vec<f64> = flatten_rates(&true_rates)
-                        .into_iter()
-                        .map(|r| r.max(1e-6))
-                        .collect();
-                    for (ai, algo) in algos.iter().enumerate() {
-                        if let Ok(sol) = (algo.run)(&inst_true) {
-                            local[ai * 6].push(sol.cost(&inst_true));
-                            local[ai * 6 + 1].push(sol.congestion(&inst_true));
-                            local[ai * 6 + 2].push(sol.placement.max_occupancy_ratio(&inst_true));
-                        }
-                        if let Ok(sol) = (algo.run)(&inst_pred) {
-                            let (cost, congestion) = sol.evaluate_under(&inst_pred, &floored_true);
-                            local[ai * 6 + 3].push(cost);
-                            local[ai * 6 + 4].push(congestion);
-                            local[ai * 6 + 5].push(sol.placement.max_occupancy_ratio(&inst_pred));
-                        }
+    let runs: Vec<usize> = (0..cfg.runs).collect();
+    let per_run: Vec<Vec<Vec<f64>>> =
+        jcr_ctx::par::par_map(&cfg.pool_ctx(), &runs, |_, _, &run| {
+            let mut sc = scenario.clone();
+            sc.share_seed = scenario.share_seed.wrapping_add(run as u64 * 1009);
+            sc.hours = cfg.hours.max(1);
+            let demand = sc.demand(n_edges);
+            let mut local: Vec<Vec<f64>> = vec![Vec::new(); algos.len() * 6];
+            for h in 0..sc.hours {
+                let true_rates = demand.true_rates(h, n_edges);
+                let pred_rates = demand.predicted_rates(h, n_edges);
+                let inst_true = build_instance(&sc, &true_rates);
+                let inst_pred = build_instance(&sc, &pred_rates);
+                let floored_true: Vec<f64> = flatten_rates(&true_rates)
+                    .into_iter()
+                    .map(|r| r.max(1e-6))
+                    .collect();
+                for (ai, algo) in algos.iter().enumerate() {
+                    if let Ok(sol) = (algo.run)(&inst_true) {
+                        local[ai * 6].push(sol.cost(&inst_true));
+                        local[ai * 6 + 1].push(sol.congestion(&inst_true));
+                        local[ai * 6 + 2].push(sol.placement.max_occupancy_ratio(&inst_true));
+                    }
+                    if let Ok(sol) = (algo.run)(&inst_pred) {
+                        let (cost, congestion) = sol.evaluate_under(&inst_pred, &floored_true);
+                        local[ai * 6 + 3].push(cost);
+                        local[ai * 6 + 4].push(congestion);
+                        local[ai * 6 + 5].push(sol.placement.max_occupancy_ratio(&inst_pred));
                     }
                 }
-                let mut shared = acc.lock().expect("evaluation threads do not panic");
-                for (dst, src) in shared.iter_mut().zip(local) {
-                    dst.extend(src);
-                }
-            });
+            }
+            local
+        });
+    let mut acc: Vec<Vec<f64>> = vec![Vec::new(); algos.len() * 6];
+    for local in per_run {
+        for (dst, src) in acc.iter_mut().zip(local) {
+            dst.extend(src);
         }
-    });
-    let acc = acc.into_inner().expect("evaluation threads do not panic");
+    }
     (0..algos.len())
         .map(|ai| Metrics {
             cost_true: mean(&acc[ai * 6]),
@@ -1595,24 +1608,30 @@ pub fn stats(cfg: ExpConfig) {
     // Monte-Carlo aggregation: the same counters across runs × hours of
     // the alternating solver, each solve under a fresh context, reported
     // as mean and max per counter (how much work a typical vs worst hour
-    // costs).
-    let mut samples: Vec<jcr_ctx::SolverStats> = Vec::new();
-    for run in 0..cfg.runs.max(1) {
-        let mut s = cfg.seeded(Scenario::chunk_default());
-        s.share_seed = s.share_seed.wrapping_add(run as u64 * 1009);
-        s.hours = cfg.hours.max(1);
-        let demand = s.demand(n_edges);
-        for h in 0..s.hours {
-            let inst = build_instance(&s, &demand.true_rates(h, n_edges));
-            let ctx = SolverContext::new();
-            let solver = Alternating {
-                seed: run as u64,
-                ..Alternating::default()
-            };
-            let _ = solver.solve_with_context(&inst, &ctx);
-            samples.push(ctx.stats());
-        }
-    }
+    // costs). Runs fan out over the pool; per-solve contexts stay serial
+    // (`with_workers(1)`) so the fan-out is one level deep, and samples
+    // are merged in run order.
+    let runs: Vec<usize> = (0..cfg.runs.max(1)).collect();
+    let per_run: Vec<Vec<jcr_ctx::SolverStats>> =
+        jcr_ctx::par::par_map(&cfg.pool_ctx(), &runs, |_, _, &run| {
+            let mut s = cfg.seeded(Scenario::chunk_default());
+            s.share_seed = s.share_seed.wrapping_add(run as u64 * 1009);
+            s.hours = cfg.hours.max(1);
+            let demand = s.demand(n_edges);
+            let mut local = Vec::with_capacity(s.hours);
+            for h in 0..s.hours {
+                let inst = build_instance(&s, &demand.true_rates(h, n_edges));
+                let ctx = SolverContext::new().with_workers(1);
+                let solver = Alternating {
+                    seed: run as u64,
+                    ..Alternating::default()
+                };
+                let _ = solver.solve_with_context(&inst, &ctx);
+                local.push(ctx.stats());
+            }
+            local
+        });
+    let samples: Vec<jcr_ctx::SolverStats> = per_run.into_iter().flatten().collect();
     let mut rows = Vec::new();
     for &c in Counter::ALL.iter() {
         let values: Vec<f64> = samples.iter().map(|s| s.counter(c) as f64).collect();
@@ -1656,41 +1675,61 @@ pub fn faults(cfg: ExpConfig) {
 
     let mut rows = Vec::new();
     for &rate in rates {
+        // Each Monte-Carlo run is an independent simulation (own injector,
+        // own simulator state); fan runs out over the pool and merge their
+        // samples in run order so the aggregates are worker-count
+        // independent. Per-hour solves inside a run stay serial.
+        let runs: Vec<usize> = (0..cfg.runs.max(1)).collect();
+        type FaultSamples = (Vec<f64>, Vec<f64>, usize, [usize; Rung::ALL.len()]);
+        let per_run: Vec<FaultSamples> =
+            jcr_ctx::par::par_map(&cfg.pool_ctx(), &runs, |_, _, &run| {
+                let mut s = sc.clone();
+                s.share_seed = s.share_seed.wrapping_add(run as u64 * 1009);
+                let demand = s.demand(n_edges);
+                let injector = FaultInjector::new(FaultConfig::uniform(
+                    cfg.seed.wrapping_add(run as u64 * 7919),
+                    rate,
+                ));
+                let mut sim = OnlineSimulator::new(Alternating {
+                    seed: run as u64,
+                    ..Alternating::default()
+                });
+                let mut costs = Vec::new();
+                let mut churns = Vec::new();
+                let mut fault_count = 0usize;
+                let mut hist = [0usize; Rung::ALL.len()];
+                for h in 0..s.hours {
+                    let true_rates = demand.true_rates(h, n_edges);
+                    let pred_rates = demand.predicted_rates(h, n_edges);
+                    let base = build_instance(&s, &pred_rates);
+                    let faulted = injector.inject(h, &base, base_budget);
+                    fault_count += faulted.events.len();
+                    // Demand spikes scale rates but never change the request
+                    // set or order, so the flattened truth stays aligned.
+                    let flat_true: Vec<f64> = flatten_rates(&true_rates)
+                        .into_iter()
+                        .map(|r| r.max(1e-6))
+                        .collect();
+                    let cfg_hour = AnytimeConfig::new().with_budget(faulted.budget);
+                    let outcome = sim
+                        .step_anytime(&faulted.instance, &flat_true, &cfg_hour)
+                        .expect("the ladder serves every servable hour");
+                    hist[outcome.rung.index()] += 1;
+                    costs.push(outcome.realized_cost);
+                    churns.push(outcome.placement_churn as f64);
+                }
+                (costs, churns, fault_count, hist)
+            });
         let mut costs = Vec::new();
         let mut churns = Vec::new();
         let mut fault_count = 0usize;
         let mut hist = [0usize; Rung::ALL.len()];
-        for run in 0..cfg.runs.max(1) {
-            let mut s = sc.clone();
-            s.share_seed = s.share_seed.wrapping_add(run as u64 * 1009);
-            let demand = s.demand(n_edges);
-            let injector = FaultInjector::new(FaultConfig::uniform(
-                cfg.seed.wrapping_add(run as u64 * 7919),
-                rate,
-            ));
-            let mut sim = OnlineSimulator::new(Alternating {
-                seed: run as u64,
-                ..Alternating::default()
-            });
-            for h in 0..s.hours {
-                let true_rates = demand.true_rates(h, n_edges);
-                let pred_rates = demand.predicted_rates(h, n_edges);
-                let base = build_instance(&s, &pred_rates);
-                let faulted = injector.inject(h, &base, base_budget);
-                fault_count += faulted.events.len();
-                // Demand spikes scale rates but never change the request
-                // set or order, so the flattened truth stays aligned.
-                let flat_true: Vec<f64> = flatten_rates(&true_rates)
-                    .into_iter()
-                    .map(|r| r.max(1e-6))
-                    .collect();
-                let cfg_hour = AnytimeConfig::new().with_budget(faulted.budget);
-                let outcome = sim
-                    .step_anytime(&faulted.instance, &flat_true, &cfg_hour)
-                    .expect("the ladder serves every servable hour");
-                hist[outcome.rung.index()] += 1;
-                costs.push(outcome.realized_cost);
-                churns.push(outcome.placement_churn as f64);
+        for (run_costs, run_churns, run_faults, run_hist) in per_run {
+            costs.extend(run_costs);
+            churns.extend(run_churns);
+            fault_count += run_faults;
+            for (dst, src) in hist.iter_mut().zip(run_hist) {
+                *dst += src;
             }
         }
         let mut row = vec![

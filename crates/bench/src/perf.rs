@@ -1,0 +1,552 @@
+//! The `experiments bench` subcommand: fixed seeded micro-benchmarks over
+//! the solver hot paths, emitted as a machine-readable `BENCH.json` so the
+//! perf trajectory is a tracked artifact, plus the regression compare the
+//! CI bench gate runs against the committed `BENCH_BASELINE.json`.
+//!
+//! Each phase runs the same seeded workload twice — once with the pool
+//! forced serial (1 worker) and once at the configured width — records
+//! wall time, [`SolverStats`](jcr_ctx::SolverStats) counters, and a
+//! checksum of the solution's f64 bit patterns. The serial and parallel
+//! checksums must agree (the pool's deterministic-merge contract), and
+//! across commits the checksums and counters must match the baseline
+//! exactly; only wall time gets a tolerance band.
+
+use std::time::Instant;
+
+use jcr_ctx::rng::{Rng, SeedableRng, StdRng};
+use jcr_ctx::{Counter, SolverContext};
+use jcr_flow::multicommodity::{min_cost_multicommodity_with_context, Commodity};
+use jcr_graph::{shortest, DiGraph, NodeId};
+
+use jcr_core::prelude::*;
+
+use crate::exp::{evaluate, Algo, ExpConfig, Metrics};
+use crate::json::Json;
+use crate::Scenario;
+
+/// Options of the `bench` subcommand.
+#[derive(Clone, Debug, Default)]
+pub struct BenchOpts {
+    /// Write the report to this path (stdout summary always prints).
+    pub out: Option<String>,
+    /// Compare against this committed baseline; mismatched checksums or
+    /// counters fail hard, wall-clock regressions beyond `tolerance` fail.
+    pub baseline: Option<String>,
+    /// Relative wall-clock tolerance for the baseline compare (0.25 = the
+    /// CI gate's ±25%).
+    pub tolerance: f64,
+}
+
+/// One benchmark phase's measurements.
+#[derive(Clone, Debug)]
+pub struct PhaseReport {
+    /// Phase name (stable key the baseline compare matches on).
+    pub name: String,
+    /// Serial (1-worker) wall time in milliseconds.
+    pub wall_ms_serial: f64,
+    /// Parallel wall time in milliseconds at the configured width.
+    pub wall_ms_parallel: f64,
+    /// `wall_ms_serial / wall_ms_parallel`.
+    pub speedup: f64,
+    /// Hex FNV-1a checksum over the solution's f64 bit patterns; equal
+    /// between serial and parallel runs by the determinism contract.
+    pub checksum: String,
+    /// Deterministic work counters of the parallel run.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// A full bench report.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Pool width the parallel runs used.
+    pub workers: usize,
+    /// Per-phase measurements.
+    pub phases: Vec<PhaseReport>,
+}
+
+/// Accumulates f64 bit patterns into an order-sensitive FNV-1a hash.
+struct Checksum(u64);
+
+impl Checksum {
+    fn new() -> Self {
+        Checksum(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, v: f64) {
+        for byte in v.to_bits().to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+fn checksum_slice(values: impl IntoIterator<Item = f64>) -> String {
+    let mut h = Checksum::new();
+    for v in values {
+        h.push(v);
+    }
+    h.hex()
+}
+
+/// A seeded random strongly connected graph: a ring for connectivity plus
+/// `chords_per_node · n` random chords, with costs in `[1, 10)`.
+fn seeded_graph(n: usize, chords_per_node: usize, seed: u64) -> (DiGraph, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::new();
+    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node()).collect();
+    let mut cost = Vec::new();
+    for i in 0..n {
+        g.add_edge(nodes[i], nodes[(i + 1) % n]);
+        cost.push(rng.gen_range(1.0..10.0));
+    }
+    for _ in 0..n * chords_per_node {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            g.add_edge(nodes[a], nodes[b]);
+            cost.push(rng.gen_range(1.0..10.0));
+        }
+    }
+    (g, cost)
+}
+
+fn parallel_width(cfg: ExpConfig) -> usize {
+    if cfg.workers == 0 {
+        jcr_ctx::default_workers().max(1)
+    } else {
+        cfg.workers
+    }
+}
+
+fn counters_of(ctx: &SolverContext) -> Vec<(&'static str, u64)> {
+    let stats = ctx.stats();
+    Counter::ALL
+        .iter()
+        .map(|&c| (c.name(), stats.counter(c)))
+        .collect()
+}
+
+/// Times `work` twice — serial context, then a `workers`-wide context —
+/// returning both wall times and the two runs' (checksum, counters).
+fn run_pair<F>(workers: usize, mut work: F) -> (f64, f64, String, Vec<(&'static str, u64)>)
+where
+    F: FnMut(&SolverContext) -> String,
+{
+    let serial_ctx = SolverContext::new().with_workers(1);
+    let start = Instant::now();
+    let serial_sum = work(&serial_ctx);
+    let wall_serial = start.elapsed().as_secs_f64() * 1e3;
+
+    let par_ctx = SolverContext::new().with_workers(workers);
+    let start = Instant::now();
+    let par_sum = work(&par_ctx);
+    let wall_parallel = start.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        serial_sum, par_sum,
+        "parallel run diverged from the serial path"
+    );
+    let serial_counters = counters_of(&serial_ctx);
+    let par_counters = counters_of(&par_ctx);
+    assert_eq!(
+        serial_counters, par_counters,
+        "parallel counters diverged from the serial path"
+    );
+    (wall_serial, wall_parallel, par_sum, par_counters)
+}
+
+fn all_pairs_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
+    let n = if cfg.full { 700 } else { 350 };
+    let (g, cost) = seeded_graph(n, 4, cfg.seed.wrapping_add(11));
+    let (wall_serial, wall_parallel, checksum, counters) = run_pair(workers, |ctx| {
+        let rows = shortest::all_pairs_with_context(&g, &cost, ctx);
+        checksum_slice(rows.iter().flatten().copied())
+    });
+    PhaseReport {
+        name: "all_pairs".into(),
+        wall_ms_serial: wall_serial,
+        wall_ms_parallel: wall_parallel,
+        speedup: wall_serial / wall_parallel.max(1e-9),
+        checksum,
+        counters,
+    }
+}
+
+fn column_generation_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
+    let n = if cfg.full { 120 } else { 60 };
+    let n_comm = if cfg.full { 60 } else { 30 };
+    let (g, cost) = seeded_graph(n, 3, cfg.seed.wrapping_add(23));
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(37));
+    let commodities: Vec<Commodity> = (0..n_comm)
+        .map(|_| {
+            let source = rng.gen_range(0..n);
+            let mut dest = rng.gen_range(0..n);
+            if dest == source {
+                dest = (dest + 1) % n;
+            }
+            Commodity {
+                source: NodeId::new(source),
+                dest: NodeId::new(dest),
+                demand: rng.gen_range(0.5..2.0),
+            }
+        })
+        .collect();
+    let total_demand: f64 = commodities.iter().map(|c| c.demand).sum();
+    // Tight-but-feasible capacities: the ring carries everything if needed,
+    // chords are scarce so the master has to split and re-price.
+    let cap: Vec<f64> = (0..g.edge_count())
+        .map(|e| {
+            if e < n {
+                total_demand
+            } else {
+                total_demand * 0.05
+            }
+        })
+        .collect();
+    let (wall_serial, wall_parallel, checksum, counters) = run_pair(workers, |ctx| {
+        let sol = min_cost_multicommodity_with_context(&g, &cost, &cap, &commodities, ctx)
+            .expect("the ring guarantees feasibility");
+        let mut h = Checksum::new();
+        h.push(sol.cost);
+        for flows in &sol.path_flows {
+            for pf in flows {
+                h.push(pf.amount);
+                h.push(pf.path.len() as f64);
+            }
+        }
+        h.hex()
+    });
+    PhaseReport {
+        name: "column_generation".into(),
+        wall_ms_serial: wall_serial,
+        wall_ms_parallel: wall_parallel,
+        speedup: wall_serial / wall_parallel.max(1e-9),
+        checksum,
+        counters,
+    }
+}
+
+fn monte_carlo_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
+    let mut sc = Scenario::chunk_default();
+    sc.seed = sc.seed.wrapping_add(cfg.seed);
+    sc.share_seed = sc.share_seed.wrapping_add(cfg.seed);
+    sc.n_videos = 6;
+    let runs = if cfg.full { 8 } else { 4 };
+    let algos: Vec<Algo> = vec![
+        Algo {
+            name: "SP".into(),
+            run: Box::new(|inst| ShortestPathPlacement.solve(inst)),
+        },
+        Algo {
+            name: "SP+RNR".into(),
+            run: Box::new(|inst| IoannidisYeh::sp_rnr().solve(inst)),
+        },
+    ];
+
+    let run_eval = |eval_workers: usize| -> Vec<Metrics> {
+        let eval_cfg = ExpConfig {
+            runs,
+            hours: 1,
+            workers: eval_workers,
+            ..cfg
+        };
+        evaluate(&sc, &algos, eval_cfg)
+    };
+    let metrics_sum = |ms: &[Metrics]| {
+        checksum_slice(ms.iter().flat_map(|m| {
+            [
+                m.cost_true,
+                m.congestion_true,
+                m.occupancy_true,
+                m.cost_pred,
+                m.congestion_pred,
+                m.occupancy_pred,
+            ]
+        }))
+    };
+
+    let start = Instant::now();
+    let serial = run_eval(1);
+    let wall_serial = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let parallel = run_eval(workers);
+    let wall_parallel = start.elapsed().as_secs_f64() * 1e3;
+    let checksum = metrics_sum(&parallel);
+    assert_eq!(
+        metrics_sum(&serial),
+        checksum,
+        "Monte-Carlo aggregates diverged between worker counts"
+    );
+    PhaseReport {
+        name: "monte_carlo".into(),
+        wall_ms_serial: wall_serial,
+        wall_ms_parallel: wall_parallel,
+        speedup: wall_serial / wall_parallel.max(1e-9),
+        checksum,
+        counters: Vec::new(),
+    }
+}
+
+/// Runs every bench phase at the configured width.
+pub fn run(cfg: ExpConfig) -> BenchReport {
+    let workers = parallel_width(cfg);
+    eprintln!("[bench] pool width: {workers} worker(s)");
+    BenchReport {
+        workers,
+        phases: vec![
+            all_pairs_phase(cfg, workers),
+            column_generation_phase(cfg, workers),
+            monte_carlo_phase(cfg, workers),
+        ],
+    }
+}
+
+impl BenchReport {
+    /// Serializes the report as the `BENCH.json` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Num(1.0)),
+            ("workers", Json::Num(self.workers as f64)),
+            (
+                "phases",
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("name", Json::Str(p.name.clone())),
+                                ("wall_ms_serial", Json::Num(p.wall_ms_serial)),
+                                ("wall_ms_parallel", Json::Num(p.wall_ms_parallel)),
+                                ("speedup", Json::Num(p.speedup)),
+                                ("checksum", Json::Str(p.checksum.clone())),
+                                (
+                                    "counters",
+                                    Json::Obj(
+                                        p.counters
+                                            .iter()
+                                            .map(|&(name, v)| {
+                                                (name.to_string(), Json::Num(v as f64))
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Prints the human-readable summary table.
+    pub fn print(&self) {
+        crate::print_table(
+            &format!("Bench — fixed seeds, {} worker(s)", self.workers),
+            &[
+                "phase".into(),
+                "serial (ms)".into(),
+                "parallel (ms)".into(),
+                "speedup".into(),
+                "checksum".into(),
+            ],
+            &self
+                .phases
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.name.clone(),
+                        format!("{:.2}", p.wall_ms_serial),
+                        format!("{:.2}", p.wall_ms_parallel),
+                        format!("{:.2}x", p.speedup),
+                        p.checksum.clone(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+}
+
+/// Compares a fresh report against a parsed baseline document.
+///
+/// Deterministic fields (checksums, counters) must match exactly; wall
+/// times may drift up to `tolerance` (relative) before failing. Returns
+/// the list of violations (empty = gate passes); purely-faster drifts are
+/// reported on stdout but never fail.
+pub fn compare(report: &BenchReport, baseline: &Json, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let Some(base_phases) = baseline.get("phases").and_then(Json::as_arr) else {
+        return vec!["baseline has no phases array".into()];
+    };
+    for phase in &report.phases {
+        let Some(base) = base_phases
+            .iter()
+            .find(|p| p.get("name").and_then(Json::as_str) == Some(&phase.name))
+        else {
+            violations.push(format!("phase {:?} missing from baseline", phase.name));
+            continue;
+        };
+        if let Some(sum) = base.get("checksum").and_then(Json::as_str) {
+            if sum != phase.checksum {
+                violations.push(format!(
+                    "phase {:?}: checksum {} != baseline {} (deterministic regression)",
+                    phase.name, phase.checksum, sum
+                ));
+            }
+        }
+        if let Some(Json::Obj(base_counters)) = base.get("counters") {
+            for &(name, value) in &phase.counters {
+                if let Some(expected) = base_counters.get(name).and_then(Json::as_f64) {
+                    if expected != value as f64 {
+                        violations.push(format!(
+                            "phase {:?}: counter {name} = {value} != baseline {expected} \
+                             (deterministic regression)",
+                            phase.name
+                        ));
+                    }
+                }
+            }
+        }
+        for (key, fresh) in [
+            ("wall_ms_serial", phase.wall_ms_serial),
+            ("wall_ms_parallel", phase.wall_ms_parallel),
+        ] {
+            let Some(expected) = base.get(key).and_then(Json::as_f64) else {
+                continue;
+            };
+            if fresh > expected * (1.0 + tolerance) {
+                violations.push(format!(
+                    "phase {:?}: {key} {fresh:.2}ms exceeds baseline {expected:.2}ms by more \
+                     than {:.0}%",
+                    phase.name,
+                    tolerance * 100.0
+                ));
+            } else if fresh < expected / (1.0 + tolerance) {
+                println!(
+                    "[bench] phase {:?}: {key} improved {expected:.2}ms -> {fresh:.2}ms",
+                    phase.name
+                );
+            }
+        }
+    }
+    violations
+}
+
+/// Entry point of `experiments bench`: run, print, optionally write the
+/// JSON artifact, optionally gate against a baseline.
+///
+/// # Errors
+///
+/// A description of the gate violations or an I/O problem; callers exit
+/// nonzero on `Err`.
+pub fn bench(cfg: ExpConfig, opts: &BenchOpts) -> Result<(), String> {
+    let report = run(cfg);
+    report.print();
+    if let Some(path) = &opts.out {
+        std::fs::write(path, report.to_json().render())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("[bench] wrote {path}");
+    }
+    if let Some(path) = &opts.baseline {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading baseline {path}: {e}"))?;
+        let baseline = Json::parse(&text).map_err(|e| format!("parsing baseline {path}: {e}"))?;
+        let violations = compare(&report, &baseline, opts.tolerance);
+        if !violations.is_empty() {
+            return Err(format!("bench gate failed:\n  {}", violations.join("\n  ")));
+        }
+        eprintln!("[bench] gate passed against {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> BenchReport {
+        BenchReport {
+            workers: 2,
+            phases: vec![PhaseReport {
+                name: "all_pairs".into(),
+                wall_ms_serial: 10.0,
+                wall_ms_parallel: 5.0,
+                speedup: 2.0,
+                checksum: "00ff".into(),
+                counters: vec![("dijkstra_calls", 7)],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = tiny_report();
+        let doc = Json::parse(&report.to_json().render()).unwrap();
+        let phases = doc.get("phases").unwrap().as_arr().unwrap();
+        assert_eq!(phases[0].get("name").unwrap().as_str(), Some("all_pairs"));
+        assert_eq!(phases[0].get("checksum").unwrap().as_str(), Some("00ff"));
+        assert_eq!(
+            phases[0]
+                .get("counters")
+                .unwrap()
+                .get("dijkstra_calls")
+                .unwrap()
+                .as_f64(),
+            Some(7.0)
+        );
+    }
+
+    #[test]
+    fn compare_passes_against_identical_baseline() {
+        let report = tiny_report();
+        let baseline = Json::parse(&report.to_json().render()).unwrap();
+        assert!(compare(&report, &baseline, 0.25).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_checksum_counter_and_wall_regressions() {
+        let report = tiny_report();
+        let baseline = Json::parse(&report.to_json().render()).unwrap();
+
+        let mut worse = report.clone();
+        worse.phases[0].checksum = "beef".into();
+        worse.phases[0].counters[0].1 = 8;
+        worse.phases[0].wall_ms_parallel = 7.0; // 5.0 * 1.25 = 6.25 < 7.0
+        let violations = compare(&worse, &baseline, 0.25);
+        assert_eq!(violations.len(), 3, "{violations:?}");
+        assert!(violations[0].contains("checksum"));
+        assert!(violations[1].contains("dijkstra_calls"));
+        assert!(violations[2].contains("wall_ms_parallel"));
+
+        // Inside the band: no violation.
+        let mut ok = report.clone();
+        ok.phases[0].wall_ms_parallel = 6.0;
+        assert!(compare(&ok, &baseline, 0.25).is_empty());
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive_and_stable() {
+        let a = checksum_slice([1.0, 2.0]);
+        let b = checksum_slice([2.0, 1.0]);
+        assert_ne!(a, b);
+        assert_eq!(a, checksum_slice([1.0, 2.0]));
+        // Distinguishes bit patterns ordinary equality confuses.
+        assert_ne!(checksum_slice([0.0]), checksum_slice([-0.0]));
+    }
+
+    #[test]
+    fn bench_phases_are_deterministic_across_invocations() {
+        let cfg = ExpConfig {
+            runs: 1,
+            hours: 1,
+            ..ExpConfig::default()
+        };
+        let a = all_pairs_phase(cfg, 2);
+        let b = all_pairs_phase(cfg, 4);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.counters, b.counters);
+    }
+}

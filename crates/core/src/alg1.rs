@@ -113,7 +113,7 @@ impl Algorithm1 {
         if cache_nodes.is_empty() || inst.requests.is_empty() {
             return Ok(Placement::empty(inst));
         }
-        let ap = inst.all_pairs();
+        let ap = inst.all_pairs_with_context(ctx);
         let w_max = inst.w_max();
 
         // --- Reduced LP ---------------------------------------------------

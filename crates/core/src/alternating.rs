@@ -163,6 +163,11 @@ impl Alternating {
         });
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x616c_7465_726e);
 
+        // Warm the all-pairs cache through the context so the per-source
+        // Dijkstra runs fan out over the pool (and are counted) instead of
+        // materializing serially inside some later helper.
+        inst.all_pairs_with_context(ctx);
+
         // Initial feasible solution: the given placement, routed optimally.
         // A budget tripping here surfaces without an incumbent — nothing
         // feasible has been constructed yet.

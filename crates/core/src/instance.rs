@@ -180,20 +180,44 @@ impl Instance {
 
     /// All-pairs least costs (computed once, cached).
     pub fn all_pairs(&self) -> &AllPairs {
-        self.all_pairs.get_or_init(|| {
-            let trees: Vec<ShortestPathTree> = self
-                .graph
-                .nodes()
-                .map(|v| shortest::dijkstra(&self.graph, v, &self.link_cost))
-                .collect();
-            let max_cost = trees
-                .iter()
-                .flat_map(|t| t.dists().iter())
-                .copied()
-                .filter(|d| d.is_finite())
-                .fold(0.0f64, f64::max);
-            AllPairs { trees, max_cost }
-        })
+        self.all_pairs
+            .get_or_init(|| Self::compute_all_pairs(&self.graph, &self.link_cost, None))
+    }
+
+    /// [`Instance::all_pairs`], fanning the per-source Dijkstra runs out
+    /// over `ctx.workers()` threads on first use and recording one
+    /// Dijkstra call per source. The cached result is bit-identical to
+    /// the serial computation for any worker count; subsequent calls
+    /// return the cache without touching `ctx`.
+    pub fn all_pairs_with_context(&self, ctx: &jcr_ctx::SolverContext) -> &AllPairs {
+        self.all_pairs
+            .get_or_init(|| Self::compute_all_pairs(&self.graph, &self.link_cost, Some(ctx)))
+    }
+
+    fn compute_all_pairs(
+        graph: &DiGraph,
+        link_cost: &[f64],
+        ctx: Option<&jcr_ctx::SolverContext>,
+    ) -> AllPairs {
+        let serial_ctx;
+        let ctx = match ctx {
+            Some(ctx) => ctx,
+            None => {
+                serial_ctx = jcr_ctx::SolverContext::new().with_workers(1);
+                &serial_ctx
+            }
+        };
+        let sources: Vec<NodeId> = graph.nodes().collect();
+        let trees: Vec<ShortestPathTree> = jcr_ctx::par::par_map(ctx, &sources, |wctx, _i, &v| {
+            shortest::dijkstra_with_context(graph, v, link_cost, wctx)
+        });
+        let max_cost = trees
+            .iter()
+            .flat_map(|t| t.dists().iter())
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(0.0f64, f64::max);
+        AllPairs { trees, max_cost }
     }
 
     /// The upper bound `w_max` on pairwise least costs used by Algorithm 1

@@ -1,0 +1,323 @@
+//! A deterministic chunked thread pool for the solver hot paths.
+//!
+//! The paper's evaluation is dominated by embarrassingly parallel work:
+//! per-source all-pairs Dijkstra runs, per-commodity column-generation
+//! pricing, and Monte-Carlo sweeps over seeds. This module fans such work
+//! out over scoped threads (`std::thread::scope` + an mpsc channel, no
+//! external dependencies) while keeping every observable output
+//! **bit-identical for any worker count**:
+//!
+//! * each input index is mapped by a pure function of `(index, item)` —
+//!   per-worker state carries only reusable buffers and instrumentation;
+//! * results are merged **by input index**, never by completion order;
+//! * a worker count of 1 (or a single item) takes the exact serial path:
+//!   the closure runs on the calling thread against the caller's own
+//!   [`SolverContext`], with no threads, channels, or atomics involved.
+//!
+//! Worker threads receive a context forked from the caller's
+//! ([`SolverContext::fork_seed`]): same budget and deadline clock, private
+//! counters and scratch arena. After the fan-out the caller absorbs every
+//! worker's [`SolverStats`](crate::SolverStats), so counter totals are
+//! identical to the serial path (counters are order-independent sums).
+//!
+//! Errors cancel the pool: the first `Err` flips a shared flag, in-flight
+//! workers stop at their next item, and the error with the **smallest
+//! input index** is returned — so a tripped budget
+//! ([`BudgetExceeded`](crate::BudgetExceeded)) surfaces promptly and the
+//! caller can return its validated incumbent, exactly as on the serial
+//! path.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use crate::SolverContext;
+
+/// How many chunks each worker should see on average; smaller chunks
+/// balance uneven item costs, larger chunks amortize the atomic fetch.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Maps `f` over `items`, merging results by input index.
+///
+/// Runs on `ctx.workers()` threads (clamped to the item count); a worker
+/// count of 1 runs serially on the calling thread under `ctx` itself.
+pub fn par_map<T, R, F>(ctx: &SolverContext, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&SolverContext, usize, &T) -> R + Sync,
+{
+    par_map_init(ctx, items, || (), |(), wctx, i, item| f(wctx, i, item))
+}
+
+/// [`par_map`] with per-worker state: `init` runs once on each worker
+/// thread (scratch buffers, arenas) and the state is threaded through
+/// every call that worker makes. State must not influence results.
+pub fn par_map_init<T, R, S, I, F>(ctx: &SolverContext, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &SolverContext, usize, &T) -> R + Sync,
+{
+    let result: Result<Vec<R>, Unreachable> =
+        try_par_map_init(ctx, items, init, |state, wctx, i, item| {
+            Ok(f(state, wctx, i, item))
+        });
+    match result {
+        Ok(out) => out,
+        Err(never) => match never {},
+    }
+}
+
+/// Fallible [`par_map`]: the first error cancels the pool and the error
+/// with the smallest input index is returned.
+///
+/// # Errors
+///
+/// The lowest-index error any worker produced.
+pub fn try_par_map<T, R, E, F>(ctx: &SolverContext, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&SolverContext, usize, &T) -> Result<R, E> + Sync,
+{
+    try_par_map_init(ctx, items, || (), |(), wctx, i, item| f(wctx, i, item))
+}
+
+/// Fallible [`par_map_init`]: per-worker state plus cancel-on-error.
+///
+/// # Errors
+///
+/// The lowest-index error any worker produced.
+pub fn try_par_map_init<T, R, E, S, I, F>(
+    ctx: &SolverContext,
+    items: &[T],
+    init: I,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &SolverContext, usize, &T) -> Result<R, E> + Sync,
+{
+    let n = items.len();
+    let workers = ctx.workers().min(n.max(1));
+    if workers <= 1 {
+        // Exact serial path: same closure, caller's context, input order.
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(&mut state, ctx, i, item))
+            .collect();
+    }
+
+    let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let cursor = AtomicUsize::new(0);
+    let cancel = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let seed = ctx.fork_seed();
+            let (cursor, cancel, init, f) = (&cursor, &cancel, &init, &f);
+            handles.push(scope.spawn(move || {
+                let wctx = seed.context();
+                let mut state = init();
+                let mut first_err: Option<(usize, E)> = None;
+                'work: while !cancel.load(Ordering::Relaxed) {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for (i, item) in items
+                        .iter()
+                        .enumerate()
+                        .take((start + chunk).min(n))
+                        .skip(start)
+                    {
+                        if cancel.load(Ordering::Relaxed) {
+                            break 'work;
+                        }
+                        match f(&mut state, &wctx, i, item) {
+                            Ok(r) => {
+                                // The receiver outlives every sender; a send
+                                // only fails after a main-thread panic.
+                                let _ = tx.send((i, r));
+                            }
+                            Err(e) => {
+                                cancel.store(true, Ordering::Relaxed);
+                                first_err = Some((i, e));
+                                break 'work;
+                            }
+                        }
+                    }
+                }
+                (wctx.stats(), first_err)
+            }));
+        }
+        drop(tx);
+
+        let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        let mut err: Option<(usize, E)> = None;
+        for handle in handles {
+            let (stats, worker_err) = match handle.join() {
+                Ok(pair) => pair,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            ctx.absorb_stats(&stats);
+            if let Some((i, e)) = worker_err {
+                if err.as_ref().is_none_or(|(j, _)| i < *j) {
+                    err = Some((i, e));
+                }
+            }
+        }
+        match err {
+            Some((_, e)) => Err(e),
+            // No error and no cancellation: the cursor covered 0..n, so
+            // every index was computed and sent exactly once.
+            None => Ok(out
+                .into_iter()
+                .map(|slot| slot.expect("every index mapped"))
+                .collect()),
+        }
+    })
+}
+
+/// An uninhabited error type for routing the infallible wrappers through
+/// the fallible core (`std::convert::Infallible` under a local name so
+/// the `match never {}` reads clearly).
+enum Unreachable {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Budget, BudgetExceeded, Counter, Phase};
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    fn ctx_with(workers: usize) -> SolverContext {
+        SolverContext::new().with_workers(workers)
+    }
+
+    #[test]
+    fn results_merge_by_input_index_for_any_worker_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let ctx = ctx_with(workers);
+            let out = par_map(&ctx, &items, |_, i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(out, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let ctx = ctx_with(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&ctx, &empty, |_, _, &x| x).is_empty());
+        assert_eq!(par_map(&ctx, &[41], |_, _, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_counters_are_absorbed_into_the_caller() {
+        let items: Vec<u32> = (0..100).collect();
+        for workers in [1, 4] {
+            let ctx = ctx_with(workers);
+            par_map(&ctx, &items, |wctx, _, _| {
+                wctx.count(Counter::DijkstraCalls, 1);
+            });
+            assert_eq!(ctx.stats().dijkstra_calls, 100, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_not_shared() {
+        let items: Vec<u32> = (0..64).collect();
+        let ctx = ctx_with(4);
+        // Each worker's state counts its own calls; totals must cover all
+        // items exactly once even though states are independent.
+        let calls = AtomicU64::new(0);
+        let out = par_map_init(
+            &ctx,
+            &items,
+            || 0u64,
+            |seen, _, _, &x| {
+                *seen += 1;
+                calls.fetch_add(1, Ordering::Relaxed);
+                (x, *seen >= 1)
+            },
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 64);
+        assert!(out.iter().all(|&(_, state_used)| state_used));
+        assert_eq!(out.iter().map(|&(x, _)| x).sum::<u32>(), (0..64).sum());
+    }
+
+    #[test]
+    fn lowest_index_error_wins_and_results_are_discarded() {
+        let items: Vec<u32> = (0..500).collect();
+        for workers in [1, 2, 8] {
+            let ctx = ctx_with(workers);
+            let err = try_par_map(
+                &ctx,
+                &items,
+                |_, i, _| {
+                    if i >= 250 {
+                        Err(i)
+                    } else {
+                        Ok(i)
+                    }
+                },
+            )
+            .expect_err("half the items fail");
+            // Serial stops at the first failing index; parallel workers may
+            // each report one, but the smallest reported index is returned
+            // and 250 is always reported by whichever worker owns it first.
+            assert!(err >= 250, "workers = {workers}, err = {err}");
+        }
+        // Serial is exact.
+        let ctx = ctx_with(1);
+        let err = try_par_map(
+            &ctx,
+            &items,
+            |_, i, _| if i >= 250 { Err(i) } else { Ok(i) },
+        )
+        .expect_err("fails");
+        assert_eq!(err, 250);
+    }
+
+    #[test]
+    fn budget_exceeded_in_a_worker_cancels_the_pool() {
+        let items: Vec<u32> = (0..1000).collect();
+        let ctx = SolverContext::with_budget(Budget::deadline(Duration::ZERO)).with_workers(8);
+        let err: BudgetExceeded = try_par_map(&ctx, &items, |wctx, _, _| {
+            wctx.check_deadline(Phase::Dijkstra)?;
+            Ok(())
+        })
+        .expect_err("spent deadline trips every worker");
+        assert_eq!(err.phase, Phase::Dijkstra);
+    }
+
+    #[test]
+    fn serial_path_uses_the_callers_context_directly() {
+        let ctx = ctx_with(1);
+        let items = [1u32, 2, 3];
+        par_map(&ctx, &items, |wctx, _, _| {
+            // With one worker the closure sees the caller's context, so
+            // iteration charges land on it directly.
+            wctx.check(Phase::Rounding).unwrap();
+        });
+        assert_eq!(ctx.iterations(Phase::Rounding), 3);
+    }
+}

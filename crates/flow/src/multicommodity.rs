@@ -128,6 +128,11 @@ pub fn min_cost_multicommodity_with_context(
     for (i, c) in commodities.iter().enumerate() {
         by_source[c.source.index()].push(i);
     }
+    // Pricing work items: sources with at least one commodity, ascending —
+    // the same order the serial loop visited them in.
+    let source_list: Vec<usize> = (0..g.node_count())
+        .filter(|&s| !by_source[s].is_empty())
+        .collect();
 
     let max_rounds = 40 * commodities.len() + 2000;
     let mut solution = solver.solve_with_context(ctx)?;
@@ -145,35 +150,42 @@ pub fn min_cost_multicommodity_with_context(
                 .unwrap_or(0.0);
             weights[e.index()] = (cost[e.index()] - y).max(0.0);
         }
-        let mut added = false;
-        for (src, members) in by_source.iter().enumerate() {
-            if members.is_empty() {
-                continue;
-            }
-            let tree = shortest::dijkstra_with_context(g, NodeId::new(src), &weights, ctx);
-            for &i in members {
-                let sigma = solution.duals[demand_rows[i].index()];
-                let Some(path) = tree.path(commodities[i].dest) else {
-                    continue;
-                };
-                let reduced = path.cost(&weights) - sigma;
-                if reduced < -1e-7 * (1.0 + sigma.abs()) {
-                    // Column: 1 on the demand row, 1 per capacitated edge.
-                    let mut column = vec![(demand_rows[i], 1.0)];
-                    for e in path.edges() {
-                        if let Some(r) = cap_row[e.index()] {
-                            // Accumulate in case of repeated rows (paths are
-                            // simple, so each edge appears once).
-                            column.push((r, 1.0));
-                        }
+        // Price all sources in parallel (one Dijkstra per source prices
+        // every commodity sharing it), then add the improving columns in
+        // commodity order below so the master LP trajectory — and thus the
+        // solution — is identical for any worker count.
+        let priced: Vec<Vec<(usize, Path)>> =
+            jcr_ctx::par::try_par_map(ctx, &source_list, |wctx, _k, &src| {
+                wctx.check_deadline(Phase::ColumnGeneration)?;
+                let tree = shortest::dijkstra_with_context(g, NodeId::new(src), &weights, wctx);
+                let mut improving = Vec::new();
+                for &i in &by_source[src] {
+                    let sigma = solution.duals[demand_rows[i].index()];
+                    let Some(path) = tree.path(commodities[i].dest) else {
+                        continue;
+                    };
+                    let reduced = path.cost(&weights) - sigma;
+                    if reduced < -1e-7 * (1.0 + sigma.abs()) {
+                        improving.push((i, path));
                     }
-                    let obj = path.cost(cost);
-                    solver.add_column(0.0, f64::INFINITY, obj, &column);
-                    ctx.count(Counter::CgColumns, 1);
-                    col_paths.push((i, path));
-                    added = true;
+                }
+                Ok::<_, FlowError>(improving)
+            })?;
+        let mut added = false;
+        for (i, path) in priced.into_iter().flatten() {
+            // Column: 1 on the demand row, 1 per capacitated edge (paths
+            // are simple, so each edge appears once).
+            let mut column = vec![(demand_rows[i], 1.0)];
+            for e in path.edges() {
+                if let Some(r) = cap_row[e.index()] {
+                    column.push((r, 1.0));
                 }
             }
+            let obj = path.cost(cost);
+            solver.add_column(0.0, f64::INFINITY, obj, &column);
+            ctx.count(Counter::CgColumns, 1);
+            col_paths.push((i, path));
+            added = true;
         }
         if !added {
             break;
@@ -471,6 +483,33 @@ mod tests {
         for (i, c) in commodities.iter().enumerate() {
             let total: f64 = sol.path_flows[i].iter().map(|f| f.amount).sum();
             assert!((total - c.demand).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn column_generation_is_bit_identical_across_worker_counts() {
+        let (g, cost, cap, commodities) = bottleneck_instance();
+        let baseline = min_cost_multicommodity_with_context(
+            &g,
+            &cost,
+            &cap,
+            &commodities,
+            &SolverContext::new().with_workers(1),
+        )
+        .unwrap();
+        for workers in [2, 8] {
+            let ctx = SolverContext::new().with_workers(workers);
+            let sol =
+                min_cost_multicommodity_with_context(&g, &cost, &cap, &commodities, &ctx).unwrap();
+            assert_eq!(sol.cost.to_bits(), baseline.cost.to_bits());
+            assert_eq!(sol.path_flows.len(), baseline.path_flows.len());
+            for (a, b) in sol.path_flows.iter().zip(&baseline.path_flows) {
+                assert_eq!(a.len(), b.len());
+                for (fa, fb) in a.iter().zip(b) {
+                    assert_eq!(fa.path, fb.path);
+                    assert_eq!(fa.amount.to_bits(), fb.amount.to_bits());
+                }
+            }
         }
     }
 

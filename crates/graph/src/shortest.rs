@@ -313,11 +313,25 @@ pub fn all_pairs(g: &DiGraph, cost: &[f64]) -> Vec<Vec<f64>> {
         .collect()
 }
 
-/// [`all_pairs`] that records one Dijkstra call per source on `ctx`.
+/// [`all_pairs`] that records one Dijkstra call per source on `ctx` and
+/// fans the per-source runs out over `ctx.workers()` threads.
+///
+/// Each source is an independent task with its own [`DijkstraScratch`]
+/// per worker; rows are merged by source index, so the result is
+/// bit-identical for any worker count (and identical to [`all_pairs`]).
 pub fn all_pairs_with_context(g: &DiGraph, cost: &[f64], ctx: &SolverContext) -> Vec<Vec<f64>> {
     let _t = ctx.time(Phase::Dijkstra);
-    ctx.count(Counter::DijkstraCalls, g.node_count() as u64);
-    all_pairs(g, cost)
+    let sources: Vec<NodeId> = g.nodes().collect();
+    jcr_ctx::par::par_map_init(
+        ctx,
+        &sources,
+        DijkstraScratch::new,
+        |scratch, wctx, _i, &v| {
+            wctx.count(Counter::DijkstraCalls, 1);
+            dijkstra_filtered_into(g, v, cost, |_| true, scratch);
+            scratch.dist.clone()
+        },
+    )
 }
 
 /// Yen's algorithm: up to `k` least-cost *simple* paths from `src` to `dst`.
@@ -531,6 +545,23 @@ mod tests {
         assert_eq!(d[a.index()][b.index()], 4.0);
         assert_eq!(d[b.index()][a.index()], 4.0);
         assert_eq!(d[a.index()][a.index()], 0.0);
+    }
+
+    #[test]
+    fn all_pairs_with_context_matches_serial_for_any_worker_count() {
+        let (g, _, cost) = diamond();
+        let serial = all_pairs(&g, &cost);
+        for workers in [1, 2, 8] {
+            let ctx = SolverContext::new().with_workers(workers);
+            let par = all_pairs_with_context(&g, &cost, &ctx);
+            assert_eq!(par.len(), serial.len());
+            for (row_p, row_s) in par.iter().zip(&serial) {
+                for (a, b) in row_p.iter().zip(row_s) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "workers = {workers}");
+                }
+            }
+            assert_eq!(ctx.stats().dijkstra_calls, g.node_count() as u64);
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use std::fmt;
 
-use jcr_ctx::{BudgetExceeded, Counter, SolverContext};
+use jcr_ctx::{BudgetExceeded, Counter, ScratchArena, SolverContext};
 
 use crate::model::Model;
 
@@ -184,7 +184,7 @@ impl Simplex {
             s.binv[r * m + r] = -1.0;
         }
         s.set_nonbasic_values();
-        s.recompute_basic_values();
+        s.recompute_basic_values(&ScratchArena::default());
         s
     }
 
@@ -219,7 +219,7 @@ impl Simplex {
         self.n_struct += 1;
         if v0 != 0.0 {
             // New nonbasic mass changes the basic values.
-            self.recompute_basic_values();
+            self.recompute_basic_values(&ScratchArena::default());
         }
     }
 
@@ -239,7 +239,7 @@ impl Simplex {
             return Err(LpError::Infeasible);
         }
         self.run(Phase::Two, ctx)?;
-        Ok(self.extract())
+        Ok(self.extract(ctx.scratch()))
     }
 
     /// Re-solves after external modifications (e.g. new columns) under an
@@ -289,14 +289,7 @@ impl Simplex {
         });
     }
 
-    /// `yᵀ = cbᵀ · B⁻¹` for the given basic cost vector.
-    fn btran(&self, cb: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.m];
-        self.btran_into(cb, &mut y);
-        y
-    }
-
-    /// [`Simplex::btran`] written into `y` (reused across pivots).
+    /// `yᵀ = cbᵀ · B⁻¹` written into `y` (reused across pivots).
     fn btran_into(&self, cb: &[f64], y: &mut [f64]) {
         let m = self.m;
         y.fill(0.0);
@@ -331,11 +324,12 @@ impl Simplex {
         }
     }
 
-    /// Recomputes basic values `x_B = B⁻¹(0 − N·x_N)` from scratch.
-    fn recompute_basic_values(&mut self) {
+    /// Recomputes basic values `x_B = B⁻¹(0 − N·x_N)` from scratch; the
+    /// m-length right-hand side comes from the arena.
+    fn recompute_basic_values(&mut self, scratch: &ScratchArena) {
         let m = self.m;
         let ncols = self.n_struct + m;
-        let mut rhs = vec![0.0; m];
+        let mut rhs = scratch.take_f64(m, 0.0);
         for j in 0..ncols {
             if self.status[j] != ColStatus::Basic {
                 let v = self.xval[j];
@@ -352,17 +346,37 @@ impl Simplex {
             }
             self.xval[self.basis[i]] = acc;
         }
+        scratch.put_f64(rhs);
     }
 
     /// Rebuilds `B⁻¹` by Gauss–Jordan elimination with partial pivoting.
-    fn refactorize(&mut self) -> Result<(), LpError> {
+    /// The two m×m working matrices come from the arena, so periodic
+    /// refactorizations stop being the LP's largest recurring allocation.
+    fn refactorize(&mut self, scratch: &ScratchArena) -> Result<(), LpError> {
         let m = self.m;
-        // Assemble B column-wise into a dense working matrix.
-        let mut work = vec![0.0; m * m];
+        let mut work = scratch.take_f64(m * m, 0.0);
+        let mut inv = scratch.take_f64(m * m, 0.0);
+        let out = self.refactorize_into(&mut work, &mut inv);
+        if out.is_ok() {
+            // The freshly built inverse becomes `binv`; the old `binv`
+            // returns to the arena in its place.
+            std::mem::swap(&mut self.binv, &mut inv);
+        }
+        scratch.put_f64(inv);
+        scratch.put_f64(work);
+        out?;
+        self.pivots_since_refactor = 0;
+        self.set_nonbasic_values();
+        self.recompute_basic_values(scratch);
+        Ok(())
+    }
+
+    fn refactorize_into(&self, work: &mut [f64], inv: &mut [f64]) -> Result<(), LpError> {
+        let m = self.m;
+        // Assemble B column-wise into the dense working matrix.
         for (pos, &j) in self.basis.iter().enumerate() {
             self.for_col(j, |r, v| work[r * m + pos] = v);
         }
-        let mut inv = vec![0.0; m * m];
         for r in 0..m {
             inv[r * m + r] = 1.0;
         }
@@ -403,10 +417,6 @@ impl Simplex {
                 }
             }
         }
-        self.binv = inv;
-        self.pivots_since_refactor = 0;
-        self.set_nonbasic_values();
-        self.recompute_basic_values();
         Ok(())
     }
 
@@ -427,12 +437,6 @@ impl Simplex {
             Phase::One => 0.0,
             Phase::Two => self.c[j],
         }
-    }
-
-    fn basic_cost_vector(&self, phase: Phase) -> Vec<f64> {
-        let mut cb = vec![0.0; self.m];
-        self.basic_cost_into(phase, &mut cb);
-        cb
     }
 
     fn basic_cost_into(&self, phase: Phase, cb: &mut [f64]) {
@@ -654,7 +658,7 @@ impl Simplex {
                 ctx.count(Counter::SimplexPivots, 1);
                 self.pivots_since_refactor += 1;
                 if self.pivots_since_refactor >= REFACTOR_EVERY {
-                    self.refactorize()?;
+                    self.refactorize(ctx.scratch())?;
                     ctx.count(Counter::Refactorizations, 1);
                 }
             }
@@ -678,11 +682,14 @@ impl Simplex {
         Err(LpError::Numerical("iteration limit exceeded".into()))
     }
 
-    fn extract(&self) -> Solution {
+    fn extract(&self, scratch: &ScratchArena) -> Solution {
         let x: Vec<f64> = (0..self.n_struct).map(|j| self.xval[j]).collect();
         let obj_min: f64 = (0..self.n_struct).map(|j| self.c[j] * self.xval[j]).sum();
-        let cb = self.basic_cost_vector(Phase::Two);
-        let y = self.btran(&cb);
+        let mut cb = scratch.take_f64(self.m, 0.0);
+        self.basic_cost_into(Phase::Two, &mut cb);
+        let mut y = vec![0.0; self.m];
+        self.btran_into(&cb, &mut y);
+        scratch.put_f64(cb);
         let (objective, duals) = if self.maximize {
             (-obj_min, y.iter().map(|v| -v).collect())
         } else {

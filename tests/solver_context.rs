@@ -24,6 +24,10 @@ fn capped_instance(seed: u64) -> Instance {
 #[test]
 fn stats_counters_nonzero_and_reproducible() {
     let inst = capped_instance(5);
+    // All-pairs distances are computed once per instance and cached; warm
+    // the cache so both solves below charge identical Dijkstra work to
+    // their own contexts.
+    inst.all_pairs();
     let solve = || {
         let ctx = SolverContext::new();
         let sol = Alternating::new().solve_with_context(&inst, &ctx).unwrap();
