@@ -1,0 +1,123 @@
+//! Empirical basis for the pool-chunking note in DESIGN.md §8: runs the
+//! pool's dominant fan-outs at stress scale and prints the per-chunk
+//! latency histogram (`pool.chunk_ns`) alongside the chunk-count
+//! arithmetic of the fixed 64-chunk partition vs the old `workers × 4`
+//! rule.
+//!
+//! Phases:
+//! * all-pairs Dijkstra on a 700-node ring+chords graph (the bench
+//!   gate's `--full` graph; one source per item, ~uniform cost), and
+//! * with `--deltacom`, one alternating solve on the paper's largest
+//!   topology (Deltacom) at `|C| = 54` — column-generation pricing is
+//!   the fan-out, with per-commodity costs that vary widely.
+//!
+//! ```text
+//! cargo run --release -p jcr-bench --example chunk_profile -- [--deltacom] [workers...]
+//! ```
+
+use jcr_bench::{build_instance, profile, Scenario};
+use jcr_core::prelude::Alternating;
+use jcr_ctx::obs::ObsSnapshot;
+use jcr_ctx::par::chunk_len;
+use jcr_ctx::rng::{Rng, SeedableRng, StdRng};
+use jcr_ctx::SolverContext;
+use jcr_graph::shortest::all_pairs_with_context;
+use jcr_graph::{DiGraph, NodeId};
+use jcr_topo::TopologyKind;
+
+/// Same construction as the bench gate's seeded stress graph: a ring for
+/// strong connectivity plus `4n` random chords, costs in `[1, 10)`.
+fn seeded_graph(n: usize, seed: u64) -> (DiGraph, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::new();
+    let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node()).collect();
+    let mut cost = Vec::new();
+    for i in 0..n {
+        g.add_edge(nodes[i], nodes[(i + 1) % n]);
+        cost.push(rng.gen_range(1.0..10.0));
+    }
+    for _ in 0..n * 4 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            g.add_edge(nodes[a], nodes[b]);
+            cost.push(rng.gen_range(1.0..10.0));
+        }
+    }
+    (g, cost)
+}
+
+fn report(label: &str, items: usize, workers: usize, snap: &ObsSnapshot, wall_ms: f64) {
+    let h = match snap.histograms.get("pool.chunk_ns") {
+        Some(h) => h,
+        None => {
+            println!("{label}: no pool fan-out recorded");
+            return;
+        }
+    };
+    let old_chunks = items.div_ceil(items.div_ceil(workers * 4).max(1));
+    println!(
+        "{label}: workers={workers} wall={wall_ms:.1}ms chunks={} (len {}, old workers×4 rule: {} chunks) \
+         chunk_ns p50={:.0}µs p95={:.0}µs max={:.0}µs spread(p95/p50)={:.1}",
+        h.count(),
+        chunk_len(items),
+        old_chunks,
+        h.quantile(0.5) as f64 / 1e3,
+        h.quantile(0.95) as f64 / 1e3,
+        h.max() as f64 / 1e3,
+        h.quantile(0.95) as f64 / h.quantile(0.5).max(1) as f64,
+    );
+}
+
+fn main() {
+    let mut deltacom = false;
+    let mut widths: Vec<usize> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--deltacom" {
+            deltacom = true;
+        } else if let Ok(w) = arg.parse() {
+            widths.push(w);
+        }
+    }
+    if widths.is_empty() {
+        widths = vec![1, 2, 4, 8];
+    }
+
+    let n = 700;
+    let (g, cost) = seeded_graph(n, 11);
+    for &w in &widths {
+        let ctx = SolverContext::new().with_workers(w);
+        let start = std::time::Instant::now();
+        let _ = all_pairs_with_context(&g, &cost, &ctx);
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        report("all-pairs 700", n, w, &ctx.obs_snapshot(), wall);
+    }
+
+    if deltacom {
+        let mut sc = Scenario::chunk_default();
+        sc.kind = TopologyKind::Deltacom;
+        sc.hours = 1;
+        let n_edges = sc.topology().edge_nodes.len();
+        let rates = sc.demand(n_edges).true_rates(0, n_edges);
+        let inst = build_instance(&sc, &rates);
+        println!(
+            "deltacom instance: |C|={} requests={} edges={}",
+            sc.catalog_size(),
+            inst.requests.len(),
+            n_edges
+        );
+        for &w in &widths {
+            let ctx = SolverContext::new().with_workers(w);
+            let start = std::time::Instant::now();
+            let _ = Alternating::new().solve_with_context(&inst, &ctx);
+            let wall = start.elapsed().as_secs_f64() * 1e3;
+            let snap = ctx.obs_snapshot();
+            report("deltacom alternating", inst.requests.len(), w, &snap, wall);
+            jcr_bench::print_table(
+                &format!("deltacom metric histograms, workers={w}"),
+                &profile::histogram_header(),
+                &profile::histogram_rows(&snap),
+            );
+        }
+    }
+}

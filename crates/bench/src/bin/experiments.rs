@@ -5,7 +5,7 @@
 //!                     [--out PATH] [--baseline PATH] [--tolerance F]
 //!
 //!   ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology
-//!        table1 table2 table3 table4 stats faults bench all
+//!        table1 table2 table3 table4 stats faults bench trace all
 //! ```
 //!
 //! Run with `--release`; the quick defaults finish in minutes, `--full`
@@ -13,9 +13,16 @@
 //! (`--out BENCH.json`) and, given `--baseline BENCH_BASELINE.json`, exits
 //! nonzero on regressions (checksums/counters exactly, wall clock within
 //! `--tolerance`, default 0.25).
+//!
+//! `trace` runs a seeded solve under span instrumentation and writes a
+//! Chrome Trace Event file (`--out`, default `TRACE.json`, loadable at
+//! <https://ui.perfetto.dev>) plus a collapsed-stack `.folded` profile.
+//! Setting `JCR_TRACE=path` overrides the default output path and
+//! appends `trace` to any invocation that didn't request it.
 
 use jcr_bench::exp::{self, ExpConfig};
 use jcr_bench::perf::{self, BenchOpts};
+use jcr_bench::profile;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,7 +85,8 @@ fn main() {
             other => usage(&format!("unknown flag {other}")),
         }
     }
-    if ids.is_empty() {
+    let env_trace = std::env::var("JCR_TRACE").ok().filter(|p| !p.is_empty());
+    if ids.is_empty() && env_trace.is_none() {
         usage("no experiment id given");
     }
     if ids.iter().any(|i| i == "all") {
@@ -110,6 +118,14 @@ fn main() {
         .iter()
         .map(|s| s.to_string())
         .collect();
+    }
+    // JCR_TRACE=path: default trace output path, and an implicit `trace`
+    // run appended to invocations that didn't ask for one.
+    if let Some(path) = &env_trace {
+        if !ids.iter().any(|i| i == "trace") {
+            ids.push("trace".to_string());
+        }
+        eprintln!("[experiments] JCR_TRACE={path}: tracing to {path}");
     }
     for id in &ids {
         eprintln!(
@@ -147,6 +163,16 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "trace" => {
+                let out = env_trace
+                    .clone()
+                    .or_else(|| bench_opts.out.clone())
+                    .unwrap_or_else(|| "TRACE.json".to_string());
+                if let Err(msg) = profile::trace_run(cfg, &out) {
+                    eprintln!("error: {msg}");
+                    std::process::exit(1);
+                }
+            }
             other => usage(&format!("unknown experiment {other}")),
         }
     }
@@ -160,7 +186,8 @@ fn usage(err: &str) -> ! {
         "usage: experiments <id>... [--runs N] [--hours N] [--seed N] [--workers N] [--full] \
          [--out PATH] [--baseline PATH] [--tolerance F]\n\
          ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology \
-         table1 table2 table3 table4 stats faults bench all"
+         table1 table2 table3 table4 stats faults bench trace all\n\
+         env: JCR_TRACE=path  write a Chrome trace (implies a trailing `trace` run)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -63,9 +63,17 @@ impl ExpConfig {
     }
 }
 
-/// Solver closure: instance → solution (thread-safe so Monte-Carlo runs
-/// can evaluate in parallel).
-pub type AlgoRun = Box<dyn Fn(&Instance) -> Result<Solution, JcrError> + Send + Sync>;
+/// Solver closure: instance + context → solution (thread-safe so
+/// Monte-Carlo runs can evaluate in parallel). The context carries the
+/// budget, probe, and metrics registry the solve should charge.
+pub type AlgoRun =
+    Box<dyn Fn(&Instance, &jcr_ctx::SolverContext) -> Result<Solution, JcrError> + Send + Sync>;
+
+/// Builds the per-run contexts of a Monte-Carlo sweep. Called once per
+/// run on the evaluating worker thread; the produced context's stats and
+/// observability snapshot are absorbed back into the sweep's context, so
+/// every inner solve feeds one shared registry.
+pub type CtxFactory<'a> = &'a (dyn Fn() -> jcr_ctx::SolverContext + Sync);
 
 /// An algorithm under evaluation.
 pub struct Algo {
@@ -78,7 +86,10 @@ pub struct Algo {
 impl Algo {
     fn new(
         name: &str,
-        run: impl Fn(&Instance) -> Result<Solution, JcrError> + Send + Sync + 'static,
+        run: impl Fn(&Instance, &jcr_ctx::SolverContext) -> Result<Solution, JcrError>
+            + Send
+            + Sync
+            + 'static,
     ) -> Self {
         Algo {
             name: name.to_string(),
@@ -110,40 +121,77 @@ pub struct Metrics {
 /// merged in run order, so the float accumulation — and thus every mean —
 /// is bit-identical for any worker count.
 pub fn evaluate(scenario: &Scenario, algos: &[Algo], cfg: ExpConfig) -> Vec<Metrics> {
+    evaluate_with_factory(scenario, algos, cfg, &default_factory)
+}
+
+/// The factory [`evaluate`] uses: a fresh single-worker context per run
+/// (the fan-out is one level deep, so inner solves stay serial).
+pub fn default_factory() -> jcr_ctx::SolverContext {
+    jcr_ctx::SolverContext::new().with_workers(1)
+}
+
+/// [`evaluate`] with an explicit per-run context factory (ROADMAP item):
+/// each Monte-Carlo run solves under one `factory()` context whose
+/// budget and probe the caller controls, and whose counters, span tree,
+/// and histograms are absorbed back into the sweep — so an entire sweep
+/// feeds a single metrics registry instead of discarding one default
+/// context per solve.
+pub fn evaluate_with_factory(
+    scenario: &Scenario,
+    algos: &[Algo],
+    cfg: ExpConfig,
+    factory: CtxFactory<'_>,
+) -> Vec<Metrics> {
+    evaluate_in(&cfg.pool_ctx(), scenario, algos, cfg, factory)
+}
+
+/// [`evaluate_with_factory`] under an explicit sweep context: the fan-out
+/// runs on `sweep`'s pool and every run's stats/observability land on
+/// `sweep`, so the caller can export the aggregated registry afterwards
+/// (`cfg.workers` is ignored in favour of `sweep.workers()`).
+pub fn evaluate_in(
+    sweep: &jcr_ctx::SolverContext,
+    scenario: &Scenario,
+    algos: &[Algo],
+    cfg: ExpConfig,
+    factory: CtxFactory<'_>,
+) -> Vec<Metrics> {
     let n_edges = scenario.topology().edge_nodes.len();
     let runs: Vec<usize> = (0..cfg.runs).collect();
-    let per_run: Vec<Vec<Vec<f64>>> =
-        jcr_ctx::par::par_map(&cfg.pool_ctx(), &runs, |_, _, &run| {
-            let mut sc = scenario.clone();
-            sc.share_seed = scenario.share_seed.wrapping_add(run as u64 * 1009);
-            sc.hours = cfg.hours.max(1);
-            let demand = sc.demand(n_edges);
-            let mut local: Vec<Vec<f64>> = vec![Vec::new(); algos.len() * 6];
-            for h in 0..sc.hours {
-                let true_rates = demand.true_rates(h, n_edges);
-                let pred_rates = demand.predicted_rates(h, n_edges);
-                let inst_true = build_instance(&sc, &true_rates);
-                let inst_pred = build_instance(&sc, &pred_rates);
-                let floored_true: Vec<f64> = flatten_rates(&true_rates)
-                    .into_iter()
-                    .map(|r| r.max(1e-6))
-                    .collect();
-                for (ai, algo) in algos.iter().enumerate() {
-                    if let Ok(sol) = (algo.run)(&inst_true) {
-                        local[ai * 6].push(sol.cost(&inst_true));
-                        local[ai * 6 + 1].push(sol.congestion(&inst_true));
-                        local[ai * 6 + 2].push(sol.placement.max_occupancy_ratio(&inst_true));
-                    }
-                    if let Ok(sol) = (algo.run)(&inst_pred) {
-                        let (cost, congestion) = sol.evaluate_under(&inst_pred, &floored_true);
-                        local[ai * 6 + 3].push(cost);
-                        local[ai * 6 + 4].push(congestion);
-                        local[ai * 6 + 5].push(sol.placement.max_occupancy_ratio(&inst_pred));
-                    }
+    let per_run: Vec<Vec<Vec<f64>>> = jcr_ctx::par::par_map(sweep, &runs, |wctx, _, &run| {
+        let mut sc = scenario.clone();
+        sc.share_seed = scenario.share_seed.wrapping_add(run as u64 * 1009);
+        sc.hours = cfg.hours.max(1);
+        let demand = sc.demand(n_edges);
+        let run_ctx = factory();
+        let mut local: Vec<Vec<f64>> = vec![Vec::new(); algos.len() * 6];
+        for h in 0..sc.hours {
+            let true_rates = demand.true_rates(h, n_edges);
+            let pred_rates = demand.predicted_rates(h, n_edges);
+            let inst_true = build_instance(&sc, &true_rates);
+            let inst_pred = build_instance(&sc, &pred_rates);
+            let floored_true: Vec<f64> = flatten_rates(&true_rates)
+                .into_iter()
+                .map(|r| r.max(1e-6))
+                .collect();
+            for (ai, algo) in algos.iter().enumerate() {
+                if let Ok(sol) = (algo.run)(&inst_true, &run_ctx) {
+                    local[ai * 6].push(sol.cost(&inst_true));
+                    local[ai * 6 + 1].push(sol.congestion(&inst_true));
+                    local[ai * 6 + 2].push(sol.placement.max_occupancy_ratio(&inst_true));
+                }
+                if let Ok(sol) = (algo.run)(&inst_pred, &run_ctx) {
+                    let (cost, congestion) = sol.evaluate_under(&inst_pred, &floored_true);
+                    local[ai * 6 + 3].push(cost);
+                    local[ai * 6 + 4].push(congestion);
+                    local[ai * 6 + 5].push(sol.placement.max_occupancy_ratio(&inst_pred));
                 }
             }
-            local
-        });
+        }
+        wctx.absorb_stats(&run_ctx.stats());
+        wctx.absorb_obs(&run_ctx.obs_snapshot());
+        local
+    });
     let mut acc: Vec<Vec<f64>> = vec![Vec::new(); algos.len() * 6];
     for local in per_run {
         for (dst, src) in acc.iter_mut().zip(local) {
@@ -166,7 +214,7 @@ pub fn evaluate(scenario: &Scenario, algos: &[Algo], cfg: ExpConfig) -> Vec<Metr
 
 /// Greedy placement + RNR routing (our file-level solver under unlimited
 /// link capacities, Theorem 5.2).
-fn greedy_rnr(inst: &Instance) -> Result<Solution, JcrError> {
+fn greedy_rnr(inst: &Instance, _ctx: &jcr_ctx::SolverContext) -> Result<Solution, JcrError> {
     let placement = hetero::greedy_placement_rnr(inst);
     let routing = rnr::route_to_nearest_replica(inst, &placement).ok_or(JcrError::Infeasible)?;
     Ok(Solution { placement, routing })
@@ -175,16 +223,18 @@ fn greedy_rnr(inst: &Instance) -> Result<Solution, JcrError> {
 /// The uncapacitated roster of Fig. 5.
 fn fig5_algos(level: Level, k: usize) -> Vec<Algo> {
     let ours = match level {
-        Level::Chunk { .. } => Algo::new("Alg1 (ours)", |inst| Algorithm1::new().solve(inst)),
+        Level::Chunk { .. } => Algo::new("Alg1 (ours)", |inst, ctx| {
+            Algorithm1::new().solve_with_context(inst, ctx)
+        }),
         Level::File => Algo::new("greedy (ours)", greedy_rnr),
     };
     vec![
         ours,
-        Algo::new("k shortest paths [3]", move |inst| {
-            IoannidisYeh::k_shortest(k).solve(inst)
+        Algo::new("k shortest paths [3]", move |inst, ctx| {
+            IoannidisYeh::k_shortest(k).solve_with_context(inst, ctx)
         }),
-        Algo::new("shortest path [38]", |inst| {
-            ShortestPathPlacement.solve(inst)
+        Algo::new("shortest path [38]", |inst, ctx| {
+            ShortestPathPlacement.solve_with_context(inst, ctx)
         }),
     ]
 }
@@ -192,18 +242,22 @@ fn fig5_algos(level: Level, k: usize) -> Vec<Algo> {
 /// The general-case roster of Figs. 7–8, 11–13, 15.
 fn general_algos(seed: u64) -> Vec<Algo> {
     vec![
-        Algo::new("alternating (ours)", move |inst| {
+        Algo::new("alternating (ours)", move |inst, ctx| {
             Alternating {
                 seed,
                 ..Alternating::default()
             }
-            .solve(inst)
+            .solve_with_context(inst, ctx)
             .map(|r| r.solution)
         }),
-        Algo::new("SP [38]", |inst| ShortestPathPlacement.solve(inst)),
-        Algo::new("SP + RNR [3]", |inst| IoannidisYeh::sp_rnr().solve(inst)),
-        Algo::new("k-SP + RNR [3]", |inst| {
-            IoannidisYeh::ksp_rnr(10).solve(inst)
+        Algo::new("SP [38]", |inst, ctx| {
+            ShortestPathPlacement.solve_with_context(inst, ctx)
+        }),
+        Algo::new("SP + RNR [3]", |inst, ctx| {
+            IoannidisYeh::sp_rnr().solve_with_context(inst, ctx)
+        }),
+        Algo::new("k-SP + RNR [3]", |inst, ctx| {
+            IoannidisYeh::ksp_rnr(10).solve_with_context(inst, ctx)
         }),
     ]
 }
@@ -750,6 +804,7 @@ pub fn fig13(cfg: ExpConfig) {
     let sc = Scenario::chunk_default();
     let n_edges = sc.topology().edge_nodes.len();
     let algos = general_algos(sc.share_seed);
+    let run_ctx = default_factory();
     let mut rows = Vec::new();
     for &sigma_rel in sigmas {
         let mut acc = vec![(Vec::new(), Vec::new()); algos.len()];
@@ -772,7 +827,7 @@ pub fn fig13(cfg: ExpConfig) {
                     .collect();
                 let inst = build_instance(&s, &noisy);
                 for (ai, algo) in algos.iter().enumerate() {
-                    if let Ok(sol) = (algo.run)(&inst) {
+                    if let Ok(sol) = (algo.run)(&inst, &run_ctx) {
                         let (cost, cong) = sol.evaluate_under(&inst, &flat_true);
                         acc[ai].0.push(cost);
                         acc[ai].1.push(cong);
@@ -930,8 +985,9 @@ pub fn zipf(cfg: ExpConfig) {
                 .build()
                 .unwrap();
             let algos = general_algos(seed);
+            let run_ctx = default_factory();
             for (ai, algo) in algos.iter().enumerate() {
-                if let Ok(sol) = (algo.run)(&inst) {
+                if let Ok(sol) = (algo.run)(&inst, &run_ctx) {
                     costs[ai].push(sol.cost(&inst));
                     congs[ai].push(sol.congestion(&inst));
                 }
@@ -1452,7 +1508,7 @@ fn timing_table(base: Scenario, title: &str, cfg: ExpConfig) {
             } else {
                 let i = inst_unlim.clone();
                 Box::new(move || {
-                    let _ = greedy_rnr(&i);
+                    let _ = greedy_rnr(&i, &jcr_ctx::SolverContext::new());
                 })
             },
         ),
@@ -1606,14 +1662,16 @@ pub fn stats(cfg: ExpConfig) {
     );
 
     // Monte-Carlo aggregation: the same counters across runs × hours of
-    // the alternating solver, each solve under a fresh context, reported
-    // as mean and max per counter (how much work a typical vs worst hour
-    // costs). Runs fan out over the pool; per-solve contexts stay serial
-    // (`with_workers(1)`) so the fan-out is one level deep, and samples
-    // are merged in run order.
+    // the alternating solver, reported as mean and max per counter (how
+    // much work a typical vs worst hour costs). Runs fan out over the
+    // pool; per-solve contexts come from one factory (fresh single-worker
+    // context per solve, so the fan-out stays one level deep) and are
+    // absorbed into the sweep context, so the whole sweep accumulates one
+    // metrics registry whose histograms are summarized below.
+    let sweep = cfg.pool_ctx();
     let runs: Vec<usize> = (0..cfg.runs.max(1)).collect();
     let per_run: Vec<Vec<jcr_ctx::SolverStats>> =
-        jcr_ctx::par::par_map(&cfg.pool_ctx(), &runs, |_, _, &run| {
+        jcr_ctx::par::par_map(&sweep, &runs, |wctx, _, &run| {
             let mut s = cfg.seeded(Scenario::chunk_default());
             s.share_seed = s.share_seed.wrapping_add(run as u64 * 1009);
             s.hours = cfg.hours.max(1);
@@ -1621,13 +1679,14 @@ pub fn stats(cfg: ExpConfig) {
             let mut local = Vec::with_capacity(s.hours);
             for h in 0..s.hours {
                 let inst = build_instance(&s, &demand.true_rates(h, n_edges));
-                let ctx = SolverContext::new().with_workers(1);
+                let ctx = crate::exp::default_factory();
                 let solver = Alternating {
                     seed: run as u64,
                     ..Alternating::default()
                 };
                 let _ = solver.solve_with_context(&inst, &ctx);
                 local.push(ctx.stats());
+                wctx.absorb_obs(&ctx.obs_snapshot());
             }
             local
         });
@@ -1645,6 +1704,18 @@ pub fn stats(cfg: ExpConfig) {
         ),
         &["counter".into(), "mean".into(), "max".into()],
         &rows,
+    );
+
+    // Histogram summaries from the sweep's shared registry (pivot times,
+    // basis-solve fill-in, heap pops, pricing rounds, pool chunks …).
+    let snap = sweep.obs_snapshot();
+    print_table(
+        &format!(
+            "Metric histograms — shared registry over {} solves (p50/p95 are log₂-bucket upper bounds)",
+            samples.len()
+        ),
+        &crate::profile::histogram_header(),
+        &crate::profile::histogram_rows(&snap),
     );
 }
 

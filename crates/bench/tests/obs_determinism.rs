@@ -1,0 +1,93 @@
+//! Reproducibility of the observability layer across pool widths: the
+//! aggregate span-tree shape, every named counter, and every
+//! `Count`-unit histogram must be **bit-identical** for any worker count
+//! (only durations may differ), both for a direct instrumented solve and
+//! for a Monte-Carlo sweep through the context-factory path.
+
+use jcr_bench::exp::{default_factory, evaluate_in, Algo, ExpConfig};
+use jcr_bench::{build_instance, profile, Scenario};
+use jcr_core::prelude::*;
+use jcr_ctx::SolverContext;
+
+/// A trimmed chunk-default scenario so three full alternating solves
+/// stay test-suite friendly.
+fn small_scenario() -> Scenario {
+    let mut sc = Scenario::chunk_default();
+    sc.n_videos = 5;
+    sc.hours = 1;
+    sc
+}
+
+fn instrumented_solve(workers: usize) -> jcr_ctx::obs::ObsSnapshot {
+    let sc = small_scenario();
+    let n_edges = sc.topology().edge_nodes.len();
+    let rates = sc.demand(n_edges).true_rates(0, n_edges);
+    let inst = build_instance(&sc, &rates);
+    let ctx = SolverContext::new().with_workers(workers);
+    Alternating::new()
+        .solve_with_context(&inst, &ctx)
+        .expect("solves");
+    ctx.obs_snapshot()
+}
+
+#[test]
+fn span_tree_and_metrics_are_identical_across_worker_counts() {
+    let baseline = instrumented_solve(1);
+    let shape = baseline.shape();
+    for needle in ["alt.solve", "alt.round", "lp.solve", "pool.chunk"] {
+        assert!(shape.contains(needle), "missing {needle} in:\n{shape}");
+    }
+    assert!(
+        baseline.histograms.contains_key("lp.pivot_ns"),
+        "pivot latency histogram recorded"
+    );
+    for workers in [2, 8] {
+        let snap = instrumented_solve(workers);
+        assert_eq!(snap.shape(), shape, "workers = {workers}");
+    }
+}
+
+#[test]
+fn chrome_trace_from_a_real_solve_is_valid_at_any_width() {
+    for workers in [1, 2] {
+        let snap = instrumented_solve(workers);
+        let text = profile::chrome_trace(&snap).render();
+        let pairs = profile::validate_chrome_trace(&text).expect("balanced B/E");
+        let expected: u64 = snap.nodes.iter().map(|n| n.count).sum();
+        assert_eq!(pairs as u64, expected, "workers = {workers}");
+        // Collapsed stacks enumerate the same tree deterministically.
+        let folded = profile::collapsed_stacks(&snap);
+        assert_eq!(folded.lines().count(), snap.nodes.len() - 1);
+    }
+}
+
+#[test]
+fn factory_sweep_shares_one_registry_and_stays_deterministic() {
+    let sc = small_scenario();
+    let cfg = ExpConfig {
+        runs: 2,
+        hours: 1,
+        ..ExpConfig::default()
+    };
+    let run_sweep = |workers: usize| {
+        let sweep = SolverContext::new().with_workers(workers);
+        let algos = vec![Algo {
+            name: "SP".into(),
+            run: Box::new(|inst, ctx| ShortestPathPlacement.solve_with_context(inst, ctx)),
+        }];
+        let metrics = evaluate_in(&sweep, &sc, &algos, cfg, &default_factory);
+        (metrics, sweep.obs_snapshot())
+    };
+    let (m1, s1) = run_sweep(1);
+    // The per-run contexts were absorbed: the sweep context holds the
+    // inner solves' spans and metric histograms.
+    assert!(s1.shape().contains("lp.solve"), "shape:\n{}", s1.shape());
+    assert!(s1.shape().contains("graph.ksp"), "shape:\n{}", s1.shape());
+    assert!(s1.histograms.contains_key("lp.pivot_ns"));
+    let (m2, s2) = run_sweep(4);
+    assert_eq!(s1.shape(), s2.shape(), "registry shape across widths");
+    for (a, b) in m1.iter().zip(&m2) {
+        assert_eq!(a.cost_true.to_bits(), b.cost_true.to_bits());
+        assert_eq!(a.cost_pred.to_bits(), b.cost_pred.to_bits());
+    }
+}

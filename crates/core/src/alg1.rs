@@ -108,6 +108,7 @@ impl Algorithm1 {
         inst: &Instance,
         ctx: &jcr_ctx::SolverContext,
     ) -> Result<Placement, JcrError> {
+        let _span = ctx.span("alg1.place");
         let cache_nodes = inst.cache_nodes();
         let n_items = inst.num_items();
         if cache_nodes.is_empty() || inst.requests.is_empty() {
@@ -155,10 +156,14 @@ impl Algorithm1 {
             let entries: Vec<_> = (0..n_items).map(|i| (x_var[vi][i], 1.0)).collect();
             model.add_row(f64::NEG_INFINITY, inst.cache_cap[v.index()], &entries);
         }
-        let lp = model.solve_with_context(ctx)?;
+        let lp = {
+            let _s = ctx.span("alg1.lp");
+            model.solve_with_context(ctx)?
+        };
 
         // --- Recover r̃ and the pipage weights -----------------------------
         // weight[vi][i] = Σ_{s:(i,s)∈R} λ · r̃_v^{(i,s)} · (w_max − w_{v→s}).
+        let _weights_span = ctx.span("alg1.weights");
         let mut weight = vec![vec![0.0; n_items]; cache_nodes.len()];
         for req in &inst.requests {
             // a_v = x̃_vi (w_max − w_{v→s}) / w_max for cache nodes + origin.
@@ -192,6 +197,8 @@ impl Algorithm1 {
             }
         }
 
+        drop(_weights_span);
+
         // --- Pipage rounding (8)–(9) ---------------------------------------
         // Flatten x into coordinates grouped by cache node.
         let mut coords = Vec::with_capacity(cache_nodes.len() * n_items);
@@ -211,6 +218,7 @@ impl Algorithm1 {
             .map(|&v| inst.cache_cap[v.index()].floor())
             .collect();
         {
+            let _s = ctx.span("alg1.pipage");
             let _t = ctx.time(jcr_ctx::Phase::Rounding);
             ctx.count(jcr_ctx::Counter::RoundingPasses, 1);
             jcr_submodular::pipage::pipage_round(&mut coords, &groups, &capacity, |c, _| {

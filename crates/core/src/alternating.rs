@@ -156,6 +156,7 @@ impl Alternating {
         initial: Placement,
         ctx: &SolverContext,
     ) -> Result<AlternatingSolution, JcrError> {
+        let _span = ctx.span("alt.solve");
         let method = self.placement.unwrap_or(if inst.homogeneous() {
             PlacementMethod::PipageLp
         } else {
@@ -172,7 +173,10 @@ impl Alternating {
         // A budget tripping here surfaces without an incumbent — nothing
         // feasible has been constructed yet.
         let mut best_placement = initial;
-        let mut best_routing = self.route(inst, &best_placement, &mut rng, ctx)?;
+        let mut best_routing = {
+            let _r = ctx.span("alt.routing");
+            self.route(inst, &best_placement, &mut rng, ctx)?
+        };
         let mut best_key = solution_key(inst, &best_routing);
         let mut history = vec![best_key];
         let mut iterations = 0;
@@ -185,22 +189,35 @@ impl Alternating {
                 return Err(budget_with_incumbent(b, best_placement, best_routing));
             }
             iterations += 1;
+            let _round = ctx.span("alt.round");
             // (1) placement step against the current routing.
-            let placement = match method {
-                PlacementMethod::PipageLp => {
-                    match placement_opt::optimize_placement_with_context(inst, &best_routing, ctx) {
-                        Ok(p) => p,
-                        Err(e) => return Err(attach_incumbent(e, best_placement, best_routing)),
+            let placement = {
+                let _p = ctx.span("alt.placement");
+                match method {
+                    PlacementMethod::PipageLp => {
+                        match placement_opt::optimize_placement_with_context(
+                            inst,
+                            &best_routing,
+                            ctx,
+                        ) {
+                            Ok(p) => p,
+                            Err(e) => {
+                                return Err(attach_incumbent(e, best_placement, best_routing))
+                            }
+                        }
                     }
-                }
-                PlacementMethod::Greedy => {
-                    hetero::greedy_placement_given_routing(inst, &best_routing)
+                    PlacementMethod::Greedy => {
+                        hetero::greedy_placement_given_routing(inst, &best_routing)
+                    }
                 }
             };
             // (2) routing step against the new placement.
-            let routing = match self.route(inst, &placement, &mut rng, ctx) {
-                Ok(r) => r,
-                Err(e) => return Err(attach_incumbent(e, best_placement, best_routing)),
+            let routing = {
+                let _r = ctx.span("alt.routing");
+                match self.route(inst, &placement, &mut rng, ctx) {
+                    Ok(r) => r,
+                    Err(e) => return Err(attach_incumbent(e, best_placement, best_routing)),
+                }
             };
             let key = solution_key(inst, &routing);
             // Retain the new solution only if it lowers the cost (§4.3.3).

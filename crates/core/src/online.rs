@@ -254,7 +254,11 @@ impl OnlineSimulator {
         // Rung 1: full re-solve under the hour budget.
         // Rung 2: on budget exhaustion, the validated incumbent.
         let ctx = rung_context(cfg, cfg.budget);
-        match solver.solve_from_with_context(decision_inst, initial.clone(), &ctx) {
+        let attempt = {
+            let _s = ctx.span("online.rung.full");
+            solver.solve_from_with_context(decision_inst, initial.clone(), &ctx)
+        };
+        match attempt {
             Ok(result) => {
                 if let Some((solution, repair)) = accept(decision_inst, result.solution) {
                     emit(Rung::Full, "served", polish_note(&repair));
@@ -297,7 +301,11 @@ impl OnlineSimulator {
         halved.rounding_draws = (halved.rounding_draws / 2).max(1);
         let budget = halve_caps(remaining_budget(&cfg.budget, started.elapsed()));
         let ctx = rung_context(cfg, budget);
-        match halved.solve_from_with_context(decision_inst, initial.clone(), &ctx) {
+        let attempt = {
+            let _s = ctx.span("online.rung.retry-halved");
+            halved.solve_from_with_context(decision_inst, initial.clone(), &ctx)
+        };
+        match attempt {
             Ok(result) => {
                 if let Some((solution, repair)) = accept(decision_inst, result.solution) {
                     emit(Rung::RetryHalved, "served", polish_note(&repair));
@@ -332,7 +340,11 @@ impl OnlineSimulator {
         // Rung 4: keep the carried placement, only re-route.
         let budget = remaining_budget(&cfg.budget, started.elapsed());
         let ctx = rung_context(cfg, budget);
-        match solver.route_given_placement_with_context(decision_inst, &initial, &ctx) {
+        let attempt = {
+            let _s = ctx.span("online.rung.routing-only");
+            solver.route_given_placement_with_context(decision_inst, &initial, &ctx)
+        };
+        match attempt {
             Ok(routing) => {
                 let candidate = Solution {
                     placement: initial.clone(),

@@ -10,15 +10,22 @@
 //! * each input index is mapped by a pure function of `(index, item)` —
 //!   per-worker state carries only reusable buffers and instrumentation;
 //! * results are merged **by input index**, never by completion order;
+//! * work is claimed in chunks whose boundaries depend only on the item
+//!   count ([`chunk_len`]), never on the worker count, so per-chunk
+//!   spans and histograms are reproducible across `JCR_WORKERS`;
 //! * a worker count of 1 (or a single item) takes the exact serial path:
 //!   the closure runs on the calling thread against the caller's own
-//!   [`SolverContext`], with no threads, channels, or atomics involved.
+//!   [`SolverContext`], with no threads, channels, or atomics involved
+//!   (it still walks the same chunk partition, entering the same
+//!   [`CHUNK_SPAN`] spans, so traces keep one shape).
 //!
 //! Worker threads receive a context forked from the caller's
 //! ([`SolverContext::fork_seed`]): same budget and deadline clock, private
 //! counters and scratch arena. After the fan-out the caller absorbs every
-//! worker's [`SolverStats`](crate::SolverStats), so counter totals are
-//! identical to the serial path (counters are order-independent sums).
+//! worker's [`SolverStats`](crate::SolverStats) and observability
+//! snapshot (spans graft under the span open at the call site — see
+//! [`obs`](crate::obs)), so counter totals and span-tree shape are
+//! identical to the serial path (both merge as order-independent sums).
 //!
 //! Errors cancel the pool: the first `Err` flips a shared flag, in-flight
 //! workers stop at their next item, and the error with the **smallest
@@ -29,12 +36,35 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 use crate::SolverContext;
 
-/// How many chunks each worker should see on average; smaller chunks
-/// balance uneven item costs, larger chunks amortize the atomic fetch.
-const CHUNKS_PER_WORKER: usize = 4;
+/// Target number of chunks a fan-out is partitioned into, **independent
+/// of the worker count**: chunk boundaries are a pure function of the
+/// item count, so the `pool.chunk` span count and per-chunk latency
+/// histogram are bit-identical across `JCR_WORKERS` settings. 64 chunks
+/// keeps chunks small enough to balance uneven item costs at any
+/// plausible worker count (the old `workers × 4` rule gave 4–64 chunks
+/// depending on the machine) while still amortizing the atomic fetch;
+/// see DESIGN.md §8 for the profile behind the change.
+const POOL_CHUNKS: usize = 64;
+
+/// Span entered around each chunk of a fan-out (on the worker context in
+/// the parallel path, on the caller's context in the serial path).
+pub const CHUNK_SPAN: &str = "pool.chunk";
+
+/// `Nanos` histogram recording per-chunk wall time.
+pub const CHUNK_NS: &str = "pool.chunk_ns";
+
+/// The chunk length used for `n` items (`⌈n / 64⌉`, at least 1).
+pub fn chunk_len(n: usize) -> usize {
+    n.div_ceil(POOL_CHUNKS).max(1)
+}
+
+fn elapsed_nanos(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
 
 /// Maps `f` over `items`, merging results by input index.
 ///
@@ -106,25 +136,39 @@ where
     let n = items.len();
     let workers = ctx.workers().min(n.max(1));
     if workers <= 1 {
-        // Exact serial path: same closure, caller's context, input order.
+        // Exact serial path: same closure, caller's context, input order
+        // — but iterated chunk-by-chunk through the same partition the
+        // parallel path uses, entering the same per-chunk spans, so the
+        // span tree shape matches for any worker count.
+        let chunk = chunk_len(n);
         let mut state = init();
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| f(&mut state, ctx, i, item))
-            .collect();
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let t0 = Instant::now();
+            {
+                let _chunk_span = ctx.span(CHUNK_SPAN);
+                for (i, item) in items[start..end].iter().enumerate() {
+                    out.push(f(&mut state, ctx, start + i, item)?);
+                }
+            }
+            ctx.metric_nanos(CHUNK_NS, elapsed_nanos(t0));
+            start = end;
+        }
+        return Ok(out);
     }
 
-    let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let chunk = chunk_len(n);
     let cursor = AtomicUsize::new(0);
     let cancel = AtomicBool::new(false);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
-            let seed = ctx.fork_seed();
+            let seed = ctx.fork_seed().for_worker(w as u32 + 1);
             let (cursor, cancel, init, f) = (&cursor, &cancel, &init, &f);
             handles.push(scope.spawn(move || {
                 let wctx = seed.context();
@@ -135,30 +179,36 @@ where
                     if start >= n {
                         break;
                     }
-                    for (i, item) in items
-                        .iter()
-                        .enumerate()
-                        .take((start + chunk).min(n))
-                        .skip(start)
+                    let t0 = Instant::now();
                     {
-                        if cancel.load(Ordering::Relaxed) {
-                            break 'work;
-                        }
-                        match f(&mut state, &wctx, i, item) {
-                            Ok(r) => {
-                                // The receiver outlives every sender; a send
-                                // only fails after a main-thread panic.
-                                let _ = tx.send((i, r));
-                            }
-                            Err(e) => {
-                                cancel.store(true, Ordering::Relaxed);
-                                first_err = Some((i, e));
+                        let _chunk_span = wctx.span(CHUNK_SPAN);
+                        for (i, item) in items
+                            .iter()
+                            .enumerate()
+                            .take((start + chunk).min(n))
+                            .skip(start)
+                        {
+                            if cancel.load(Ordering::Relaxed) {
                                 break 'work;
+                            }
+                            match f(&mut state, &wctx, i, item) {
+                                Ok(r) => {
+                                    // The receiver outlives every sender;
+                                    // a send only fails after a
+                                    // main-thread panic.
+                                    let _ = tx.send((i, r));
+                                }
+                                Err(e) => {
+                                    cancel.store(true, Ordering::Relaxed);
+                                    first_err = Some((i, e));
+                                    break 'work;
+                                }
                             }
                         }
                     }
+                    wctx.metric_nanos(CHUNK_NS, elapsed_nanos(t0));
                 }
-                (wctx.stats(), first_err)
+                (wctx.stats(), wctx.obs_snapshot(), first_err)
             }));
         }
         drop(tx);
@@ -169,11 +219,12 @@ where
         }
         let mut err: Option<(usize, E)> = None;
         for handle in handles {
-            let (stats, worker_err) = match handle.join() {
-                Ok(pair) => pair,
+            let (stats, obs, worker_err) = match handle.join() {
+                Ok(triple) => triple,
                 Err(panic) => std::panic::resume_unwind(panic),
             };
             ctx.absorb_stats(&stats);
+            ctx.absorb_obs(&obs);
             if let Some((i, e)) = worker_err {
                 if err.as_ref().is_none_or(|(j, _)| i < *j) {
                     err = Some((i, e));

@@ -25,9 +25,10 @@
 //! ctx.count(Counter::SimplexPivots, 2);
 //! ```
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::io::Write;
 use std::rc::Rc;
+use std::time::Instant;
 
 use crate::{Counter, Phase, Probe};
 
@@ -48,24 +49,31 @@ impl<P: Probe + ?Sized> Probe for Rc<P> {
 /// A [`Probe`] that streams solver events as JSON lines to a writer.
 ///
 /// Each call produces one self-contained JSON object terminated by a
-/// newline:
+/// newline, stamped with `ts_us` — microseconds since the probe was
+/// created, clamped to be monotonically non-decreasing across lines even
+/// if the platform clock steps:
 ///
 /// ```text
-/// {"event":"count","counter":"simplex pivots","by":17}
-/// {"event":"phase","phase":"simplex","nanos":48211}
-/// {"event":"rung","hour":"2","rung":"incumbent","status":"served"}
+/// {"ts_us":12,"event":"count","counter":"simplex pivots","by":17}
+/// {"ts_us":61,"event":"phase","phase":"simplex","nanos":48211}
+/// {"ts_us":70,"event":"rung","hour":"2","rung":"incumbent","status":"served"}
 /// ```
 ///
 /// Write errors are swallowed: observability must never fail a solve.
 pub struct JsonLinesProbe<W: Write> {
     sink: RefCell<W>,
+    epoch: Instant,
+    last_ts_us: Cell<u64>,
 }
 
 impl<W: Write> JsonLinesProbe<W> {
-    /// Wraps `sink`; every probe call appends one JSON line to it.
+    /// Wraps `sink`; every probe call appends one JSON line to it. The
+    /// `ts_us` clock starts now.
     pub fn new(sink: W) -> Self {
         JsonLinesProbe {
             sink: RefCell::new(sink),
+            epoch: Instant::now(),
+            last_ts_us: Cell::new(0),
         }
     }
 
@@ -74,6 +82,14 @@ impl<W: Write> JsonLinesProbe<W> {
         let mut sink = self.sink.into_inner();
         let _ = sink.flush();
         sink
+    }
+
+    /// Microseconds since probe creation, never decreasing across calls.
+    fn ts_us(&self) -> u64 {
+        let now = self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let ts = now.max(self.last_ts_us.get());
+        self.last_ts_us.set(ts);
+        ts
     }
 
     fn write_line(&self, line: &str) {
@@ -102,20 +118,26 @@ fn escape(s: &str) -> String {
 impl<W: Write> Probe for JsonLinesProbe<W> {
     fn count(&self, counter: Counter, by: u64) {
         self.write_line(&format!(
-            "{{\"event\":\"count\",\"counter\":\"{}\",\"by\":{by}}}",
+            "{{\"ts_us\":{},\"event\":\"count\",\"counter\":\"{}\",\"by\":{by}}}",
+            self.ts_us(),
             escape(counter.name())
         ));
     }
 
     fn phase_elapsed(&self, phase: Phase, nanos: u64) {
         self.write_line(&format!(
-            "{{\"event\":\"phase\",\"phase\":\"{}\",\"nanos\":{nanos}}}",
+            "{{\"ts_us\":{},\"event\":\"phase\",\"phase\":\"{}\",\"nanos\":{nanos}}}",
+            self.ts_us(),
             escape(phase.name())
         ));
     }
 
     fn event(&self, name: &str, fields: &[(&str, &str)]) {
-        let mut line = format!("{{\"event\":\"{}\"", escape(name));
+        let mut line = format!(
+            "{{\"ts_us\":{},\"event\":\"{}\"",
+            self.ts_us(),
+            escape(name)
+        );
         for (key, value) in fields {
             line.push_str(&format!(",\"{}\":\"{}\"", escape(key), escape(value)));
         }
@@ -151,6 +173,17 @@ mod tests {
         }
     }
 
+    /// Splits a probe line into its `ts_us` value and the remainder of
+    /// the object (everything after the `ts_us` field's comma).
+    fn split_ts(line: &str) -> (u64, &str) {
+        let rest = line
+            .strip_prefix("{\"ts_us\":")
+            .expect("line starts with ts_us");
+        let comma = rest.find(',').expect("ts_us is not the only field");
+        let ts: u64 = rest[..comma].parse().expect("ts_us is an integer");
+        (ts, &rest[comma + 1..])
+    }
+
     #[test]
     fn streams_counters_phases_and_events_as_json_lines() {
         let buf = SharedBuf::default();
@@ -161,18 +194,32 @@ mod tests {
         let text = buf.contents();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3, "{text}");
+        let bodies: Vec<&str> = lines.iter().map(|l| split_ts(l).1).collect();
         assert_eq!(
-            lines[0],
-            "{\"event\":\"count\",\"counter\":\"simplex pivots\",\"by\":17}"
+            bodies[0],
+            "\"event\":\"count\",\"counter\":\"simplex pivots\",\"by\":17}"
         );
         assert_eq!(
-            lines[1],
-            "{\"event\":\"phase\",\"phase\":\"simplex\",\"nanos\":48}"
+            bodies[1],
+            "\"event\":\"phase\",\"phase\":\"simplex\",\"nanos\":48}"
         );
         assert_eq!(
-            lines[2],
-            "{\"event\":\"rung\",\"hour\":\"2\",\"rung\":\"incumbent\"}"
+            bodies[2],
+            "\"event\":\"rung\",\"hour\":\"2\",\"rung\":\"incumbent\"}"
         );
+    }
+
+    #[test]
+    fn ts_us_is_monotonically_non_decreasing() {
+        let buf = SharedBuf::default();
+        let probe = JsonLinesProbe::new(buf.clone());
+        for i in 0..50 {
+            probe.count(Counter::SimplexPivots, i);
+        }
+        let text = buf.contents();
+        let stamps: Vec<u64> = text.lines().map(|l| split_ts(l).0).collect();
+        assert_eq!(stamps.len(), 50);
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "{stamps:?}");
     }
 
     #[test]
@@ -180,9 +227,10 @@ mod tests {
         let probe = JsonLinesProbe::new(Vec::new());
         probe.event("note", &[("msg", "a \"quoted\"\\\nline")]);
         let text = String::from_utf8(probe.into_inner()).unwrap();
+        let (_, body) = split_ts(text.trim_end());
         assert_eq!(
-            text.trim_end(),
-            "{\"event\":\"note\",\"msg\":\"a \\\"quoted\\\"\\\\\\nline\"}"
+            body,
+            "\"event\":\"note\",\"msg\":\"a \\\"quoted\\\"\\\\\\nline\"}"
         );
     }
 

@@ -1,0 +1,105 @@
+//! Randomized property tests for the log₂ metric histograms: the bucket
+//! grid tiles `u64` with no gaps or overlaps, every recorded value lands
+//! in exactly one bucket (none lost), and merging two halves equals
+//! recording the whole. Cases are drawn from the in-tree seeded PRNG, so
+//! every run checks the same cases.
+
+use jcr_ctx::obs::{bucket_hi, bucket_index, bucket_lo, Histogram, Unit, NBUCKETS};
+use jcr_ctx::rng::{Rng, RngCore, SeedableRng, StdRng};
+
+const CASES: u64 = 48;
+
+#[test]
+fn bucket_grid_is_monotone_and_tiles_u64() {
+    assert_eq!((bucket_lo(0), bucket_hi(0)), (0, 0), "bucket 0 holds 0");
+    for i in 1..NBUCKETS {
+        assert_eq!(
+            bucket_lo(i),
+            bucket_hi(i - 1) + 1,
+            "bucket {i} starts where bucket {} ends",
+            i - 1
+        );
+        assert!(bucket_lo(i) <= bucket_hi(i), "bucket {i} is non-empty");
+    }
+    assert_eq!(bucket_hi(NBUCKETS - 1), u64::MAX, "top bucket reaches MAX");
+    // Boundary values map to the bucket that admits them.
+    for i in 0..NBUCKETS {
+        assert_eq!(bucket_index(bucket_lo(i)), i);
+        assert_eq!(bucket_index(bucket_hi(i)), i);
+    }
+}
+
+/// A value whose magnitude is uniform over bit widths, so small and huge
+/// values are equally likely to appear.
+fn random_magnitude(rng: &mut StdRng) -> u64 {
+    let shift = rng.gen_range(0..64u32);
+    rng.next_u64() >> shift
+}
+
+#[test]
+fn no_value_is_lost_and_each_lands_in_its_bucket() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xb0c4e7 ^ case);
+        let n = rng.gen_range(1..200usize);
+        let mut h = Histogram::new(Unit::Count);
+        let (mut sum, mut min, mut max) = (0u128, u64::MAX, 0u64);
+        for _ in 0..n {
+            let v = random_magnitude(&mut rng);
+            let i = bucket_index(v);
+            assert!(
+                bucket_lo(i) <= v && v <= bucket_hi(i),
+                "case {case}: {v} outside bucket {i}"
+            );
+            h.record(v);
+            sum += v as u128;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert_eq!(h.count(), n as u64, "case {case}");
+        assert_eq!(
+            h.buckets().iter().sum::<u64>(),
+            n as u64,
+            "case {case}: bucket mass equals observation count"
+        );
+        assert_eq!((h.sum(), h.min(), h.max()), (sum, min, max), "case {case}");
+        // Quantiles are monotone in q, bounded by the bucket grid, and
+        // never exceed the recorded max.
+        let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.95, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "case {case}: {qs:?}");
+        assert_eq!(*qs.last().unwrap(), max, "case {case}");
+        // quantile(0) is the upper edge of the min's bucket (clamped to
+        // max), so it never undershoots the smallest observation.
+        assert!(qs[0] >= min, "case {case}: q0 {} < min {min}", qs[0]);
+    }
+}
+
+#[test]
+fn absorbing_two_halves_equals_recording_the_whole() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x00ab_5012 ^ case);
+        let n = rng.gen_range(2..150usize);
+        let values: Vec<u64> = (0..n).map(|_| random_magnitude(&mut rng)).collect();
+        let split = rng.gen_range(1..n);
+
+        let mut whole = Histogram::new(Unit::Nanos);
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut left = Histogram::new(Unit::Nanos);
+        let mut right = Histogram::new(Unit::Nanos);
+        for &v in &values[..split] {
+            left.record(v);
+        }
+        for &v in &values[split..] {
+            right.record(v);
+        }
+        left.absorb(&right);
+        assert_eq!(
+            left, whole,
+            "case {case}: absorb must equal direct recording"
+        );
+    }
+}

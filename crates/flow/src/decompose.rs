@@ -124,6 +124,7 @@ pub fn decompose_single_source_with_context(
     demands: &[(NodeId, f64)],
     ctx: &SolverContext,
 ) -> Result<Vec<Vec<PathFlow>>, FlowError> {
+    let _s = ctx.span("flow.decompose");
     let mut residual = flow.to_vec();
     cancel_cycles(g, &mut residual);
     debug_assert!(

@@ -91,6 +91,7 @@ pub fn min_cost_flow_with_context(
     supply: &[f64],
     ctx: &SolverContext,
 ) -> Result<MinCostFlow, FlowError> {
+    let _s = ctx.span("flow.mincost");
     let _t = ctx.time(Phase::MinCostFlow);
     debug_assert!(cost.iter().all(|c| *c >= 0.0), "costs must be non-negative");
     let total: f64 = supply.iter().sum();

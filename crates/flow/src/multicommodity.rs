@@ -3,8 +3,14 @@
 //! (MMUFP) approached with the heuristics the paper evaluates
 //! (LP relaxation + randomized rounding, and greedy sequential routing).
 
+use std::time::Instant;
+
 use jcr_ctx::rng::Rng;
 use jcr_ctx::{Counter, Phase, SolverContext};
+
+/// `Nanos` histogram of per-round column-generation pricing latency (one
+/// parallel Dijkstra sweep over the commodity sources).
+pub const PRICING_ROUND_NS: &str = "cg.pricing_round_ns";
 
 use jcr_graph::{shortest, DiGraph, NodeId, Path};
 use jcr_lp::{Model, Sense};
@@ -84,6 +90,7 @@ pub fn min_cost_multicommodity_with_context(
     commodities: &[Commodity],
     ctx: &SolverContext,
 ) -> Result<McfSolution, FlowError> {
+    let _span = ctx.span("cg.solve");
     let _t = ctx.time(Phase::ColumnGeneration);
     debug_assert!(cost.iter().all(|c| *c >= 0.0));
     if commodities.is_empty() {
@@ -135,7 +142,10 @@ pub fn min_cost_multicommodity_with_context(
         .collect();
 
     let max_rounds = 40 * commodities.len() + 2000;
-    let mut solution = solver.solve_with_context(ctx)?;
+    let mut solution = {
+        let _m = ctx.span("cg.master");
+        solver.solve_with_context(ctx)?
+    };
     for _round in 0..max_rounds {
         ctx.check(Phase::ColumnGeneration)?;
         // Pricing: reduced cost of path p for commodity i is
@@ -154,7 +164,9 @@ pub fn min_cost_multicommodity_with_context(
         // every commodity sharing it), then add the improving columns in
         // commodity order below so the master LP trajectory — and thus the
         // solution — is identical for any worker count.
-        let priced: Vec<Vec<(usize, Path)>> =
+        let round_t0 = Instant::now();
+        let priced: Vec<Vec<(usize, Path)>> = {
+            let _p = ctx.span("cg.pricing");
             jcr_ctx::par::try_par_map(ctx, &source_list, |wctx, _k, &src| {
                 wctx.check_deadline(Phase::ColumnGeneration)?;
                 let tree = shortest::dijkstra_with_context(g, NodeId::new(src), &weights, wctx);
@@ -170,7 +182,12 @@ pub fn min_cost_multicommodity_with_context(
                     }
                 }
                 Ok::<_, FlowError>(improving)
-            })?;
+            })?
+        };
+        ctx.metric_nanos(
+            PRICING_ROUND_NS,
+            round_t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
         let mut added = false;
         for (i, path) in priced.into_iter().flatten() {
             // Column: 1 on the demand row, 1 per capacitated edge (paths
@@ -190,7 +207,10 @@ pub fn min_cost_multicommodity_with_context(
         if !added {
             break;
         }
-        solution = solver.solve_with_context(ctx)?;
+        solution = {
+            let _m = ctx.span("cg.master");
+            solver.solve_with_context(ctx)?
+        };
     }
 
     // Check artificials.
@@ -309,6 +329,7 @@ pub fn randomized_rounding_with_context<R: Rng>(
     ctx: &SolverContext,
 ) -> UnsplittableSolution {
     assert!(draws >= 1, "at least one draw required");
+    let _s = ctx.span("flow.rounding");
     let _t = ctx.time(Phase::Rounding);
     ctx.count(Counter::RoundingPasses, draws as u64);
     let mut best: Option<(f64, f64, Vec<Path>)> = None;

@@ -175,17 +175,26 @@ pub fn dijkstra(g: &DiGraph, source: NodeId, cost: &[f64]) -> ShortestPathTree {
     dijkstra_filtered(g, source, cost, |_| true)
 }
 
-/// [`dijkstra`] that records the call and its wall time on `ctx`.
+/// [`dijkstra`] that records the call, its wall time, and its heap-pop
+/// count (the `dijkstra.heap_pops` histogram) on `ctx`.
 pub fn dijkstra_with_context(
     g: &DiGraph,
     source: NodeId,
     cost: &[f64],
     ctx: &SolverContext,
 ) -> ShortestPathTree {
+    let _s = ctx.span("graph.dijkstra");
     let _t = ctx.time(Phase::Dijkstra);
     ctx.count(Counter::DijkstraCalls, 1);
-    dijkstra(g, source, cost)
+    let mut scratch = DijkstraScratch::new();
+    let pops = dijkstra_filtered_into(g, source, cost, |_| true, &mut scratch);
+    ctx.metric_value(HEAP_POPS, pops as u64);
+    let DijkstraScratch { dist, parent, .. } = scratch;
+    ShortestPathTree::from_parts(source, dist, parent, g)
 }
+
+/// `Count` histogram of heap pops per single-source Dijkstra run.
+pub const HEAP_POPS: &str = "dijkstra.heap_pops";
 
 /// Dijkstra restricted to edges for which `usable` returns `true`.
 ///
@@ -206,13 +215,16 @@ pub fn dijkstra_filtered<F: FnMut(EdgeId) -> bool>(
 /// [`dijkstra_filtered`] writing into `scratch` instead of allocating a
 /// tree: afterwards `scratch.dists()` / `scratch.parent_edge()` hold the
 /// result. This is the zero-allocation core every other variant wraps.
+/// Returns the number of heap pops the run performed (lazy-deletion
+/// duplicates included), the per-source effort signal the
+/// [`HEAP_POPS`] histogram records.
 pub fn dijkstra_filtered_into<F: FnMut(EdgeId) -> bool>(
     g: &DiGraph,
     source: NodeId,
     cost: &[f64],
     mut usable: F,
     scratch: &mut DijkstraScratch,
-) {
+) -> usize {
     debug_assert_eq!(cost.len(), g.edge_count(), "cost slice length mismatch");
     debug_assert!(
         cost.iter().all(|c| *c >= 0.0),
@@ -224,7 +236,9 @@ pub fn dijkstra_filtered_into<F: FnMut(EdgeId) -> bool>(
         dist: 0.0,
         node: source,
     });
+    let mut pops = 0usize;
     while let Some(HeapEntry { dist: d, node: v }) = scratch.heap.pop() {
+        pops += 1;
         if scratch.done[v.index()] {
             continue;
         }
@@ -242,6 +256,7 @@ pub fn dijkstra_filtered_into<F: FnMut(EdgeId) -> bool>(
             }
         }
     }
+    pops
 }
 
 /// The error returned by [`bellman_ford`] when a negative-cost cycle is
@@ -320,6 +335,7 @@ pub fn all_pairs(g: &DiGraph, cost: &[f64]) -> Vec<Vec<f64>> {
 /// per worker; rows are merged by source index, so the result is
 /// bit-identical for any worker count (and identical to [`all_pairs`]).
 pub fn all_pairs_with_context(g: &DiGraph, cost: &[f64], ctx: &SolverContext) -> Vec<Vec<f64>> {
+    let _s = ctx.span("graph.all_pairs");
     let _t = ctx.time(Phase::Dijkstra);
     let sources: Vec<NodeId> = g.nodes().collect();
     jcr_ctx::par::par_map_init(
@@ -328,7 +344,8 @@ pub fn all_pairs_with_context(g: &DiGraph, cost: &[f64], ctx: &SolverContext) ->
         DijkstraScratch::new,
         |scratch, wctx, _i, &v| {
             wctx.count(Counter::DijkstraCalls, 1);
-            dijkstra_filtered_into(g, v, cost, |_| true, scratch);
+            let pops = dijkstra_filtered_into(g, v, cost, |_| true, scratch);
+            wctx.metric_value(HEAP_POPS, pops as u64);
             scratch.dist.clone()
         },
     )
@@ -358,6 +375,7 @@ pub fn k_shortest_paths_with_context(
     cost: &[f64],
     ctx: &SolverContext,
 ) -> Vec<Path> {
+    let _s = ctx.span("graph.ksp");
     let _t = ctx.time(Phase::Dijkstra);
     k_shortest_paths_impl(g, src, dst, k, cost, Some(ctx))
 }

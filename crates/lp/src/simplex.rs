@@ -13,10 +13,25 @@
 //! periodically.
 
 use std::fmt;
+use std::time::Instant;
 
 use jcr_ctx::{BudgetExceeded, Counter, ScratchArena, SolverContext};
 
 use crate::model::Model;
+
+/// `Nanos` histogram of per-iteration pivot-loop latency (pricing, ratio
+/// test, and basis update for one entering column).
+pub const PIVOT_NS: &str = "lp.pivot_ns";
+/// `Count` histogram of nonzeros in the ftran result `B⁻¹·A_q` per pivot.
+pub const FTRAN_FILL: &str = "lp.ftran_fill";
+/// `Count` histogram of nonzeros in the btran result `cbᵀ·B⁻¹` per pivot.
+pub const BTRAN_FILL: &str = "lp.btran_fill";
+
+/// Entries with magnitude above the fill tolerance, for the fill
+/// histograms (deterministic: pure arithmetic on deterministic state).
+fn fill_count(v: &[f64]) -> u64 {
+    v.iter().filter(|x| x.abs() > 1e-12).count() as u64
+}
 
 /// Feasibility tolerance on variable bounds and row activities.
 const FEAS_TOL: f64 = 1e-7;
@@ -233,12 +248,19 @@ impl Simplex {
     /// ([`jcr_ctx::Phase::Simplex`] iteration cap and deadline) and records
     /// pivot/refactorization counts and phase wall time.
     pub fn solve_with_context(&mut self, ctx: &SolverContext) -> Result<Solution, LpError> {
+        let _s = ctx.span("lp.solve");
         let _t = ctx.time(jcr_ctx::Phase::Simplex);
-        self.run(Phase::One, ctx)?;
+        {
+            let _p1 = ctx.span("lp.phase1");
+            self.run(Phase::One, ctx)?;
+        }
         if self.infeasibility() > FEAS_TOL * 10.0 {
             return Err(LpError::Infeasible);
         }
-        self.run(Phase::Two, ctx)?;
+        {
+            let _p2 = ctx.span("lp.phase2");
+            self.run(Phase::Two, ctx)?;
+        }
         Ok(self.extract(ctx.scratch()))
     }
 
@@ -487,6 +509,7 @@ impl Simplex {
 
         for _iter in 0..max_iter {
             ctx.check(jcr_ctx::Phase::Simplex)?;
+            let iter_t0 = Instant::now();
             if phase == Phase::One && self.infeasibility() <= FEAS_TOL {
                 return Ok(());
             }
@@ -495,6 +518,7 @@ impl Simplex {
                 return Ok(());
             }
             self.btran_into(cb, y);
+            ctx.metric_value(BTRAN_FILL, fill_count(y));
 
             let bland = stall >= STALL_LIMIT;
             // Pricing: pick entering column.
@@ -534,6 +558,7 @@ impl Simplex {
             let dir = dir as f64;
 
             self.ftran_into(q, alpha);
+            ctx.metric_value(FTRAN_FILL, fill_count(alpha));
             // Ratio test.
             let mut t_best = f64::INFINITY;
             let mut leave: Option<usize> = None; // basis position
@@ -658,6 +683,7 @@ impl Simplex {
                 ctx.count(Counter::SimplexPivots, 1);
                 self.pivots_since_refactor += 1;
                 if self.pivots_since_refactor >= REFACTOR_EVERY {
+                    let _s = ctx.span("lp.refactor");
                     self.refactorize(ctx.scratch())?;
                     ctx.count(Counter::Refactorizations, 1);
                 }
@@ -678,6 +704,10 @@ impl Simplex {
             } else {
                 stall += 1;
             }
+            ctx.metric_nanos(
+                PIVOT_NS,
+                iter_t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            );
         }
         Err(LpError::Numerical("iteration limit exceeded".into()))
     }

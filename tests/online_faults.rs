@@ -88,8 +88,10 @@ fn ladder_serves_every_hour_under_heavy_faults() {
     // Every served hour announced its rung through the probe.
     let log = buf.contents();
     for (hour, rung) in rungs.iter().enumerate() {
+        // Each line leads with the probe's monotonic `ts_us` stamp, so
+        // match from the event key onward.
         let needle = format!(
-            "{{\"event\":\"rung\",\"hour\":\"{hour}\",\"rung\":\"{rung}\",\"status\":\"served\""
+            "\"event\":\"rung\",\"hour\":\"{hour}\",\"rung\":\"{rung}\",\"status\":\"served\""
         );
         assert!(log.contains(&needle), "missing {needle} in:\n{log}");
     }

@@ -109,11 +109,11 @@ fn monte_carlo_aggregates_bit_identical_across_worker_counts() {
     let algos: Vec<Algo> = vec![
         Algo {
             name: "SP".into(),
-            run: Box::new(|inst| ShortestPathPlacement.solve(inst)),
+            run: Box::new(|inst, ctx| ShortestPathPlacement.solve_with_context(inst, ctx)),
         },
         Algo {
             name: "SP+RNR".into(),
-            run: Box::new(|inst| IoannidisYeh::sp_rnr().solve(inst)),
+            run: Box::new(|inst, ctx| IoannidisYeh::sp_rnr().solve_with_context(inst, ctx)),
         },
     ];
     let bits = |ms: &[Metrics]| {
