@@ -5,7 +5,7 @@
 //!                     [--out PATH] [--baseline PATH] [--tolerance F]
 //!
 //!   ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology
-//!        table1 table2 table3 table4 stats faults bench trace all
+//!        table1 table2 table3 table4 stats faults stress bench trace all
 //! ```
 //!
 //! Run with `--release`; the quick defaults finish in minutes, `--full`
@@ -157,6 +157,7 @@ fn main() {
             "table4" => exp::table4(cfg),
             "stats" => exp::stats(cfg),
             "faults" => exp::faults(cfg),
+            "stress" => perf::stress(cfg),
             "bench" => {
                 if let Err(msg) = perf::bench(cfg, &bench_opts) {
                     eprintln!("error: {msg}");
@@ -186,7 +187,7 @@ fn usage(err: &str) -> ! {
         "usage: experiments <id>... [--runs N] [--hours N] [--seed N] [--workers N] [--full] \
          [--out PATH] [--baseline PATH] [--tolerance F]\n\
          ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology \
-         table1 table2 table3 table4 stats faults bench trace all\n\
+         table1 table2 table3 table4 stats faults stress bench trace all\n\
          env: JCR_TRACE=path  write a Chrome trace (implies a trailing `trace` run)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -14,7 +14,9 @@ use jcr_graph::DiGraph;
 use jcr_topo::TopologyKind;
 use jcr_trace::videos::TABLE1;
 
-use crate::{build_instance, flatten_rates, fmt, mean, print_table, Level, Scenario};
+use crate::{
+    build_instance, build_instance_with, flatten_rates, fmt, mean, print_table, Level, Scenario,
+};
 
 /// Shared experiment knobs.
 #[derive(Clone, Copy, Debug)]
@@ -156,20 +158,31 @@ pub fn evaluate_in(
     cfg: ExpConfig,
     factory: CtxFactory<'_>,
 ) -> Vec<Metrics> {
-    let n_edges = scenario.topology().edge_nodes.len();
+    // Everything share-seed-independent is hoisted out of the fan-out:
+    // the topology (one generator run, cloned per instance) and the
+    // trace + GPR demand base (shared via `Arc`). Each run then only
+    // redraws its edge shares and builds its hourly instances — the
+    // per-run closure no longer regenerates identical state `runs` times.
+    let topo = scenario.topology();
+    let n_edges = topo.edge_nodes.len();
+    let base = {
+        let mut sc = scenario.clone();
+        sc.hours = cfg.hours.max(1);
+        sc.demand_base()
+    };
     let runs: Vec<usize> = (0..cfg.runs).collect();
     let per_run: Vec<Vec<Vec<f64>>> = jcr_ctx::par::par_map(sweep, &runs, |wctx, _, &run| {
         let mut sc = scenario.clone();
         sc.share_seed = scenario.share_seed.wrapping_add(run as u64 * 1009);
         sc.hours = cfg.hours.max(1);
-        let demand = sc.demand(n_edges);
+        let demand = sc.demand_from(&base, n_edges);
         let run_ctx = factory();
         let mut local: Vec<Vec<f64>> = vec![Vec::new(); algos.len() * 6];
         for h in 0..sc.hours {
             let true_rates = demand.true_rates(h, n_edges);
             let pred_rates = demand.predicted_rates(h, n_edges);
-            let inst_true = build_instance(&sc, &true_rates);
-            let inst_pred = build_instance(&sc, &pred_rates);
+            let inst_true = build_instance_with(&topo, &sc, &true_rates);
+            let inst_pred = build_instance_with(&topo, &sc, &pred_rates);
             let floored_true: Vec<f64> = flatten_rates(&true_rates)
                 .into_iter()
                 .map(|r| r.max(1e-6))

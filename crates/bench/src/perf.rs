@@ -20,7 +20,7 @@ use jcr_graph::{shortest, DiGraph, NodeId};
 
 use jcr_core::prelude::*;
 
-use crate::exp::{evaluate, Algo, ExpConfig, Metrics};
+use crate::exp::{default_factory, evaluate_in, Algo, ExpConfig};
 use crate::json::Json;
 use crate::Scenario;
 
@@ -247,17 +247,17 @@ fn monte_carlo_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
         },
     ];
 
-    let run_eval = |eval_workers: usize| -> Vec<Metrics> {
-        let eval_cfg = ExpConfig {
-            runs,
-            hours: 1,
-            workers: eval_workers,
-            ..cfg
-        };
-        evaluate(&sc, &algos, eval_cfg)
+    let eval_cfg = ExpConfig {
+        runs,
+        hours: 1,
+        ..cfg
     };
-    let metrics_sum = |ms: &[Metrics]| {
-        checksum_slice(ms.iter().flat_map(|m| {
+    // `run_pair` hands each leg its own context, so the sweep fans out on
+    // that context's pool and its counters/checksum are compared between
+    // the serial and parallel legs like every other phase.
+    let (wall_serial, wall_parallel, checksum, counters) = run_pair(workers, |ctx| {
+        let metrics = evaluate_in(ctx, &sc, &algos, eval_cfg, &default_factory);
+        checksum_slice(metrics.iter().flat_map(|m| {
             [
                 m.cost_true,
                 m.congestion_true,
@@ -267,28 +267,181 @@ fn monte_carlo_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
                 m.occupancy_pred,
             ]
         }))
-    };
-
-    let start = Instant::now();
-    let serial = run_eval(1);
-    let wall_serial = start.elapsed().as_secs_f64() * 1e3;
-    let start = Instant::now();
-    let parallel = run_eval(workers);
-    let wall_parallel = start.elapsed().as_secs_f64() * 1e3;
-    let checksum = metrics_sum(&parallel);
-    assert_eq!(
-        metrics_sum(&serial),
-        checksum,
-        "Monte-Carlo aggregates diverged between worker counts"
-    );
+    });
     PhaseReport {
         name: "monte_carlo".into(),
         wall_ms_serial: wall_serial,
         wall_ms_parallel: wall_parallel,
         speedup: wall_serial / wall_parallel.max(1e-9),
         checksum,
-        counters: Vec::new(),
+        counters,
     }
+}
+
+/// Stress-scale inputs: a [`TopologyKind::Stress`] network (1000 nodes,
+/// 20k directed edges) and a Zipf catalog far beyond the paper's Table 1
+/// (10⁵ chunks in full mode), kept sparse end to end — requests come from
+/// the head of the Zipf distribution
+/// ([`zipf_demand_sparse`](jcr_trace::zipf::zipf_demand_sparse)) and
+/// distances from the on-demand oracle, so no |V|² matrix is allocated.
+struct StressInputs {
+    inst: Instance,
+    edge_nodes: Vec<NodeId>,
+    /// Per-edge-node cache budget, in items.
+    zeta: usize,
+}
+
+fn stress_inputs(cfg: ExpConfig) -> StressInputs {
+    let (n_items, active_items) = if cfg.full {
+        (100_000, 512)
+    } else {
+        (100_000, 128)
+    };
+    let topo =
+        jcr_topo::Topology::generate(jcr_topo::TopologyKind::Stress, cfg.seed.wrapping_add(5))
+            .expect("stress family generates");
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(41));
+    let triples = jcr_trace::zipf::zipf_demand_sparse(
+        n_items,
+        topo.edge_nodes.len(),
+        0.8,
+        4_000.0,
+        active_items,
+        4,
+        &mut rng,
+    );
+    let requests: Vec<Request> = triples
+        .iter()
+        .map(|&(item, s, rate)| Request {
+            item,
+            node: topo.edge_nodes[s],
+            rate,
+        })
+        .collect();
+    // Smaller than the per-edge-node active-item count in either mode, so
+    // placement never covers all demand locally and the evaluation loop
+    // routes through real distances.
+    let zeta = 4;
+    let mut cache_cap = vec![0.0; topo.graph.node_count()];
+    for &v in &topo.edge_nodes {
+        cache_cap[v.index()] = zeta as f64;
+    }
+    let edge_count = topo.graph.edge_count();
+    let edge_nodes = topo.edge_nodes.clone();
+    let inst = Instance::new(
+        topo.graph,
+        topo.cost,
+        vec![f64::INFINITY; edge_count],
+        cache_cap,
+        vec![1.0; n_items],
+        requests,
+        Some(topo.origin),
+    )
+    .expect("stress instance is valid")
+    // Never a |V|² block at this scale, regardless of the environment.
+    .with_oracle_dense_max(0);
+    StressInputs {
+        inst,
+        edge_nodes,
+        zeta,
+    }
+}
+
+fn stress_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
+    let StressInputs {
+        inst,
+        edge_nodes,
+        zeta,
+    } = stress_inputs(cfg);
+    let origin = inst.origin.expect("stress topology has an origin");
+    let (wall_serial, wall_parallel, checksum, counters) = run_pair(workers, |ctx| {
+        // A fresh oracle per leg, so both legs pay the same cold-cache cost.
+        let oracle = jcr_graph::DistanceOracle::with_config(
+            &inst.graph,
+            &inst.link_cost,
+            0,
+            jcr_graph::oracle::default_row_capacity().max(edge_nodes.len() + 1),
+            Some(ctx),
+        );
+        assert!(!oracle.is_dense(), "stress phase must stay on-demand");
+        // One row per requester plus the origin, primed in parallel.
+        let mut sources = edge_nodes.clone();
+        sources.push(origin);
+        oracle.prime_rows_with_context(&sources, ctx);
+
+        // Greedy placement: each edge node caches the top-ζ items of its
+        // own demand (rate order, item-index tie-break) — serial and
+        // deterministic, and it exercises the flat placement bitset at
+        // a 10⁵-item catalog width.
+        let mut placement = Placement::empty(&inst);
+        let mut local: Vec<(usize, f64)> = Vec::new();
+        for &v in &edge_nodes {
+            local.clear();
+            local.extend(
+                inst.requests
+                    .iter()
+                    .filter(|r| r.node == v)
+                    .map(|r| (r.item, r.rate)),
+            );
+            local.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            for &(item, _) in local.iter().take(zeta) {
+                placement.set(v, item, true);
+            }
+        }
+
+        // Route-to-nearest-replica cost over 64 fixed request ranges:
+        // each range walks its requests through cached row handles and
+        // sums rate × nearest-replica distance; partials merge in range
+        // order, so the checksum is bit-identical at any width.
+        let n_req = inst.requests.len();
+        let ranges: Vec<(usize, usize)> = (0..64)
+            .map(|k| (k * n_req / 64, (k + 1) * n_req / 64))
+            .collect();
+        let partials = jcr_ctx::par::par_map(ctx, &ranges, |_wctx, _, &(lo, hi)| {
+            let mut sum = 0.0;
+            for r in &inst.requests[lo..hi] {
+                let row = oracle.row(r.node);
+                let mut best = row.dist(origin);
+                for &v in &edge_nodes {
+                    if placement.has(v, r.item) {
+                        let d = row.dist(v);
+                        if d < best {
+                            best = d;
+                        }
+                    }
+                }
+                sum += r.rate * best;
+            }
+            sum
+        });
+        let mut h = Checksum::new();
+        for &p in &partials {
+            h.push(p);
+        }
+        h.push(placement.len() as f64);
+        h.hex()
+    });
+    PhaseReport {
+        name: "stress".into(),
+        wall_ms_serial: wall_serial,
+        wall_ms_parallel: wall_parallel,
+        speedup: wall_serial / wall_parallel.max(1e-9),
+        checksum,
+        counters,
+    }
+}
+
+/// Entry point of `experiments stress`: the stress phase alone, printed
+/// as a one-phase report — the quick way to exercise the beyond-paper
+/// scale (and its on-demand oracle) without the full bench suite.
+pub fn stress(cfg: ExpConfig) {
+    let workers = parallel_width(cfg);
+    eprintln!("[stress] pool width: {workers} worker(s)");
+    let report = BenchReport {
+        workers,
+        phases: vec![stress_phase(cfg, workers)],
+    };
+    report.print();
 }
 
 /// Runs every bench phase at the configured width.
@@ -301,6 +454,7 @@ pub fn run(cfg: ExpConfig) -> BenchReport {
             all_pairs_phase(cfg, workers),
             column_generation_phase(cfg, workers),
             monte_carlo_phase(cfg, workers),
+            stress_phase(cfg, workers),
         ],
     }
 }
@@ -378,8 +532,22 @@ impl BenchReport {
 /// reported on stdout but never fail.
 pub fn compare(report: &BenchReport, baseline: &Json, tolerance: f64) -> Vec<String> {
     let mut violations = Vec::new();
+    // A baseline whose parallel legs ran serially is meaningless as a
+    // speedup reference — refuse it rather than silently comparing
+    // against a serial run recorded as "parallel".
+    let base_workers = baseline
+        .get("workers")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if base_workers <= 1.0 {
+        violations.push(format!(
+            "baseline records workers = {base_workers}: its parallel legs ran serially; \
+             re-record it with an explicit --workers > 1"
+        ));
+    }
     let Some(base_phases) = baseline.get("phases").and_then(Json::as_arr) else {
-        return vec!["baseline has no phases array".into()];
+        violations.push("baseline has no phases array".into());
+        return violations;
     };
     for phase in &report.phases {
         let Some(base) = base_phases
@@ -525,6 +693,25 @@ mod tests {
         let mut ok = report.clone();
         ok.phases[0].wall_ms_parallel = 6.0;
         assert!(compare(&ok, &baseline, 0.25).is_empty());
+    }
+
+    #[test]
+    fn compare_refuses_a_serially_recorded_baseline() {
+        let report = tiny_report();
+        let mut serial = report.clone();
+        serial.workers = 1;
+        let baseline = Json::parse(&serial.to_json().render()).unwrap();
+        let violations = compare(&report, &baseline, 0.25);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("workers"), "{violations:?}");
+
+        // Missing `workers` is treated the same as serial.
+        let baseline = Json::parse(r#"{"schema": 1, "phases": []}"#).unwrap();
+        let violations = compare(&report, &baseline, 0.25);
+        assert!(
+            violations.iter().any(|v| v.contains("workers")),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::OnceLock;
 use jcr_ctx::rng::SeedableRng;
 use jcr_ctx::rng::StdRng;
 
-use jcr_graph::{shortest, DiGraph, NodeId, Path, ShortestPathTree};
+use jcr_graph::{DiGraph, DistanceOracle, NodeId, Path};
 use jcr_topo::Topology;
 
 use crate::error::JcrError;
@@ -46,6 +46,10 @@ pub struct Instance {
     /// Origin server storing the entire catalog, if any.
     pub origin: Option<NodeId>,
     all_pairs: OnceLock<AllPairs>,
+    /// Explicit dense-mode node threshold for the distance oracle
+    /// (`None` = environment / library default). See
+    /// [`Instance::with_oracle_dense_max`].
+    oracle_dense_max: Option<usize>,
 }
 
 impl Clone for Instance {
@@ -59,27 +63,44 @@ impl Clone for Instance {
             requests: self.requests.clone(),
             origin: self.origin,
             all_pairs: OnceLock::new(),
+            oracle_dense_max: self.oracle_dense_max,
         }
     }
 }
 
 /// Cached all-pairs shortest-path structure (`w_{v→s}` and the paths).
+///
+/// Backed by a [`DistanceOracle`]: paper-scale instances hold one flat
+/// row-major distance/parent block, while instances past the oracle's
+/// node threshold answer from an LRU row cache and never materialize the
+/// |V|² matrix (see [`Instance::with_oracle_dense_max`]).
 #[derive(Debug)]
 pub struct AllPairs {
-    trees: Vec<ShortestPathTree>,
-    /// Maximum finite pairwise cost.
-    pub max_cost: f64,
+    oracle: DistanceOracle,
 }
 
 impl AllPairs {
     /// Least cost `w_{v→s}`; infinite if unreachable.
     pub fn dist(&self, v: NodeId, s: NodeId) -> f64 {
-        self.trees[v.index()].dist(s)
+        self.oracle.dist(v, s)
     }
 
     /// A least-cost path `v → s`.
     pub fn path(&self, v: NodeId, s: NodeId) -> Option<Path> {
-        self.trees[v.index()].path(s)
+        self.oracle.path(v, s)
+    }
+
+    /// Maximum finite pairwise cost (computed lazily; on-demand oracles
+    /// stream it without storing the full matrix).
+    pub fn max_cost(&self) -> f64 {
+        self.oracle.max_cost()
+    }
+
+    /// The backing oracle, for callers that want row handles
+    /// ([`DistanceOracle::row`]) or bulk priming
+    /// ([`DistanceOracle::prime_rows_with_context`]).
+    pub fn oracle(&self) -> &DistanceOracle {
+        &self.oracle
     }
 }
 
@@ -108,9 +129,21 @@ impl Instance {
             requests,
             origin,
             all_pairs: OnceLock::new(),
+            oracle_dense_max: None,
         };
         inst.validate()?;
         Ok(inst)
+    }
+
+    /// Forces the distance oracle's dense-mode threshold for this
+    /// instance: `0` means every row is computed on demand (no |V|²
+    /// block), `usize::MAX` forces the dense block. Clears any cached
+    /// all-pairs structure. Prefer this over the `JCR_ORACLE_DENSE_MAX`
+    /// environment variable in tests that run in parallel.
+    pub fn with_oracle_dense_max(mut self, dense_max: usize) -> Self {
+        self.oracle_dense_max = Some(dense_max);
+        self.all_pairs = OnceLock::new();
+        self
     }
 
     fn validate(&self) -> Result<(), JcrError> {
@@ -180,8 +213,7 @@ impl Instance {
 
     /// All-pairs least costs (computed once, cached).
     pub fn all_pairs(&self) -> &AllPairs {
-        self.all_pairs
-            .get_or_init(|| Self::compute_all_pairs(&self.graph, &self.link_cost, None))
+        self.all_pairs.get_or_init(|| self.compute_all_pairs(None))
     }
 
     /// [`Instance::all_pairs`], fanning the per-source Dijkstra runs out
@@ -191,14 +223,10 @@ impl Instance {
     /// return the cache without touching `ctx`.
     pub fn all_pairs_with_context(&self, ctx: &jcr_ctx::SolverContext) -> &AllPairs {
         self.all_pairs
-            .get_or_init(|| Self::compute_all_pairs(&self.graph, &self.link_cost, Some(ctx)))
+            .get_or_init(|| self.compute_all_pairs(Some(ctx)))
     }
 
-    fn compute_all_pairs(
-        graph: &DiGraph,
-        link_cost: &[f64],
-        ctx: Option<&jcr_ctx::SolverContext>,
-    ) -> AllPairs {
+    fn compute_all_pairs(&self, ctx: Option<&jcr_ctx::SolverContext>) -> AllPairs {
         let serial_ctx;
         let ctx = match ctx {
             Some(ctx) => ctx,
@@ -207,23 +235,24 @@ impl Instance {
                 &serial_ctx
             }
         };
-        let sources: Vec<NodeId> = graph.nodes().collect();
-        let trees: Vec<ShortestPathTree> = jcr_ctx::par::par_map(ctx, &sources, |wctx, _i, &v| {
-            shortest::dijkstra_with_context(graph, v, link_cost, wctx)
-        });
-        let max_cost = trees
-            .iter()
-            .flat_map(|t| t.dists().iter())
-            .copied()
-            .filter(|d| d.is_finite())
-            .fold(0.0f64, f64::max);
-        AllPairs { trees, max_cost }
+        let dense_max = self
+            .oracle_dense_max
+            .unwrap_or_else(jcr_graph::oracle::default_dense_max);
+        let row_capacity = jcr_graph::oracle::default_row_capacity();
+        let oracle = DistanceOracle::with_config(
+            &self.graph,
+            &self.link_cost,
+            dense_max,
+            row_capacity,
+            Some(ctx),
+        );
+        AllPairs { oracle }
     }
 
     /// The upper bound `w_max` on pairwise least costs used by Algorithm 1
     /// (strictly above every finite pairwise cost).
     pub fn w_max(&self) -> f64 {
-        self.all_pairs().max_cost * (1.0 + 1e-6) + 1.0
+        self.all_pairs().max_cost() * (1.0 + 1e-6) + 1.0
     }
 
     /// Whether every request can reach a node storing its item — at
@@ -542,6 +571,6 @@ mod tests {
             let d = ap.dist(o, r.node);
             assert!(d.is_finite() && d >= 100.0, "origin link cost dominates");
         }
-        assert!(inst.w_max() > ap.max_cost);
+        assert!(inst.w_max() > ap.max_cost());
     }
 }

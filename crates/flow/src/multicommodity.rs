@@ -167,22 +167,34 @@ pub fn min_cost_multicommodity_with_context(
         let round_t0 = Instant::now();
         let priced: Vec<Vec<(usize, Path)>> = {
             let _p = ctx.span("cg.pricing");
-            jcr_ctx::par::try_par_map(ctx, &source_list, |wctx, _k, &src| {
-                wctx.check_deadline(Phase::ColumnGeneration)?;
-                let tree = shortest::dijkstra_with_context(g, NodeId::new(src), &weights, wctx);
-                let mut improving = Vec::new();
-                for &i in &by_source[src] {
-                    let sigma = solution.duals[demand_rows[i].index()];
-                    let Some(path) = tree.path(commodities[i].dest) else {
-                        continue;
-                    };
-                    let reduced = path.cost(&weights) - sigma;
-                    if reduced < -1e-7 * (1.0 + sigma.abs()) {
-                        improving.push((i, path));
+            jcr_ctx::par::try_par_map_init(
+                ctx,
+                &source_list,
+                || (shortest::DijkstraScratch::new(), Vec::new()),
+                |(scratch, path_buf), wctx, _k, &src| {
+                    wctx.check_deadline(Phase::ColumnGeneration)?;
+                    shortest::dijkstra_into_with_context(
+                        g,
+                        NodeId::new(src),
+                        &weights,
+                        scratch,
+                        wctx,
+                    );
+                    let mut improving = Vec::new();
+                    for &i in &by_source[src] {
+                        let sigma = solution.duals[demand_rows[i].index()];
+                        if !scratch.path_into(g, commodities[i].dest, path_buf) {
+                            continue;
+                        }
+                        let reduced =
+                            path_buf.iter().map(|e| weights[e.index()]).sum::<f64>() - sigma;
+                        if reduced < -1e-7 * (1.0 + sigma.abs()) {
+                            improving.push((i, Path::new(path_buf.clone())));
+                        }
                     }
-                }
-                Ok::<_, FlowError>(improving)
-            })?
+                    Ok::<_, FlowError>(improving)
+                },
+            )?
         };
         ctx.metric_nanos(
             PRICING_ROUND_NS,

@@ -1,6 +1,8 @@
-//! The core directed multigraph type.
+//! The core directed multigraph type, stored in compressed sparse row
+//! (CSR) form.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Handle to a node of a [`DiGraph`].
 ///
@@ -67,13 +69,31 @@ impl fmt::Display for EdgeId {
     }
 }
 
+/// The CSR adjacency index: one contiguous edge array per direction,
+/// sliced by per-node offsets. `out_edges[out_offsets[v]..out_offsets[v+1]]`
+/// lists the outgoing edges of `v` in insertion order; `out_dsts` carries
+/// the corresponding head nodes in the same positions so the Dijkstra
+/// inner loop walks a single contiguous pair of arrays instead of chasing
+/// per-edge records.
 #[derive(Clone, Debug)]
-struct Edge {
-    src: NodeId,
-    dst: NodeId,
+struct Csr {
+    out_offsets: Vec<u32>,
+    out_edges: Vec<EdgeId>,
+    out_dsts: Vec<NodeId>,
+    in_offsets: Vec<u32>,
+    in_edges: Vec<EdgeId>,
+    in_srcs: Vec<NodeId>,
 }
 
 /// A compact directed multigraph with stable, dense node and edge indices.
+///
+/// Edges live in two flat endpoint arrays (`srcs`/`dsts`, indexed by edge
+/// id); adjacency is a lazily built CSR index (`Csr`) that turns
+/// per-node iteration into contiguous slice walks. Mutation (`add_node`,
+/// `add_edge`) invalidates the index; the first adjacency query after a
+/// mutation rebuilds it with a stable counting sort, so per-node edge
+/// order is exactly insertion order (the order the old adjacency-list
+/// representation produced).
 ///
 /// Parallel edges and self-loops are permitted (the flow layers rely on
 /// parallel edges when building auxiliary graphs with virtual links).
@@ -81,9 +101,10 @@ struct Edge {
 /// grows graphs (e.g. by adding virtual sources), which keeps ids stable.
 #[derive(Clone, Debug, Default)]
 pub struct DiGraph {
-    edges: Vec<Edge>,
-    out: Vec<Vec<EdgeId>>,
-    inc: Vec<Vec<EdgeId>>,
+    srcs: Vec<NodeId>,
+    dsts: Vec<NodeId>,
+    n_nodes: usize,
+    csr: OnceLock<Csr>,
 }
 
 impl DiGraph {
@@ -94,19 +115,20 @@ impl DiGraph {
 
     /// Creates an empty graph with capacity reserved for `nodes` nodes and
     /// `edges` edges.
-    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+    pub fn with_capacity(_nodes: usize, edges: usize) -> Self {
         DiGraph {
-            edges: Vec::with_capacity(edges),
-            out: Vec::with_capacity(nodes),
-            inc: Vec::with_capacity(nodes),
+            srcs: Vec::with_capacity(edges),
+            dsts: Vec::with_capacity(edges),
+            n_nodes: 0,
+            csr: OnceLock::new(),
         }
     }
 
     /// Adds a node and returns its handle.
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId::new(self.out.len());
-        self.out.push(Vec::new());
-        self.inc.push(Vec::new());
+        let id = NodeId::new(self.n_nodes);
+        self.n_nodes += 1;
+        self.csr.take();
         id
     }
 
@@ -121,69 +143,146 @@ impl DiGraph {
     ///
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId) -> EdgeId {
-        assert!(src.index() < self.out.len(), "src node out of range");
-        assert!(dst.index() < self.out.len(), "dst node out of range");
-        let id = EdgeId::new(self.edges.len());
-        self.edges.push(Edge { src, dst });
-        self.out[src.index()].push(id);
-        self.inc[dst.index()].push(id);
+        assert!(src.index() < self.n_nodes, "src node out of range");
+        assert!(dst.index() < self.n_nodes, "dst node out of range");
+        let id = EdgeId::new(self.srcs.len());
+        self.srcs.push(src);
+        self.dsts.push(dst);
+        self.csr.take();
         id
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.out.len()
+        self.n_nodes
     }
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.srcs.len()
     }
 
     /// Iterator over all node handles.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.out.len()).map(NodeId::new)
+        (0..self.n_nodes).map(NodeId::new)
     }
 
     /// Iterator over all edge handles.
     pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        (0..self.edges.len()).map(EdgeId::new)
+        (0..self.srcs.len()).map(EdgeId::new)
     }
 
     /// Source node of an edge.
     pub fn src(&self, e: EdgeId) -> NodeId {
-        self.edges[e.index()].src
+        self.srcs[e.index()]
     }
 
     /// Destination node of an edge.
     pub fn dst(&self, e: EdgeId) -> NodeId {
-        self.edges[e.index()].dst
+        self.dsts[e.index()]
     }
 
     /// Both endpoints `(src, dst)` of an edge.
     pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
-        let edge = &self.edges[e.index()];
-        (edge.src, edge.dst)
+        (self.srcs[e.index()], self.dsts[e.index()])
     }
 
-    /// Outgoing edges of a node.
+    /// The CSR index, built on first use after a mutation.
+    fn csr(&self) -> &Csr {
+        self.csr.get_or_init(|| self.build_csr())
+    }
+
+    fn build_csr(&self) -> Csr {
+        let n = self.n_nodes;
+        let m = self.srcs.len();
+        // Counting sort by endpoint, visiting edges in id order: stable, so
+        // each node's slice preserves edge insertion order.
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for e in 0..m {
+            out_offsets[self.srcs[e].index() + 1] += 1;
+            in_offsets[self.dsts[e].index() + 1] += 1;
+        }
+        for v in 0..n {
+            out_offsets[v + 1] += out_offsets[v];
+            in_offsets[v + 1] += in_offsets[v];
+        }
+        let mut out_edges = vec![EdgeId(0); m];
+        let mut out_dsts = vec![NodeId(0); m];
+        let mut in_edges = vec![EdgeId(0); m];
+        let mut in_srcs = vec![NodeId(0); m];
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        for e in 0..m {
+            let (s, d) = (self.srcs[e], self.dsts[e]);
+            let slot = out_cursor[s.index()] as usize;
+            out_cursor[s.index()] += 1;
+            out_edges[slot] = EdgeId::new(e);
+            out_dsts[slot] = d;
+            let slot = in_cursor[d.index()] as usize;
+            in_cursor[d.index()] += 1;
+            in_edges[slot] = EdgeId::new(e);
+            in_srcs[slot] = s;
+        }
+        Csr {
+            out_offsets,
+            out_edges,
+            out_dsts,
+            in_offsets,
+            in_edges,
+            in_srcs,
+        }
+    }
+
+    /// Outgoing edges of a node, as a contiguous CSR slice in insertion
+    /// order.
     pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
-        &self.out[v.index()]
+        let csr = self.csr();
+        &csr.out_edges[csr.out_offsets[v.index()] as usize..csr.out_offsets[v.index() + 1] as usize]
     }
 
-    /// Incoming edges of a node.
+    /// Incoming edges of a node, as a contiguous CSR slice in insertion
+    /// order.
     pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
-        &self.inc[v.index()]
+        let csr = self.csr();
+        &csr.in_edges[csr.in_offsets[v.index()] as usize..csr.in_offsets[v.index() + 1] as usize]
+    }
+
+    /// Outgoing `(edge, head)` pairs of a node: the edge slice zipped with
+    /// the pre-gathered destination nodes, so relaxation loops touch only
+    /// two adjacent CSR arrays (no per-edge lookup into the endpoint
+    /// table).
+    pub fn out_pairs(&self, v: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        let csr = self.csr();
+        let lo = csr.out_offsets[v.index()] as usize;
+        let hi = csr.out_offsets[v.index() + 1] as usize;
+        csr.out_edges[lo..hi]
+            .iter()
+            .copied()
+            .zip(csr.out_dsts[lo..hi].iter().copied())
+    }
+
+    /// Incoming `(edge, tail)` pairs of a node (CSR slice walk).
+    pub fn in_pairs(&self, v: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        let csr = self.csr();
+        let lo = csr.in_offsets[v.index()] as usize;
+        let hi = csr.in_offsets[v.index() + 1] as usize;
+        csr.in_edges[lo..hi]
+            .iter()
+            .copied()
+            .zip(csr.in_srcs[lo..hi].iter().copied())
     }
 
     /// Out-degree of a node.
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.out[v.index()].len()
+        let csr = self.csr();
+        (csr.out_offsets[v.index() + 1] - csr.out_offsets[v.index()]) as usize
     }
 
     /// In-degree of a node.
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.inc[v.index()].len()
+        let csr = self.csr();
+        (csr.in_offsets[v.index() + 1] - csr.in_offsets[v.index()]) as usize
     }
 
     /// Total (undirected) degree of a node, counting each incident edge once
@@ -195,10 +294,7 @@ impl DiGraph {
     /// Finds an edge `src -> dst`, if one exists (first of possibly many
     /// parallel edges).
     pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
-        self.out[src.index()]
-            .iter()
-            .copied()
-            .find(|&e| self.dst(e) == dst)
+        self.out_pairs(src).find(|&(_, d)| d == dst).map(|(e, _)| e)
     }
 
     /// Whether every node can reach every other node ignoring edge
@@ -213,9 +309,11 @@ impl DiGraph {
         seen[0] = true;
         let mut count = 1;
         while let Some(v) = stack.pop() {
-            for &e in self.out_edges(v).iter().chain(self.in_edges(v)) {
-                let (s, d) = self.endpoints(e);
-                let w = if s == v { d } else { s };
+            for w in self
+                .out_pairs(v)
+                .map(|(_, d)| d)
+                .chain(self.in_pairs(v).map(|(_, s)| s))
+            {
                 if !seen[w.index()] {
                     seen[w.index()] = true;
                     count += 1;
@@ -237,8 +335,7 @@ impl DiGraph {
         let mut stack = vec![src];
         seen[src.index()] = true;
         while let Some(v) = stack.pop() {
-            for &e in self.out_edges(v) {
-                let d = self.dst(e);
+            for (e, d) in self.out_pairs(v) {
                 if !seen[d.index()] && usable(e) {
                     seen[d.index()] = true;
                     stack.push(d);
@@ -285,6 +382,40 @@ mod tests {
         assert_eq!(g.find_edge(a, b), Some(e1));
         assert_eq!(g.find_edge(a, a), Some(loop_e));
         assert_eq!(g.find_edge(b, a), None);
+    }
+
+    #[test]
+    fn csr_survives_interleaved_mutation() {
+        // Query (builds the CSR), mutate (invalidates it), query again.
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let ab = g.add_edge(a, b);
+        assert_eq!(g.out_edges(a), &[ab]);
+        let c = g.add_node();
+        let ac = g.add_edge(a, c);
+        let cb = g.add_edge(c, b);
+        assert_eq!(g.out_edges(a), &[ab, ac], "insertion order preserved");
+        assert_eq!(g.in_edges(b), &[ab, cb]);
+        assert_eq!(g.out_degree(c), 1);
+        assert_eq!(
+            g.out_pairs(a).collect::<Vec<_>>(),
+            vec![(ab, b), (ac, c)],
+            "pairs walk the same order as out_edges"
+        );
+        assert_eq!(g.in_pairs(b).collect::<Vec<_>>(), vec![(ab, a), (cb, c)]);
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let e = g.add_edge(a, b);
+        let _ = g.out_edges(a); // force the CSR
+        let h = g.clone();
+        assert_eq!(h.out_edges(a), &[e]);
+        assert_eq!(h.node_count(), 2);
     }
 
     #[test]

@@ -35,11 +35,15 @@
 //! assert_eq!(tree.path_to(c).unwrap(), vec![ab, bc]);
 //! ```
 
+pub mod arena;
 pub mod graph;
+pub mod oracle;
 pub mod path;
 pub mod shortest;
 pub mod structure;
 
+pub use arena::{PathArena, PathId};
 pub use graph::{DiGraph, EdgeId, NodeId};
+pub use oracle::DistanceOracle;
 pub use path::Path;
 pub use shortest::ShortestPathTree;

@@ -12,6 +12,7 @@ use std::collections::BinaryHeap;
 
 use jcr_ctx::{Counter, Phase, SolverContext};
 
+use crate::arena::{PathArena, PathId};
 use crate::graph::{DiGraph, EdgeId, NodeId};
 use crate::path::Path;
 
@@ -164,6 +165,27 @@ impl DijkstraScratch {
     pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
         self.parent[v.index()]
     }
+
+    /// Reconstructs the tree path to `t` from the most recent run into
+    /// `out` (cleared first), source-to-target order. Returns `false`
+    /// (leaving `out` empty) if `t` is unreachable.
+    ///
+    /// Together with [`dijkstra_filtered_into`] this yields paths with no
+    /// per-call allocation at all — the route callers use when extracting
+    /// many paths from repeated runs (CG pricing, Yen spurs).
+    pub fn path_into(&self, g: &DiGraph, t: NodeId, out: &mut Vec<EdgeId>) -> bool {
+        out.clear();
+        if !self.dist[t.index()].is_finite() {
+            return false;
+        }
+        let mut v = t;
+        while let Some(e) = self.parent[v.index()] {
+            out.push(e);
+            v = g.src(e);
+        }
+        out.reverse();
+        true
+    }
 }
 
 /// Dijkstra's algorithm from `source` under non-negative edge costs.
@@ -195,6 +217,25 @@ pub fn dijkstra_with_context(
 
 /// `Count` histogram of heap pops per single-source Dijkstra run.
 pub const HEAP_POPS: &str = "dijkstra.heap_pops";
+
+/// [`dijkstra_with_context`] writing into a caller-provided scratch
+/// instead of allocating a tree: the zero-allocation form for tight
+/// repeated-run loops (CG pricing, oracle row fills) that still records
+/// the call, its wall time, and its heap-pop count on `ctx`. Read the
+/// result from `scratch.dists()` / [`DijkstraScratch::path_into`].
+pub fn dijkstra_into_with_context(
+    g: &DiGraph,
+    source: NodeId,
+    cost: &[f64],
+    scratch: &mut DijkstraScratch,
+    ctx: &SolverContext,
+) {
+    let _s = ctx.span("graph.dijkstra");
+    let _t = ctx.time(Phase::Dijkstra);
+    ctx.count(Counter::DijkstraCalls, 1);
+    let pops = dijkstra_filtered_into(g, source, cost, |_| true, scratch);
+    ctx.metric_value(HEAP_POPS, pops as u64);
+}
 
 /// Dijkstra restricted to edges for which `usable` returns `true`.
 ///
@@ -243,11 +284,13 @@ pub fn dijkstra_filtered_into<F: FnMut(EdgeId) -> bool>(
             continue;
         }
         scratch.done[v.index()] = true;
-        for &e in g.out_edges(v) {
+        // CSR pair walk: edge id and head node come from two adjacent
+        // contiguous arrays, so the relaxation loop never dereferences the
+        // endpoint table.
+        for (e, w) in g.out_pairs(v) {
             if !usable(e) {
                 continue;
             }
-            let w = g.dst(e);
             let nd = d + cost[e.index()];
             if nd < scratch.dist[w.index()] {
                 scratch.dist[w.index()] = nd;
@@ -394,58 +437,109 @@ fn k_shortest_paths_impl(
     if let Some(ctx) = ctx {
         ctx.count(Counter::DijkstraCalls, 1);
     }
-    let tree = dijkstra(g, src, cost);
-    let Some(first) = tree.path(dst) else {
+    let mut scratch = DijkstraScratch::new();
+    dijkstra_filtered_into(g, src, cost, |_| true, &mut scratch);
+    let mut spur_buf: Vec<EdgeId> = Vec::new();
+    if !scratch.path_into(g, dst, &mut spur_buf) {
         return Vec::new();
-    };
-    let mut result: Vec<Path> = vec![first];
+    }
+
+    // The working set lives in one arena: accepted paths and the candidate
+    // pool are `(start, len)` spans over a shared edge slab instead of one
+    // heap `Vec` per path.
+    let mut arena = PathArena::new();
+    let mut result: Vec<PathId> = vec![arena.push(&spur_buf)];
     // Candidate pool of (cost, path), deduplicated by edge sequence.
-    let mut candidates: Vec<(f64, Path)> = Vec::new();
+    let mut candidates: Vec<(f64, PathId)> = Vec::new();
+
+    // Epoch-stamped ban marks: "banned in the current spur" means `mark ==
+    // epoch`, so starting a new spur is one counter bump rather than a
+    // freshly allocated bool array per spur. The buffers come from the
+    // context's scratch arena when one is available.
+    let (mut edge_mark, mut node_mark) = match ctx {
+        Some(ctx) => (
+            ctx.scratch().take_u32(g.edge_count(), 0),
+            ctx.scratch().take_u32(g.node_count(), 0),
+        ),
+        None => (vec![0u32; g.edge_count()], vec![0u32; g.node_count()]),
+    };
+    let mut epoch = 0u32;
+    let mut prev_buf: Vec<EdgeId> = Vec::new();
+    let mut prev_nodes: Vec<NodeId> = Vec::new();
+    let mut total_buf: Vec<EdgeId> = Vec::new();
 
     while result.len() < k {
-        let prev = result.last().expect("at least one accepted path").clone();
-        let prev_nodes = prev.nodes(g);
+        let prev = *result.last().expect("at least one accepted path");
+        prev_buf.clear();
+        prev_buf.extend_from_slice(arena.get(prev));
+        prev_nodes.clear();
+        prev_nodes.push(src);
+        prev_nodes.extend(prev_buf.iter().map(|&e| g.dst(e)));
         // Spur from each node of the previous path.
-        for i in 0..prev.len() {
+        for i in 0..prev_buf.len() {
             let spur_node = prev_nodes[i];
-            let root_edges = &prev.edges()[..i];
+            let root_edges = &prev_buf[..i];
 
+            epoch += 1;
             // Edges banned: the next edge of any accepted path sharing the root.
-            let mut banned_edges = vec![false; g.edge_count()];
-            for p in &result {
-                if p.len() > i && p.edges()[..i] == *root_edges {
-                    banned_edges[p.edges()[i].index()] = true;
+            for &id in &result {
+                let p = arena.get(id);
+                if p.len() > i && p[..i] == *root_edges {
+                    edge_mark[p[i].index()] = epoch;
                 }
             }
             // Nodes banned: every root node except the spur node, to keep
             // paths simple.
-            let mut banned_nodes = vec![false; g.node_count()];
             for v in &prev_nodes[..i] {
-                banned_nodes[v.index()] = true;
+                node_mark[v.index()] = epoch;
             }
 
             if let Some(ctx) = ctx {
                 ctx.count(Counter::DijkstraCalls, 1);
             }
-            let spur_tree = dijkstra_filtered(g, spur_node, cost, |e| {
-                !banned_edges[e.index()]
-                    && !banned_nodes[g.src(e).index()]
-                    && !banned_nodes[g.dst(e).index()]
-            });
-            if let Some(spur_path) = spur_tree.path_to(dst) {
-                let mut edges = root_edges.to_vec();
-                edges.extend(spur_path);
-                let total = Path::new(edges);
-                if total.has_repeated_node(g) {
-                    continue;
+            dijkstra_filtered_into(
+                g,
+                spur_node,
+                cost,
+                |e| {
+                    edge_mark[e.index()] != epoch
+                        && node_mark[g.src(e).index()] != epoch
+                        && node_mark[g.dst(e).index()] != epoch
+                },
+                &mut scratch,
+            );
+            if !scratch.path_into(g, dst, &mut spur_buf) {
+                continue;
+            }
+            total_buf.clear();
+            total_buf.extend_from_slice(root_edges);
+            total_buf.extend_from_slice(&spur_buf);
+            // Simplicity check, on a fresh epoch of the node marks.
+            epoch += 1;
+            let mut repeated = false;
+            for v in std::iter::once(src).chain(total_buf.iter().map(|&e| g.dst(e))) {
+                if node_mark[v.index()] == epoch {
+                    repeated = true;
+                    break;
                 }
-                let c = total.cost(cost);
-                if !result.contains(&total) && !candidates.iter().any(|(_, p)| *p == total) {
-                    candidates.push((c, total));
-                }
+                node_mark[v.index()] = epoch;
+            }
+            if repeated {
+                continue;
+            }
+            let c: f64 = total_buf.iter().map(|e| cost[e.index()]).sum();
+            let duplicate = result.iter().any(|&id| arena.get(id) == &total_buf[..])
+                || candidates
+                    .iter()
+                    .any(|&(_, id)| arena.get(id) == &total_buf[..]);
+            if !duplicate {
+                let id = arena.push(&total_buf);
+                candidates.push((c, id));
             }
         }
-        // Accept the cheapest candidate.
+        // Accept the cheapest candidate. Ties resolve exactly as the
+        // pre-arena implementation did: `min_by` keeps the last minimum
+        // and `swap_remove` reorders the pool.
         let Some((best_idx, _)) = candidates
             .iter()
             .enumerate()
@@ -453,10 +547,16 @@ fn k_shortest_paths_impl(
         else {
             break;
         };
-        let (_, path) = candidates.swap_remove(best_idx);
-        result.push(path);
+        let (_, id) = candidates.swap_remove(best_idx);
+        result.push(id);
     }
-    result
+
+    if let Some(ctx) = ctx {
+        let pool = ctx.scratch();
+        pool.put_u32(edge_mark);
+        pool.put_u32(node_mark);
+    }
+    result.into_iter().map(|id| arena.to_path(id)).collect()
 }
 
 #[cfg(test)]

@@ -151,6 +151,316 @@ fn scc_partition_and_acyclicity() {
     }
 }
 
+/// CSR adjacency agrees edge-for-edge with a naive insertion-order
+/// adjacency-list model, under interleaved node/edge mutation — the
+/// invariant the whole refactor leans on: slice-walk iteration must
+/// preserve the exact per-node edge order the old `Vec<Vec<EdgeId>>`
+/// representation produced.
+#[test]
+fn csr_adjacency_matches_naive_model() {
+    use jcr_graph::EdgeId;
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6373_7231 + case);
+        let mut g = DiGraph::new();
+        let mut out_model: Vec<Vec<(EdgeId, NodeId)>> = Vec::new();
+        let mut in_model: Vec<Vec<(EdgeId, NodeId)>> = Vec::new();
+        // Interleave node additions and edge additions so the lazy CSR is
+        // rebuilt mid-stream.
+        for _ in 0..rng.gen_range(5..40usize) {
+            if out_model.len() < 2 || rng.gen_range(0..4usize) == 0 {
+                g.add_node();
+                out_model.push(Vec::new());
+                in_model.push(Vec::new());
+            } else {
+                let n = out_model.len();
+                let u = NodeId::new(rng.gen_range(0..n));
+                let v = NodeId::new(rng.gen_range(0..n));
+                let e = g.add_edge(u, v);
+                out_model[u.index()].push((e, v));
+                in_model[v.index()].push((e, u));
+                if rng.gen_range(0..3usize) == 0 {
+                    // Force a CSR build between mutations.
+                    let _ = g.out_degree(u);
+                }
+            }
+        }
+        assert_eq!(g.node_count(), out_model.len(), "case {case}");
+        for v in g.nodes() {
+            let out: Vec<(EdgeId, NodeId)> = g.out_pairs(v).collect();
+            let inn: Vec<(EdgeId, NodeId)> = g.in_pairs(v).collect();
+            assert_eq!(out, out_model[v.index()], "case {case}, out of {v:?}");
+            assert_eq!(inn, in_model[v.index()], "case {case}, in of {v:?}");
+            let out_edges: Vec<EdgeId> = out_model[v.index()].iter().map(|&(e, _)| e).collect();
+            let in_edges: Vec<EdgeId> = in_model[v.index()].iter().map(|&(e, _)| e).collect();
+            assert_eq!(g.out_edges(v), &out_edges[..], "case {case}");
+            assert_eq!(g.in_edges(v), &in_edges[..], "case {case}");
+            assert_eq!(g.out_degree(v), out_edges.len());
+            assert_eq!(g.in_degree(v), in_edges.len());
+        }
+        for e in g.edges() {
+            let (u, v) = g.endpoints(e);
+            assert!(out_model[u.index()].contains(&(e, v)), "case {case}");
+            // `find_edge` returns the first matching edge in insertion order.
+            let first = out_model[u.index()]
+                .iter()
+                .find(|&&(_, w)| w == v)
+                .map(|&(e, _)| e);
+            assert_eq!(g.find_edge(u, v), first, "case {case}");
+        }
+    }
+}
+
+/// Tarjan's SCCs (over CSR) induce the same node partition as an
+/// independent Kosaraju reference run over naive adjacency lists.
+#[test]
+fn sccs_match_kosaraju_reference() {
+    use jcr_graph::structure::strongly_connected_components;
+
+    /// Kosaraju on plain (usize, usize) edge lists: forward DFS finish
+    /// order, then reverse-graph DFS in reverse finish order.
+    fn kosaraju(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<usize>> {
+        let mut fwd = vec![Vec::new(); n];
+        let mut rev = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            fwd[u].push(v);
+            rev[v].push(u);
+        }
+        let mut finish = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            // Iterative DFS recording finish times.
+            let mut stack = vec![(s, 0usize)];
+            seen[s] = true;
+            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                if *i < fwd[v].len() {
+                    let w = fwd[v][*i];
+                    *i += 1;
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push((w, 0));
+                    }
+                } else {
+                    finish.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        let mut comp = vec![usize::MAX; n];
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+        for &s in finish.iter().rev() {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            let k = sccs.len();
+            let mut members = vec![s];
+            comp[s] = k;
+            let mut stack = vec![s];
+            while let Some(v) = stack.pop() {
+                for &w in &rev[v] {
+                    if comp[w] == usize::MAX {
+                        comp[w] = k;
+                        members.push(w);
+                        stack.push(w);
+                    }
+                }
+            }
+            sccs.push(members);
+        }
+        sccs
+    }
+
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6b6f_7361 + case);
+        let (n, edges, _costs) = random_graph(&mut rng);
+        let g = build(n, &edges);
+        let ours = strongly_connected_components(&g);
+        let reference = kosaraju(n, &edges);
+        let canon = |sccs: Vec<Vec<usize>>| -> Vec<Vec<usize>> {
+            let mut out: Vec<Vec<usize>> = sccs
+                .into_iter()
+                .map(|mut c| {
+                    c.sort_unstable();
+                    c
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        let ours = canon(
+            ours.into_iter()
+                .map(|c| c.iter().map(|v| v.index()).collect())
+                .collect(),
+        );
+        assert_eq!(ours, canon(reference), "case {case}");
+    }
+}
+
+/// The crate's Dijkstra produces bit-identical distances to a textbook
+/// lazy-deletion reference over naive adjacency lists. (With continuous
+/// random costs the shortest path is unique, so both walks sum the same
+/// edge costs in the same order.)
+#[test]
+fn dijkstra_dists_match_reference_heap() {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn reference_dijkstra(n: usize, edges: &[(usize, usize)], cost: &[f64]) -> Vec<f64> {
+        let mut adj = vec![Vec::new(); n];
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            adj[u].push((v, cost[e]));
+        }
+        let mut dist = vec![f64::INFINITY; n];
+        dist[0] = 0.0;
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        heap.push(Reverse((0, 0)));
+        while let Some(Reverse((d_bits, v))) = heap.pop() {
+            let d = f64::from_bits(d_bits);
+            if d > dist[v] {
+                continue;
+            }
+            for &(w, c) in &adj[v] {
+                let nd = d + c;
+                if nd < dist[w] {
+                    dist[w] = nd;
+                    // Non-negative f64s order the same as their bit patterns.
+                    heap.push(Reverse((nd.to_bits(), w)));
+                }
+            }
+        }
+        dist
+    }
+
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6872_6566 + case);
+        let (n, edges, costs) = random_graph(&mut rng);
+        let g = build(n, &edges);
+        let tree = shortest::dijkstra(&g, NodeId::new(0), &costs);
+        let reference = reference_dijkstra(n, &edges, &costs);
+        for (v, expect) in reference.iter().enumerate() {
+            assert_eq!(
+                tree.dist(NodeId::new(v)).to_bits(),
+                expect.to_bits(),
+                "case {case}, node {v}"
+            );
+        }
+    }
+}
+
+/// The arena-backed Yen returns exactly the paths of the pre-refactor
+/// implementation — same edge sequences, same order. The reference below
+/// is a transcription of the old candidate-pool code (per-spur
+/// `vec![false; …]` masks, `Vec<Path>` storage, `min_by` + `swap_remove`
+/// acceptance), so every tie-break quirk is replicated.
+#[test]
+fn yen_matches_pre_refactor_reference() {
+    use jcr_graph::Path;
+    use std::cmp::Ordering;
+
+    fn reference_yen(g: &DiGraph, src: NodeId, dst: NodeId, k: usize, cost: &[f64]) -> Vec<Path> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let tree = shortest::dijkstra(g, src, cost);
+        let Some(first) = tree.path(dst) else {
+            return Vec::new();
+        };
+        let mut result: Vec<Path> = vec![first];
+        let mut candidates: Vec<(f64, Path)> = Vec::new();
+        while result.len() < k {
+            let prev = result.last().expect("at least one accepted path").clone();
+            let prev_nodes = prev.nodes(g);
+            for i in 0..prev.len() {
+                let spur_node = prev_nodes[i];
+                let root_edges = &prev.edges()[..i];
+                let mut banned_edges = vec![false; g.edge_count()];
+                for p in &result {
+                    if p.len() > i && p.edges()[..i] == *root_edges {
+                        banned_edges[p.edges()[i].index()] = true;
+                    }
+                }
+                let mut banned_nodes = vec![false; g.node_count()];
+                for v in &prev_nodes[..i] {
+                    banned_nodes[v.index()] = true;
+                }
+                let spur_tree = shortest::dijkstra_filtered(g, spur_node, cost, |e| {
+                    !banned_edges[e.index()]
+                        && !banned_nodes[g.src(e).index()]
+                        && !banned_nodes[g.dst(e).index()]
+                });
+                if let Some(spur_path) = spur_tree.path_to(dst) {
+                    let mut edges = root_edges.to_vec();
+                    edges.extend(spur_path);
+                    let total = Path::new(edges);
+                    if total.has_repeated_node(g) {
+                        continue;
+                    }
+                    let c = total.cost(cost);
+                    if !result.contains(&total) && !candidates.iter().any(|(_, p)| *p == total) {
+                        candidates.push((c, total));
+                    }
+                }
+            }
+            let Some((best_idx, _)) = candidates
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(Ordering::Equal))
+            else {
+                break;
+            };
+            let (_, path) = candidates.swap_remove(best_idx);
+            result.push(path);
+        }
+        result
+    }
+
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x7965_6e32 + case);
+        let (n, edges, costs) = random_graph(&mut rng);
+        let g = build(n, &edges);
+        let src = NodeId::new(0);
+        let dst = NodeId::new(n - 1);
+        let k = rng.gen_range(1..8usize);
+        let ours = shortest::k_shortest_paths(&g, src, dst, k, &costs);
+        let reference = reference_yen(&g, src, dst, k, &costs);
+        assert_eq!(ours, reference, "case {case} (k={k})");
+    }
+}
+
+/// On-demand oracle rows are bit-equal to the dense block's — distances
+/// and reconstructed paths — even with a tiny row cache that forces
+/// eviction and recomputation mid-walk.
+#[test]
+fn oracle_on_demand_matches_dense_bitwise() {
+    use jcr_graph::DistanceOracle;
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x6f72_6163 + case);
+        let (n, edges, costs) = random_graph(&mut rng);
+        let g = build(n, &edges);
+        let dense = DistanceOracle::with_config(&g, &costs, usize::MAX, 4, None);
+        let lazy = DistanceOracle::with_config(&g, &costs, 0, 2, None);
+        assert!(dense.is_dense() && !lazy.is_dense());
+        for s in g.nodes() {
+            for t in g.nodes() {
+                assert_eq!(
+                    dense.dist(s, t).to_bits(),
+                    lazy.dist(s, t).to_bits(),
+                    "case {case}, {s:?}->{t:?}"
+                );
+                assert_eq!(dense.path(s, t), lazy.path(s, t), "case {case}");
+            }
+        }
+        // A second pass after the cache has churned through every row.
+        for s in g.nodes() {
+            let d = lazy.row(s);
+            let expect = dense.row(s);
+            assert_eq!(d.dists(), expect.dists(), "case {case}, row {s:?}");
+        }
+    }
+}
+
 /// Nodes in one SCC reach each other; Tarjan emits components in
 /// reverse topological order (no edge from an earlier to a later
 /// component... i.e. edges can only go from later-emitted components

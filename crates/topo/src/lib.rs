@@ -39,15 +39,32 @@ pub enum TopologyKind {
     Tinet,
     /// Topology-Zoo Deltacom-like (Table 5): 113 nodes, 161 links.
     Deltacom,
+    /// Synthetic stress family, an order of magnitude past the paper's
+    /// largest evaluation topology: 1000 nodes, 10000 undirected links.
+    /// Exercises the solver stack's flat-memory paths (CSR adjacency,
+    /// on-demand distance rows) at a scale where a dense |V|² distance
+    /// matrix is no longer acceptable.
+    Stress,
 }
 
 impl TopologyKind {
-    /// `(nodes, undirected links)` of the published topology.
+    /// `(nodes, undirected links)` of the published topology (or the
+    /// synthetic stress shape).
     pub fn size(self) -> (usize, usize) {
         match self {
             TopologyKind::Abovenet | TopologyKind::Abvt => (23, 31),
             TopologyKind::Tinet => (53, 89),
             TopologyKind::Deltacom => (113, 161),
+            TopologyKind::Stress => (1000, 10_000),
+        }
+    }
+
+    /// Number of designated edge (cache) nodes: the appendix-D setting
+    /// for the paper topologies, scaled up for the stress family.
+    pub fn edge_node_count(self) -> usize {
+        match self {
+            TopologyKind::Stress => 64,
+            _ => DEFAULT_EDGE_NODES,
         }
     }
 
@@ -58,6 +75,7 @@ impl TopologyKind {
             TopologyKind::Abvt => "Abvt",
             TopologyKind::Tinet => "Tinet",
             TopologyKind::Deltacom => "Deltacom",
+            TopologyKind::Stress => "Stress",
         }
     }
 }
@@ -127,7 +145,8 @@ pub const DEFAULT_EDGE_NODES: usize = 6;
 
 impl Topology {
     /// Generates a seeded topology of the given kind with
-    /// [`DEFAULT_EDGE_NODES`] edge nodes.
+    /// [`TopologyKind::edge_node_count`] edge nodes ([`DEFAULT_EDGE_NODES`]
+    /// for the paper topologies).
     ///
     /// # Errors
     ///
@@ -135,7 +154,7 @@ impl Topology {
     /// built-in kinds).
     pub fn generate(kind: TopologyKind, seed: u64) -> Result<Self, TopoError> {
         let (n, m) = kind.size();
-        Self::generate_custom(n, m, DEFAULT_EDGE_NODES, seed)
+        Self::generate_custom(n, m, kind.edge_node_count(), seed)
     }
 
     /// Generates a seeded random connected topology with `n` nodes, `m`
@@ -184,18 +203,20 @@ impl Topology {
         let nodes = graph.add_nodes(n);
         let origin = nodes[0];
 
-        // Undirected adjacency bookkeeping for the core (nodes 1..n).
+        // Undirected adjacency bookkeeping for the core (nodes 1..n), as
+        // one flat row-major bit-per-pair matrix (a stress-scale n keeps
+        // this to a single n² allocation instead of n separate rows).
         let mut undirected: Vec<(usize, usize)> = Vec::with_capacity(m);
-        let mut adj = vec![vec![false; n]; n];
+        let mut adj = vec![false; n * n];
         let mut degree = vec![0usize; n];
         let connect = |u: usize,
                        v: usize,
                        undirected: &mut Vec<(usize, usize)>,
-                       adj: &mut Vec<Vec<bool>>,
+                       adj: &mut Vec<bool>,
                        degree: &mut Vec<usize>| {
             undirected.push((u, v));
-            adj[u][v] = true;
-            adj[v][u] = true;
+            adj[u * n + v] = true;
+            adj[v * n + u] = true;
             degree[u] += 1;
             degree[v] += 1;
         };
@@ -218,7 +239,7 @@ impl Topology {
             }
             let u = weighted_node(&mut rng, &degree, 1, n);
             let v = rng.gen_range(1..n);
-            if u == v || adj[u][v] {
+            if u == v || adj[u * n + v] {
                 continue;
             }
             connect(u, v, &mut undirected, &mut adj, &mut degree);
@@ -503,25 +524,32 @@ impl Topology {
             .nodes()
             .map(|v| self.graph.out_degree(v))
             .collect();
-        let all = shortest::all_pairs(&self.graph, &self.cost);
+        // Stream one Dijkstra row at a time through a shared scratch: the
+        // diameter needs only the running maximum, so even a stress-scale
+        // topology never materializes the |V|² distance matrix here.
+        let mut scratch = shortest::DijkstraScratch::new();
         let mut diameter = 0.0f64;
-        for row in &all {
-            for &d in row {
+        let mut origin_edge_sum = 0.0f64;
+        for v in self.graph.nodes() {
+            shortest::dijkstra_filtered_into(&self.graph, v, &self.cost, |_| true, &mut scratch);
+            for &d in scratch.dists() {
                 if d.is_finite() {
                     diameter = diameter.max(d);
                 }
             }
+            if v == self.origin {
+                origin_edge_sum = self
+                    .edge_nodes
+                    .iter()
+                    .map(|&w| scratch.dist(w))
+                    .filter(|d| d.is_finite())
+                    .sum();
+            }
         }
-        let origin_row = &all[self.origin.index()];
         let mean_origin_edge = if self.edge_nodes.is_empty() {
             0.0
         } else {
-            self.edge_nodes
-                .iter()
-                .map(|&v| origin_row[v.index()])
-                .filter(|d| d.is_finite())
-                .sum::<f64>()
-                / self.edge_nodes.len() as f64
+            origin_edge_sum / self.edge_nodes.len() as f64
         };
         TopologyStats {
             degrees,
@@ -605,6 +633,17 @@ mod tests {
             assert_eq!(t.edge_nodes.len(), DEFAULT_EDGE_NODES);
             assert!(!t.edge_nodes.contains(&t.origin));
         }
+    }
+
+    #[test]
+    fn stress_family_generates_at_scale() {
+        let t = Topology::generate(TopologyKind::Stress, 9).unwrap();
+        assert_eq!(t.graph.node_count(), 1000);
+        assert_eq!(t.graph.edge_count(), 20_000);
+        assert!(t.graph.is_weakly_connected());
+        assert_eq!(t.edge_nodes.len(), 64);
+        assert_eq!(t.graph.degree(t.origin), 2);
+        assert!(!t.edge_nodes.contains(&t.origin));
     }
 
     #[test]

@@ -39,6 +39,53 @@ pub fn zipf_demand<R: Rng>(
         .collect()
 }
 
+/// Sparse Zipf demand for stress-scale catalogs: popularity is
+/// Zipf(`alpha`) over the full `n_items` catalog, but requests are
+/// emitted only for the `active_items` most popular items (the
+/// deterministic head of the distribution — Zipf weights strictly
+/// decrease in rank), each requested by `requesters_per_item` requesters
+/// chosen by rotation. Rates are renormalized over the active head so
+/// they sum to `total_rate`.
+///
+/// Returns `(item, requester, rate)` triples — `active_items ×
+/// requesters_per_item` of them rather than the `n_items × n_requesters`
+/// dense matrix, which for a 10⁵–10⁶-chunk catalog is the difference
+/// between kilobytes and gigabytes.
+///
+/// # Panics
+///
+/// Panics if `active_items > n_items`, `requesters_per_item >
+/// n_requesters`, either is zero, or `zipf_weights`'s preconditions fail.
+pub fn zipf_demand_sparse<R: Rng>(
+    n_items: usize,
+    n_requesters: usize,
+    alpha: f64,
+    total_rate: f64,
+    active_items: usize,
+    requesters_per_item: usize,
+    rng: &mut R,
+) -> Vec<(usize, usize, f64)> {
+    assert!(active_items > 0 && active_items <= n_items);
+    assert!(requesters_per_item > 0 && requesters_per_item <= n_requesters);
+    let weights = zipf_weights(n_items, alpha);
+    let head_mass: f64 = weights[..active_items].iter().sum();
+    let mut out = Vec::with_capacity(active_items * requesters_per_item);
+    for (i, &w) in weights[..active_items].iter().enumerate() {
+        let item_rate = total_rate * w / head_mass;
+        let raw: Vec<f64> = (0..requesters_per_item)
+            .map(|_| rng.gen_range(0.05..1.0))
+            .collect();
+        let s: f64 = raw.iter().sum();
+        for (j, r) in raw.into_iter().enumerate() {
+            // Rotate the requester assignment with the item rank so load
+            // spreads across all requesters deterministically.
+            let requester = (i + j) % n_requesters;
+            out.push((i, requester, item_rate * r / s));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +116,32 @@ mod tests {
         assert!((total - 100.0).abs() < 1e-9);
         assert_eq!(d.len(), 5);
         assert!(d.iter().all(|row| row.len() == 3));
+    }
+
+    #[test]
+    fn sparse_demand_covers_the_head_and_conserves_rate() {
+        let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(7);
+        let d = zipf_demand_sparse(100_000, 64, 0.8, 5000.0, 256, 4, &mut rng);
+        assert_eq!(d.len(), 256 * 4);
+        let total: f64 = d.iter().map(|&(_, _, r)| r).sum();
+        assert!((total - 5000.0).abs() < 1e-6);
+        assert!(d.iter().all(|&(i, s, r)| i < 256 && s < 64 && r > 0.0));
+        // Per-item rates follow the Zipf head: item 0 outweighs item 255.
+        let rate_of = |item: usize| -> f64 {
+            d.iter()
+                .filter(|&&(i, _, _)| i == item)
+                .map(|&(_, _, r)| r)
+                .sum()
+        };
+        assert!(rate_of(0) > rate_of(255));
+    }
+
+    #[test]
+    fn sparse_demand_is_deterministic_per_seed() {
+        let gen = || {
+            let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(11);
+            zipf_demand_sparse(1000, 8, 1.0, 100.0, 16, 2, &mut rng)
+        };
+        assert_eq!(gen(), gen());
     }
 }
