@@ -1,0 +1,555 @@
+//! Adversarial instance fuzzer (`experiments adversary`): seeded hostile
+//! instance families aimed at the solver stack's numerical weak points,
+//! run end to end against every solver entry point with the independent
+//! certificate checker (DESIGN.md §11) as the oracle.
+//!
+//! Five deterministic families, each a distinct failure hypothesis:
+//!
+//! * [`Family::Ties`] — every link cost identical, uniform demand:
+//!   maximally degenerate shortest paths and LP bases (ratio-test ties,
+//!   Bland-style cycling risk).
+//! * [`Family::ZeroCycles`] — a seeded subset of core links with zero
+//!   cost in both directions: zero-cost cycles that tempt path
+//!   extraction and column generation into non-terminating or
+//!   zero-reduced-cost loops.
+//! * [`Family::DynRange`] — link costs spanning `1e-9 … 1e9`: the
+//!   dynamic range where naive summation loses the small entries and
+//!   fixed absolute tolerances stop meaning anything.
+//! * [`Family::Redundant`] — uniform demand with near-tight, jittered
+//!   uniform link capacities: near-redundant capacity rows producing
+//!   ill-conditioned, nearly singular simplex bases.
+//! * [`Family::ZipfTail`] — steep Zipf popularity with an explicit
+//!   `1e9`-wide head-to-tail rate ratio: hostile demand tails whose tiny
+//!   rates must survive aggregation next to huge heads.
+//!
+//! Every case runs Algorithm 1, the alternating solver, and one hour of
+//! the online anytime ladder under `catch_unwind`. The contract, checked
+//! per case and summarized per family:
+//!
+//! * **zero panics** anywhere in the stack;
+//! * **zero unverified claims** — every `Ok` solution must pass the
+//!   independent verifier ([`certify_solution`]) *re-run here*, outside
+//!   the solver's own gating;
+//! * failures must be **typed errors**; `NumericalBreakdown` is counted
+//!   separately and, in the online run, must be absorbed by the
+//!   degradation ladder (the hour is still served on a lower rung).
+//!
+//! The exit status is `Err` (nonzero) on any panic or unverified claim.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use jcr_core::online::{AnytimeConfig, OnlineSimulator, Rung};
+use jcr_core::prelude::*;
+use jcr_core::validate::validate_solution;
+use jcr_ctx::rng::{Rng, SeedableRng, StdRng};
+use jcr_ctx::SolverContext;
+use jcr_topo::Topology;
+
+use crate::exp::ExpConfig;
+use crate::{print_table, profile};
+
+/// The hostile instance families (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Degenerate shortest-path and ratio-test ties.
+    Ties,
+    /// Zero-cost cycles in the core.
+    ZeroCycles,
+    /// `1e±9` link-cost dynamic range.
+    DynRange,
+    /// Near-redundant (near-tight, jittered-uniform) capacity rows.
+    Redundant,
+    /// Hostile Zipf tails: `1e9` head-to-tail demand ratio.
+    ZipfTail,
+}
+
+/// All families, in report order.
+pub const FAMILIES: [Family; 5] = [
+    Family::Ties,
+    Family::ZeroCycles,
+    Family::DynRange,
+    Family::Redundant,
+    Family::ZipfTail,
+];
+
+impl Family {
+    /// Display name used in the summary table.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Ties => "degenerate-ties",
+            Family::ZeroCycles => "zero-cost-cycles",
+            Family::DynRange => "cost-dynrange-1e9",
+            Family::Redundant => "near-redundant-caps",
+            Family::ZipfTail => "hostile-zipf-tail",
+        }
+    }
+
+    /// Resolves a family from its display name — the key the committed
+    /// regression corpus (`proptest-regressions/adversary.txt`) uses.
+    pub fn by_name(name: &str) -> Option<Family> {
+        FAMILIES.iter().copied().find(|f| f.name() == name)
+    }
+}
+
+/// Replays one fuzzer case for the committed regression corpus: same
+/// suite as the live fuzzer, same contract. Typed solver errors are an
+/// acceptable outcome (they *are* the contract for hostile instances);
+/// an unverified `Ok` claim is not. Panics propagate to the caller —
+/// corpus tests wrap this in `catch_unwind`.
+///
+/// # Errors
+///
+/// The joined failure summaries when any solver's answer fails
+/// independent verification.
+pub fn replay(family: Family, seed: u64) -> Result<(), String> {
+    let ctx = SolverContext::new().with_workers(1);
+    let rep = run_case(family, seed, &ctx);
+    if rep.unverified.is_empty() {
+        Ok(())
+    } else {
+        Err(rep.unverified.join("; "))
+    }
+}
+
+/// Builds the seeded hostile instance for one `(family, seed)` case.
+/// Fully deterministic: the same pair always yields the same instance.
+///
+/// # Errors
+///
+/// Propagates [`JcrError::InvalidInstance`] if the mutated topology or
+/// demand fails instance validation (counted as a typed error by the
+/// driver, never a panic).
+pub fn build_case(family: Family, seed: u64) -> Result<Instance, JcrError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6164_7665_7273_6172); // "adversar"
+    let n = rng.gen_range(10..15usize);
+    let m = n + rng.gen_range(3..8usize);
+    let mut topo = Topology::generate_custom(n, m, 3, seed)
+        .map_err(|e| JcrError::InvalidInstance(format!("topology generation: {e}")))?;
+    let zeta = rng.gen_range(1.0..3.0f64);
+    let n_edges = topo.edge_nodes.len();
+
+    match family {
+        Family::Ties => {
+            // Every directed link costs exactly the same: all shortest
+            // paths tie, every pivot faces a degenerate ratio test.
+            for c in topo.cost.iter_mut() {
+                *c = 8.0;
+            }
+            let n_items = rng.gen_range(4..8usize);
+            let rate = rng.gen_range(5.0..50.0f64);
+            InstanceBuilder::new(topo)
+                .items(n_items)
+                .cache_capacity(zeta)
+                .demand_matrix(vec![vec![rate; n_edges]; n_items])
+                .link_capacity_fraction(0.05)
+                .build()
+        }
+        Family::ZeroCycles => {
+            // Zero out both directions of a seeded subset of core links:
+            // genuine zero-cost cycles (origin links stay positive so the
+            // gateway still dominates costs).
+            let origin = topo.origin;
+            let pairs: Vec<(usize, bool)> = (0..topo.cost.len() / 2)
+                .map(|k| {
+                    let (u, v) = topo.graph.endpoints(jcr_graph::EdgeId::new(2 * k));
+                    (k, u != origin && v != origin)
+                })
+                .collect();
+            for (k, core) in pairs {
+                if core && rng.gen_bool(0.35) {
+                    topo.cost[2 * k] = 0.0;
+                    topo.cost[2 * k + 1] = 0.0;
+                }
+            }
+            let mut b = InstanceBuilder::new(topo)
+                .items(rng.gen_range(4..10usize))
+                .cache_capacity(zeta)
+                .zipf_demand(rng.gen_range(0.4..1.2), 800.0, seed);
+            b = if rng.gen_bool(0.5) {
+                b.link_capacity_fraction(0.05)
+            } else {
+                b.unlimited_links()
+            };
+            b.build()
+        }
+        Family::DynRange => {
+            // Redraw every link cost as mantissa × 10^k with k ∈ [-9, 9]:
+            // an 18-decade spread that breaks naive accumulation and any
+            // fixed absolute tolerance.
+            for c in topo.cost.iter_mut() {
+                let k: i32 = rng.gen_range(-9..=9);
+                *c = rng.gen_range(1.0..10.0f64) * 10f64.powi(k);
+            }
+            let mut b = InstanceBuilder::new(topo)
+                .items(rng.gen_range(4..10usize))
+                .cache_capacity(zeta)
+                .zipf_demand(rng.gen_range(0.4..1.2), 1000.0, seed);
+            b = if rng.gen_bool(0.5) {
+                b.link_capacity_fraction(0.05)
+            } else {
+                b.unlimited_links()
+            };
+            b.build()
+        }
+        Family::Redundant => {
+            // Uniform demand on a symmetric capacity profile, with the
+            // uniform κ jittered by parts in 1e9: many capacity rows are
+            // numerically near-identical and near-tight simultaneously.
+            let n_items = rng.gen_range(3..7usize);
+            let rate = rng.gen_range(10.0..40.0f64);
+            let jitter = 1.0 + (seed % 997) as f64 * 1e-9;
+            InstanceBuilder::new(topo)
+                .items(n_items)
+                .cache_capacity(zeta)
+                .demand_matrix(vec![vec![rate; n_edges]; n_items])
+                .link_capacity_fraction(0.007 * jitter)
+                .build()
+        }
+        Family::ZipfTail => {
+            // Explicit steep-Zipf demand with a 1e9 head-to-tail rate
+            // ratio: tiny tail rates must survive Kahan-certified
+            // aggregation next to huge heads.
+            // 40^5.5 ≈ 6e8: the steepness floor that keeps the promised
+            // head-to-tail ratio near 1e9 for every seed.
+            let n_items = 40;
+            let alpha = rng.gen_range(5.5..7.5f64);
+            let total = 1e6;
+            let shares: Vec<f64> = {
+                let raw: Vec<f64> = (0..n_edges).map(|_| rng.gen_range(0.1..1.0)).collect();
+                let s: f64 = raw.iter().sum();
+                raw.iter().map(|r| r / s).collect()
+            };
+            let rates: Vec<Vec<f64>> = (0..n_items)
+                .map(|i| {
+                    let pop = total * ((i + 1) as f64).powf(-alpha);
+                    shares.iter().map(|sh| pop * sh).collect()
+                })
+                .collect();
+            let mut b = InstanceBuilder::new(topo)
+                .items(n_items)
+                .cache_capacity(zeta)
+                .demand_matrix(rates);
+            b = if rng.gen_bool(0.5) {
+                b.link_capacity_fraction(0.02)
+            } else {
+                b.unlimited_links()
+            };
+            b.build()
+        }
+    }
+}
+
+/// Per-case outcome, aggregated into [`FamilyStats`] by the driver.
+#[derive(Default)]
+struct CaseReport {
+    /// Solver runs that returned `Ok` with a verified certificate.
+    verified_ok: usize,
+    /// Typed-error descriptions (`solver: error`), breakdowns included.
+    typed_errors: Vec<String>,
+    /// `NumericalBreakdown` errors among the typed errors.
+    breakdowns: usize,
+    /// `Ok` results whose *independent* re-certification failed.
+    unverified: Vec<String>,
+    /// Online-ladder rung serving the fuzzed hour (at most one per case).
+    rungs: [usize; Rung::ALL.len()],
+}
+
+impl CaseReport {
+    fn note_err(&mut self, solver: &str, e: &JcrError) {
+        if matches!(e, JcrError::NumericalBreakdown(_)) {
+            self.breakdowns += 1;
+        }
+        self.typed_errors.push(format!("{solver}: {e}"));
+    }
+}
+
+/// Runs the full solver suite on one case. May panic — the driver wraps
+/// this in `catch_unwind` and counts panics as contract violations.
+fn run_case(family: Family, seed: u64, ctx: &SolverContext) -> CaseReport {
+    let mut rep = CaseReport::default();
+    let inst = match build_case(family, seed) {
+        Ok(inst) => inst,
+        Err(e) => {
+            rep.note_err("build", &e);
+            return rep;
+        }
+    };
+
+    // Algorithm 1 (uncapacitated caching + RNR), re-certified here.
+    match Algorithm1::new().solve_with_context(&inst, ctx) {
+        Ok(sol) => {
+            let cert = certify_solution(&inst, &sol, false);
+            cert.record(ctx);
+            if cert.verified() {
+                rep.verified_ok += 1;
+            } else {
+                rep.unverified
+                    .push(format!("alg1 seed {seed}: {}", cert.failure_summary()));
+            }
+        }
+        Err(e) => rep.note_err("alg1", &e),
+    }
+
+    // Alternating caching/routing (CG + rounding), re-certified here.
+    let alt = Alternating {
+        seed,
+        ..Alternating::default()
+    };
+    match alt.solve_with_context(&inst, ctx) {
+        Ok(res) => {
+            let cert = certify_solution(&inst, &res.solution, false);
+            cert.record(ctx);
+            if cert.verified() {
+                rep.verified_ok += 1;
+            } else {
+                rep.unverified.push(format!(
+                    "alternating seed {seed}: {}",
+                    cert.failure_summary()
+                ));
+            }
+        }
+        Err(e) => rep.note_err("alternating", &e),
+    }
+
+    // One hour of the online anytime ladder: breakdowns must degrade to a
+    // lower rung, and the served hour must be validation-clean.
+    let mut sim = OnlineSimulator::new(Alternating {
+        seed,
+        ..Alternating::default()
+    });
+    let true_rates: Vec<f64> = inst.requests.iter().map(|r| r.rate * 1.05).collect();
+    match sim.step_anytime(&inst, &true_rates, &AnytimeConfig::new()) {
+        Ok(out) => {
+            rep.rungs[out.rung.index()] += 1;
+            let mut clean = true;
+            if !out.certificate.verified() {
+                clean = false;
+                rep.unverified.push(format!(
+                    "online seed {seed}: {}",
+                    out.certificate.failure_summary()
+                ));
+            }
+            let violations = validate_solution(&inst, &out.solution);
+            if !violations.is_empty() {
+                clean = false;
+                rep.unverified.push(format!(
+                    "online seed {seed}: served hour has {} validation violation(s)",
+                    violations.len()
+                ));
+            }
+            if clean {
+                rep.verified_ok += 1;
+            }
+        }
+        Err(e) => rep.note_err("online", &e),
+    }
+    rep
+}
+
+/// Aggregate of one family's cases.
+#[derive(Default)]
+struct FamilyStats {
+    cases: usize,
+    verified_ok: usize,
+    typed_errors: usize,
+    breakdowns: usize,
+    unverified: usize,
+    panics: usize,
+    rungs: [usize; Rung::ALL.len()],
+}
+
+/// Entry point of `experiments adversary`: runs `≥ 200` seeded hostile
+/// instances (5 families × 40 seeds; `--full` uses 80, `--runs` scales
+/// further) and enforces the fuzzer contract.
+///
+/// # Errors
+///
+/// A human-readable summary when any case panicked or any `Ok` result
+/// failed independent verification; the caller exits nonzero.
+pub fn adversary(cfg: ExpConfig) -> Result<(), String> {
+    let per_family = if cfg.full { 80 } else { 40 }.max(cfg.runs.saturating_mul(40) / 3);
+    let ctx = if cfg.workers > 0 {
+        SolverContext::new().with_workers(cfg.workers)
+    } else {
+        SolverContext::new().with_workers(1)
+    };
+    eprintln!(
+        "[adversary] {} families × {per_family} seeds = {} hostile instances",
+        FAMILIES.len(),
+        FAMILIES.len() * per_family
+    );
+
+    // Silence the default panic hook while fuzzing: a caught panic is a
+    // counted contract violation, not console noise mid-table.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut stats: Vec<FamilyStats> = Vec::with_capacity(FAMILIES.len());
+    let mut failures: Vec<String> = Vec::new();
+    for (fi, &family) in FAMILIES.iter().enumerate() {
+        let mut fs = FamilyStats::default();
+        for k in 0..per_family {
+            let seed = cfg
+                .seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add((fi * 100_000 + k) as u64);
+            fs.cases += 1;
+            match catch_unwind(AssertUnwindSafe(|| run_case(family, seed, &ctx))) {
+                Ok(rep) => {
+                    fs.verified_ok += rep.verified_ok;
+                    fs.typed_errors += rep.typed_errors.len();
+                    fs.breakdowns += rep.breakdowns;
+                    fs.unverified += rep.unverified.len();
+                    for (r, n) in fs.rungs.iter_mut().zip(rep.rungs) {
+                        *r += n;
+                    }
+                    for msg in rep.unverified {
+                        failures.push(format!("[{}] unverified: {msg}", family.name()));
+                    }
+                }
+                Err(payload) => {
+                    fs.panics += 1;
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    failures.push(format!("[{}] panic at seed {seed}: {msg}", family.name()));
+                }
+            }
+        }
+        stats.push(fs);
+    }
+    std::panic::set_hook(prev_hook);
+
+    let header: Vec<String> = [
+        "family",
+        "cases",
+        "verified",
+        "typed-err",
+        "breakdown",
+        "unverified",
+        "panics",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect();
+    let rows: Vec<Vec<String>> = FAMILIES
+        .iter()
+        .zip(&stats)
+        .map(|(f, s)| {
+            vec![
+                f.name().to_string(),
+                s.cases.to_string(),
+                s.verified_ok.to_string(),
+                s.typed_errors.to_string(),
+                s.breakdowns.to_string(),
+                s.unverified.to_string(),
+                s.panics.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Adversarial fuzzer — per-family contract summary",
+        &header,
+        &rows,
+    );
+
+    // Ladder rung histogram for the fuzzed online hours: breakdowns show
+    // up as mass below Full instead of errors.
+    let mut rung_rows = Vec::new();
+    for (ri, rung) in Rung::ALL.iter().enumerate() {
+        let total: usize = stats.iter().map(|s| s.rungs[ri]).sum();
+        rung_rows.push(vec![rung.name().to_string(), total.to_string()]);
+    }
+    print_table(
+        "Online ladder rungs across fuzzed hours",
+        &["rung".into(), "hours".into()],
+        &rung_rows,
+    );
+
+    // Certificate residual / LP refinement histograms accumulated by the
+    // shared context across every fuzzed solve.
+    let snap = ctx.obs_snapshot();
+    print_table(
+        "Metric histograms over all fuzzed solves (p50/p95 are log₂-bucket upper bounds)",
+        &profile::histogram_header(),
+        &profile::histogram_rows(&snap),
+    );
+
+    let panics: usize = stats.iter().map(|s| s.panics).sum();
+    let unverified: usize = stats.iter().map(|s| s.unverified).sum();
+    if panics > 0 || unverified > 0 {
+        let shown = failures.len().min(20);
+        Err(format!(
+            "adversary contract violated: {panics} panic(s), {unverified} unverified claim(s)\n{}{}",
+            failures[..shown].join("\n"),
+            if failures.len() > shown {
+                format!("\n… and {} more", failures.len() - shown)
+            } else {
+                String::new()
+            }
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        for &family in &FAMILIES {
+            let a = build_case(family, 7).unwrap();
+            let b = build_case(family, 7).unwrap();
+            assert_eq!(a.requests.len(), b.requests.len());
+            assert_eq!(a.link_cost, b.link_cost);
+            assert_eq!(a.link_cap, b.link_cap);
+            for (ra, rb) in a.requests.iter().zip(&b.requests) {
+                assert_eq!(ra.rate, rb.rate);
+            }
+        }
+    }
+
+    #[test]
+    fn families_hit_their_hypotheses() {
+        let ties = build_case(Family::Ties, 3).unwrap();
+        assert!(ties.link_cost.windows(2).all(|w| {
+            // Uniform core costs; augmentation may append extra parallel
+            // capacity but costs stay drawn from the uniform profile.
+            w[0] == w[1] || w[0] == 8.0 || w[1] == 8.0
+        }));
+
+        let cycles = build_case(Family::ZeroCycles, 3).unwrap();
+        assert!(
+            cycles.link_cost.contains(&0.0),
+            "seed 3 zeroes at least one core pair"
+        );
+
+        let dyn_range = build_case(Family::DynRange, 3).unwrap();
+        let max = dyn_range.link_cost.iter().cloned().fold(0.0f64, f64::max);
+        let min = dyn_range
+            .link_cost
+            .iter()
+            .cloned()
+            .filter(|c| *c > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        assert!(max / min > 1e6, "dynamic range spans decades");
+
+        let tail = build_case(Family::ZipfTail, 3).unwrap();
+        let rates: Vec<f64> = tail.requests.iter().map(|r| r.rate).collect();
+        let rmax = rates.iter().cloned().fold(0.0f64, f64::max);
+        let rmin = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(rmax / rmin > 1e8, "head dwarfs tail");
+    }
+
+    #[test]
+    fn hostile_case_runs_verified() {
+        let ctx = SolverContext::new().with_workers(1);
+        let rep = run_case(Family::Ties, 11, &ctx);
+        assert!(rep.unverified.is_empty(), "{:?}", rep.unverified);
+        assert!(rep.verified_ok > 0);
+    }
+}

@@ -901,14 +901,15 @@ pub fn cases(cfg: ExpConfig) {
     let mut rows = Vec::new();
     for seed in 0..cfg.runs.max(1) as u64 {
         // Small instances so the exact FC-FR LP stays cheap.
-        let topo = jcr_topo::Topology::generate_custom(10, 13, 3, seed).unwrap();
+        let topo = jcr_topo::Topology::generate_custom(10, 13, 3, seed)
+            .expect("10-node/13-link/3-edge shape is generator-valid for any seed");
         let inst = InstanceBuilder::new(topo)
             .items(5)
             .cache_capacity(2.0)
             .zipf_demand(0.9, 200.0, seed)
             .link_capacity_fraction(0.05)
             .build()
-            .unwrap();
+            .expect("builder scenarios are feasible by construction");
         let fcfr_cost = fcfr::solve_fcfr(&inst).map(|s| s.cost).unwrap_or(f64::NAN);
         let icfr = Alternating {
             integral_routing: false,
@@ -989,14 +990,15 @@ pub fn zipf(cfg: ExpConfig) {
         let mut congs: Vec<Vec<f64>> = vec![Vec::new(); 4];
         for run in 0..cfg.runs {
             let seed = 100 + run as u64;
-            let topo = jcr_topo::Topology::generate(TopologyKind::Abovenet, 1).unwrap();
+            let topo = jcr_topo::Topology::generate(TopologyKind::Abovenet, 1)
+                .expect("built-in kinds generate");
             let inst = InstanceBuilder::new(topo)
                 .items(30)
                 .cache_capacity(6.0)
                 .zipf_demand(alpha, 10_000.0, seed)
                 .link_capacity_fraction(0.01)
                 .build()
-                .unwrap();
+                .expect("builder scenarios are feasible by construction");
             let algos = general_algos(seed);
             let run_ctx = default_factory();
             for (ai, algo) in algos.iter().enumerate() {
@@ -1256,14 +1258,15 @@ pub fn sim(cfg: ExpConfig) {
     use jcr_sim::policy::{ReactivePolicy, Replacement, StaticPolicy};
     use jcr_sim::Simulator;
     // Scaled-down demand (the simulator bills per event).
-    let topo = jcr_topo::Topology::generate(TopologyKind::Abovenet, 1).unwrap();
+    let topo =
+        jcr_topo::Topology::generate(TopologyKind::Abovenet, 1).expect("built-in kinds generate");
     let inst = InstanceBuilder::new(topo)
         .items(30)
         .cache_capacity(6.0)
         .zipf_demand(0.8, 50_000.0, 7)
         .link_capacity_fraction(0.01)
         .build()
-        .unwrap();
+        .expect("builder scenarios are feasible by construction");
     let horizon = if cfg.full { 8.0 } else { 2.0 };
     let simulator = Simulator {
         horizon,
@@ -1321,14 +1324,16 @@ pub fn gap(cfg: ExpConfig) {
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
     for seed in 0..(3 * cfg.runs.max(1)) as u64 {
-        let inst =
-            InstanceBuilder::new(jcr_topo::Topology::generate_custom(7, 8, 2, seed).unwrap())
-                .items(3)
-                .cache_capacity(1.0)
-                .zipf_demand(0.9, 50.0, seed)
-                .link_capacity_fraction(0.3)
-                .build()
-                .unwrap();
+        let inst = InstanceBuilder::new(
+            jcr_topo::Topology::generate_custom(7, 8, 2, seed)
+                .expect("7-node/8-link/2-edge shape is generator-valid for any seed"),
+        )
+        .items(3)
+        .cache_capacity(1.0)
+        .zipf_demand(0.9, 50.0, seed)
+        .link_capacity_fraction(0.3)
+        .build()
+        .expect("builder scenarios are feasible by construction");
         let Ok(exact) = (ExactIcIr {
             max_paths: 4,
             ..ExactIcIr::default()

@@ -83,10 +83,34 @@ impl Algorithm1 {
         inst: &Instance,
         ctx: &jcr_ctx::SolverContext,
     ) -> Result<Solution, JcrError> {
+        self.solve_certified(inst, ctx).map(|(sol, _)| sol)
+    }
+
+    /// [`Algorithm1::solve_with_context`], additionally returning the
+    /// independent [`Certificate`](jcr_ctx::cert::Certificate) the
+    /// solution was verified against (link capacities are not enforced —
+    /// this is the paper's uncapacitated case).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Algorithm1::solve_with_context`], plus
+    /// [`JcrError::NumericalBreakdown`] when the certificate fails to
+    /// verify.
+    pub fn solve_certified(
+        &self,
+        inst: &Instance,
+        ctx: &jcr_ctx::SolverContext,
+    ) -> Result<(Solution, jcr_ctx::cert::Certificate), JcrError> {
         let placement = self.place_with_context(inst, ctx)?;
         let routing =
             rnr::route_to_nearest_replica(inst, &placement).ok_or(JcrError::Infeasible)?;
-        Ok(Solution { placement, routing })
+        let solution = Solution { placement, routing };
+        let certificate = crate::certify::certify_solution(inst, &solution, false);
+        certificate.record(ctx);
+        if !certificate.verified() {
+            return Err(JcrError::NumericalBreakdown(certificate.failure_summary()));
+        }
+        Ok((solution, certificate))
     }
 
     /// The content-placement part only (lines 1–3 of Algorithm 1).

@@ -91,6 +91,11 @@ pub struct AlternatingSolution {
     pub history: Vec<(f64, f64)>,
     /// Iterations executed before convergence.
     pub iterations: usize,
+    /// Independent certificate the returned solution was verified against
+    /// (link capacities not enforced: the randomized rounding is
+    /// bicriteria, so slight overloads are legitimate and the residual is
+    /// recorded rather than gated).
+    pub certificate: jcr_ctx::cert::Certificate,
 }
 
 impl Alternating {
@@ -235,13 +240,20 @@ impl Alternating {
                 break;
             }
         }
+        let solution = Solution {
+            placement: best_placement,
+            routing: best_routing,
+        };
+        let certificate = crate::certify::certify_solution(inst, &solution, false);
+        certificate.record(ctx);
+        if !certificate.verified() {
+            return Err(JcrError::NumericalBreakdown(certificate.failure_summary()));
+        }
         Ok(AlternatingSolution {
-            solution: Solution {
-                placement: best_placement,
-                routing: best_routing,
-            },
+            solution,
             history,
             iterations,
+            certificate,
         })
     }
 

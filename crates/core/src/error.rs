@@ -15,6 +15,13 @@ pub enum JcrError {
     Infeasible,
     /// A substrate solver lost numerical precision.
     Numerical(String),
+    /// A numerical guardrail tripped: a basis residual exceeded its
+    /// failure threshold, or an independent certificate verifier rejected
+    /// a solution. Unlike [`JcrError::Numerical`], this means a solver
+    /// *produced* an answer that failed verification — callers must
+    /// degrade (retry, fall back, keep an incumbent) rather than trust
+    /// partial results. The payload names the failing residual checks.
+    NumericalBreakdown(String),
     /// A [`jcr_ctx::SolverContext`] budget (deadline or phase iteration
     /// cap) tripped before the solver finished. `best_so_far` carries the
     /// best feasible incumbent found before the budget ran out, when one
@@ -46,6 +53,7 @@ impl fmt::Display for JcrError {
             JcrError::InvalidInstance(msg) => write!(f, "invalid instance: {msg}"),
             JcrError::Infeasible => write!(f, "no feasible joint caching/routing solution"),
             JcrError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            JcrError::NumericalBreakdown(msg) => write!(f, "numerical breakdown: {msg}"),
             JcrError::BudgetExceeded { phase, best_so_far } => write!(
                 f,
                 "solver budget exceeded in phase {phase} ({} incumbent)",
@@ -71,6 +79,7 @@ impl From<jcr_flow::FlowError> for JcrError {
         match e {
             jcr_flow::FlowError::Infeasible => JcrError::Infeasible,
             jcr_flow::FlowError::Numerical(m) => JcrError::Numerical(m),
+            jcr_flow::FlowError::NumericalBreakdown(m) => JcrError::NumericalBreakdown(m),
             jcr_flow::FlowError::Budget(b) => b.into(),
         }
     }
@@ -82,6 +91,7 @@ impl From<jcr_lp::LpError> for JcrError {
             jcr_lp::LpError::Infeasible => JcrError::Infeasible,
             jcr_lp::LpError::Unbounded => JcrError::Numerical("unexpected unbounded LP".into()),
             jcr_lp::LpError::Numerical(m) => JcrError::Numerical(m),
+            jcr_lp::LpError::NumericalBreakdown(m) => JcrError::NumericalBreakdown(m),
             jcr_lp::LpError::Budget(b) => b.into(),
         }
     }

@@ -41,6 +41,7 @@ pub mod alg2;
 pub mod alternating;
 pub mod auxiliary;
 pub mod baselines;
+pub mod certify;
 pub mod error;
 pub mod exact;
 pub mod fcfr;
@@ -64,10 +65,12 @@ pub mod prelude {
         Alternating, AlternatingSolution, PlacementMethod, RoutingMethod,
     };
     pub use crate::baselines::{CandidateRouting, IoannidisYeh, ShortestPathPlacement};
+    pub use crate::certify::certify_solution;
     pub use crate::error::JcrError;
     pub use crate::instance::{Instance, InstanceBuilder, Request};
     pub use crate::online::{AnytimeConfig, HourOutcome, OnlineSimulator, Rung};
     pub use crate::placement::Placement;
+    pub use crate::repair::repair_solution_checked;
     pub use crate::repair::{repair_solution, RepairStats};
     pub use crate::routing::{Routing, Solution};
 }

@@ -163,6 +163,13 @@ pub struct HourOutcome {
     /// candidate needed a repair polish (e.g. a slight link overload from
     /// the bicriteria rounding) to pass validation.
     pub repair: Option<RepairStats>,
+    /// Independent certificate of the served solution
+    /// ([`certify_solution`](crate::certify::certify_solution); link
+    /// capacities recorded but not gated — the rounding is bicriteria).
+    /// Serving is gated on [`validate_solution`] instead, so an outcome
+    /// can carry a non-verified certificate only via the raw
+    /// [`OnlineSimulator::step`] path.
+    pub certificate: jcr_ctx::cert::Certificate,
     /// The decision itself.
     pub solution: Solution,
 }
@@ -455,6 +462,7 @@ impl OnlineSimulator {
             }
             _ => solution.placement.len(),
         };
+        let certificate = crate::certify::certify_solution(decision_inst, &solution, false);
         self.previous = Some(solution.clone());
         self.hour += 1;
         HourOutcome {
@@ -464,6 +472,7 @@ impl OnlineSimulator {
             placement_churn,
             rung,
             repair,
+            certificate,
             solution,
         }
     }

@@ -26,6 +26,7 @@ use std::collections::BTreeSet;
 use jcr_flow::PathFlow;
 use jcr_graph::{shortest, EdgeId, NodeId, Path};
 
+use crate::error::JcrError;
 use crate::instance::Instance;
 use crate::placement::Placement;
 use crate::routing::{Routing, Solution};
@@ -149,6 +150,29 @@ pub fn repair_solution(inst: &Instance, solution: &Solution) -> (Solution, Repai
         }
     }
     (sol, stats)
+}
+
+/// [`repair_solution`] with the feasibility re-check built in: returns the
+/// repaired solution only when it passes [`validate_solution`], and a
+/// typed error otherwise — a repair that cannot restore feasibility must
+/// never hand back a silently invalid solution.
+///
+/// # Errors
+///
+/// [`JcrError::Infeasible`] when the repaired solution still violates a
+/// constraint of optimization (1) — i.e. the instance is genuinely
+/// unservable (e.g. a requester cut off from every replica and the
+/// origin), which no amount of eviction or re-routing can fix.
+pub fn repair_solution_checked(
+    inst: &Instance,
+    solution: &Solution,
+) -> Result<(Solution, RepairStats), JcrError> {
+    let (repaired, stats) = repair_solution(inst, solution);
+    if validate_solution(inst, &repaired).is_empty() {
+        Ok((repaired, stats))
+    } else {
+        Err(JcrError::Infeasible)
+    }
 }
 
 /// Drops whole requests crossing `e` (smallest rate first) until its load
@@ -337,6 +361,70 @@ mod tests {
         assert!(violations.is_empty(), "{violations:?}");
         assert!(stats.evicted > 0, "{stats:?}");
         assert!(repaired.placement.is_feasible(&inst));
+    }
+
+    #[test]
+    fn empty_placement_repairs_to_origin_routing() {
+        // A carried decision with empty caches and no routing at all must
+        // come back fully served from the origin.
+        let inst = capped_inst(7);
+        let bare = Solution {
+            placement: Placement::empty(&inst),
+            routing: Routing {
+                per_request: vec![Vec::new(); inst.requests.len()],
+            },
+        };
+        let (repaired, stats) = repair_solution_checked(&inst, &bare).unwrap();
+        assert!(validate_solution(&inst, &repaired).is_empty());
+        assert_eq!(stats.rerouted, inst.requests.len());
+        assert!(repaired.routing.serves_all(&inst));
+    }
+
+    #[test]
+    fn every_cache_failed_evicts_everything() {
+        // The current instance lost all cache capacity: every cached copy
+        // must be evicted and all traffic re-routed to the origin.
+        let old = capped_inst(9);
+        let sol = Alternating::new().solve(&old).unwrap().solution;
+        assert!(!sol.placement.is_empty(), "solver should cache something");
+        let no_caches = crate::instance::Instance::new(
+            old.graph.clone(),
+            old.link_cost.clone(),
+            old.link_cap.clone(),
+            vec![0.0; old.graph.node_count()],
+            old.item_size.clone(),
+            old.requests.clone(),
+            old.origin,
+        )
+        .unwrap();
+        let (repaired, stats) = repair_solution_checked(&no_caches, &sol).unwrap();
+        assert_eq!(repaired.placement.len(), 0, "all items must be evicted");
+        assert!(stats.evicted > 0, "{stats:?}");
+        assert!(validate_solution(&no_caches, &repaired).is_empty());
+    }
+
+    #[test]
+    fn unrestorable_instance_yields_typed_error() {
+        // Zero link capacity everywhere: nothing can be routed, so the
+        // checked repair must surface a typed error instead of a silently
+        // invalid solution.
+        let inst = capped_inst(4);
+        let sol = Alternating::new().solve(&inst).unwrap().solution;
+        let dead = crate::instance::Instance::new(
+            inst.graph.clone(),
+            inst.link_cost.clone(),
+            vec![0.0; inst.graph.edge_count()],
+            inst.cache_cap.clone(),
+            inst.item_size.clone(),
+            inst.requests.clone(),
+            inst.origin,
+        )
+        .unwrap();
+        let err = repair_solution_checked(&dead, &sol).unwrap_err();
+        assert_eq!(err, crate::error::JcrError::Infeasible);
+        // The unchecked variant still reports what it tried.
+        let (_, stats) = repair_solution(&dead, &sol);
+        assert!(stats.passes > 0);
     }
 
     #[test]

@@ -83,9 +83,14 @@ pub fn min_cost_flow_cycle_canceling(
         let arcs = residual_arcs(g, cap, &flow);
         let Some(cycle) = negative_cycle(n, &arcs, cost, 1e-10 * scale) else {
             let total_cost = flow.iter().zip(cost).map(|(f, c)| f * c).sum();
+            let certificate = crate::mincost::certify_flow(g, cost, cap, supply, &flow, total_cost);
+            if !certificate.verified() {
+                return Err(FlowError::NumericalBreakdown(certificate.failure_summary()));
+            }
             return Ok(MinCostFlow {
                 flow,
                 cost: total_cost,
+                certificate,
             });
         };
         // Bottleneck along the cycle.

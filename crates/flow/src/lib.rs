@@ -88,6 +88,12 @@ pub enum FlowError {
     Infeasible,
     /// The solver lost numerical precision or exceeded its iteration budget.
     Numerical(String),
+    /// A numerical guardrail tripped: the underlying LP detected basis
+    /// drift, or the independent flow certificate verifier rejected the
+    /// solution. The payload names the failing residual checks. Callers
+    /// should degrade (retry, fall back, keep an incumbent) rather than
+    /// trust anything computed so far.
+    NumericalBreakdown(String),
     /// A [`jcr_ctx::SolverContext`] budget (deadline or phase iteration
     /// cap) tripped before the solver finished.
     Budget(jcr_ctx::BudgetExceeded),
@@ -98,6 +104,7 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Infeasible => write!(f, "flow demands are infeasible"),
             FlowError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            FlowError::NumericalBreakdown(msg) => write!(f, "numerical breakdown: {msg}"),
             FlowError::Budget(b) => write!(f, "{b}"),
         }
     }
@@ -117,6 +124,7 @@ impl From<jcr_lp::LpError> for FlowError {
             jcr_lp::LpError::Infeasible => FlowError::Infeasible,
             jcr_lp::LpError::Unbounded => FlowError::Numerical("unexpected unbounded LP".into()),
             jcr_lp::LpError::Numerical(m) => FlowError::Numerical(m),
+            jcr_lp::LpError::NumericalBreakdown(m) => FlowError::NumericalBreakdown(m),
             jcr_lp::LpError::Budget(b) => FlowError::Budget(b),
         }
     }

@@ -9,6 +9,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use jcr_ctx::cert::{Certificate, Kahan};
 use jcr_ctx::{Counter, Phase, SolverContext};
 use jcr_graph::{DiGraph, NodeId};
 
@@ -21,6 +22,74 @@ pub struct MinCostFlow {
     pub flow: Vec<f64>,
     /// Total cost `Σ_e w_e · flow_e`.
     pub cost: f64,
+    /// Independent feasibility/cost certificate (see [`certify_flow`]).
+    pub certificate: Certificate,
+}
+
+/// Independently verifies an edge flow against the instance it claims to
+/// solve: non-negativity, capacity residuals, per-node conservation
+/// against `supply`, and a compensated recomputation of the reported
+/// cost. All accumulation uses Neumaier–Kahan summation, never the
+/// solver's own running totals, so a solver bug or drifting accumulator
+/// cannot certify itself.
+pub fn certify_flow(
+    g: &DiGraph,
+    cost: &[f64],
+    cap: &[f64],
+    supply: &[f64],
+    flow: &[f64],
+    reported_cost: f64,
+) -> Certificate {
+    let mut cert = Certificate::new("mincost");
+    if flow.len() != g.edge_count() || cost.len() != flow.len() || cap.len() != flow.len() {
+        cert.push("shape", f64::INFINITY, 0.0);
+        return cert;
+    }
+    let scale: f64 = supply.iter().map(|s| s.abs()).sum::<f64>().max(1.0);
+
+    let finite = flow.iter().all(|f| f.is_finite());
+    cert.push("flow-finite", if finite { 0.0 } else { f64::INFINITY }, 0.0);
+    if !finite {
+        return cert;
+    }
+
+    let mut neg = 0.0f64;
+    let mut over = 0.0f64;
+    for e in 0..flow.len() {
+        neg = neg.max(-flow[e]);
+        over = over.max(flow[e] - cap[e]);
+    }
+    cert.push("flow-nonneg", neg, FLOW_EPS * scale);
+    cert.push("capacity", over, 1e-7 * scale);
+
+    // Conservation: net outflow of v must equal supply[v].
+    let mut worst = 0.0f64;
+    for v in g.nodes() {
+        let mut net = Kahan::new();
+        for e in g.out_edges(v) {
+            net.add(flow[e.index()]);
+        }
+        for e in g.in_edges(v) {
+            net.add(-flow[e.index()]);
+        }
+        net.add(-supply[v.index()]);
+        worst = worst.max(net.total().abs());
+    }
+    cert.push("conservation", worst, 1e-6 * scale);
+
+    // Cost: the solver's naive accumulation vs a compensated dot product.
+    let mut exact = Kahan::new();
+    let mut magnitude = Kahan::new();
+    for e in 0..flow.len() {
+        exact.add_prod(flow[e], cost[e]);
+        magnitude.add((flow[e] * cost[e]).abs());
+    }
+    cert.push(
+        "cost",
+        (exact.total() - reported_cost).abs(),
+        1e-9 * (1.0 + magnitude.total()),
+    );
+    cert
 }
 
 struct Arc {
@@ -220,9 +289,15 @@ pub fn min_cost_flow_with_context(
             total_cost += f * cost[orig];
         }
     }
+    let certificate = certify_flow(g, cost, cap, supply, &flow, total_cost);
+    certificate.record(ctx);
+    if !certificate.verified() {
+        return Err(FlowError::NumericalBreakdown(certificate.failure_summary()));
+    }
     Ok(MinCostFlow {
         flow,
         cost: total_cost,
+        certificate,
     })
 }
 

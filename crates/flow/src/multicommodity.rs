@@ -35,6 +35,12 @@ pub struct McfSolution {
     pub path_flows: Vec<Vec<PathFlow>>,
     /// Total routing cost.
     pub cost: f64,
+    /// Best Lagrangian lower bound observed across pricing rounds
+    /// (`Σ_e ŷ_e·cap_e + Σ_k d_k·sp_k(cost − ŷ)` with `ŷ = min(y, 0)`),
+    /// or `−∞` if no finite bound was obtained.
+    pub lower_bound: f64,
+    /// Independent feasibility/optimality certificate (kind `"mmsfp"`).
+    pub certificate: jcr_ctx::cert::Certificate,
 }
 
 impl McfSolution {
@@ -97,6 +103,8 @@ pub fn min_cost_multicommodity_with_context(
         return Ok(McfSolution {
             path_flows: Vec::new(),
             cost: 0.0,
+            lower_bound: 0.0,
+            certificate: jcr_ctx::cert::Certificate::new("mmsfp"),
         });
     }
     let big = 1e3
@@ -146,6 +154,11 @@ pub fn min_cost_multicommodity_with_context(
         let _m = ctx.span("cg.master");
         solver.solve_with_context(ctx)?
     };
+    // Best Lagrangian lower bound seen across pricing rounds, and whether
+    // pricing converged (no improving column) rather than hitting the
+    // round budget. Both feed the certificate below.
+    let mut lower_bound = f64::NEG_INFINITY;
+    let mut converged = false;
     for _round in 0..max_rounds {
         ctx.check(Phase::ColumnGeneration)?;
         // Pricing: reduced cost of path p for commodity i is
@@ -165,7 +178,8 @@ pub fn min_cost_multicommodity_with_context(
         // commodity order below so the master LP trajectory — and thus the
         // solution — is identical for any worker count.
         let round_t0 = Instant::now();
-        let priced: Vec<Vec<(usize, Path)>> = {
+        type Priced = (Vec<(usize, Path)>, Vec<(usize, f64)>);
+        let priced: Vec<Priced> = {
             let _p = ctx.span("cg.pricing");
             jcr_ctx::par::try_par_map_init(
                 ctx,
@@ -181,18 +195,21 @@ pub fn min_cost_multicommodity_with_context(
                         wctx,
                     );
                     let mut improving = Vec::new();
+                    let mut sp = Vec::new();
                     for &i in &by_source[src] {
                         let sigma = solution.duals[demand_rows[i].index()];
                         if !scratch.path_into(g, commodities[i].dest, path_buf) {
+                            sp.push((i, f64::INFINITY));
                             continue;
                         }
-                        let reduced =
-                            path_buf.iter().map(|e| weights[e.index()]).sum::<f64>() - sigma;
+                        let sp_cost = path_buf.iter().map(|e| weights[e.index()]).sum::<f64>();
+                        sp.push((i, sp_cost));
+                        let reduced = sp_cost - sigma;
                         if reduced < -1e-7 * (1.0 + sigma.abs()) {
                             improving.push((i, Path::new(path_buf.clone())));
                         }
                     }
-                    Ok::<_, FlowError>(improving)
+                    Ok::<_, FlowError>((improving, sp))
                 },
             )?
         };
@@ -200,8 +217,33 @@ pub fn min_cost_multicommodity_with_context(
             PRICING_ROUND_NS,
             round_t0.elapsed().as_nanos().min(u64::MAX as u128) as u64,
         );
+        // Lagrangian bound from this round's duals: relaxing the capacity
+        // rows with ŷ = min(y, 0) prices every commodity on its shortest
+        // path under `cost − ŷ`, so
+        //   L(ŷ) = Σ_e ŷ_e·cap_e + Σ_k d_k·sp_k ≤ OPT.
+        // The pricing weights clamp `cost − y` at 0, which can only
+        // *shrink* sp_k relative to `cost − ŷ`, keeping the bound valid.
+        {
+            let mut bound = jcr_ctx::cert::Kahan::new();
+            let mut all_reachable = true;
+            for e in g.edges() {
+                if let Some(r) = cap_row[e.index()] {
+                    bound.add_prod(solution.duals[r.index()].min(0.0), cap[e.index()]);
+                }
+            }
+            for (i, sp_cost) in priced.iter().flat_map(|(_, sp)| sp) {
+                if sp_cost.is_finite() {
+                    bound.add_prod(commodities[*i].demand, *sp_cost);
+                } else {
+                    all_reachable = false;
+                }
+            }
+            if all_reachable {
+                lower_bound = lower_bound.max(bound.total());
+            }
+        }
         let mut added = false;
-        for (i, path) in priced.into_iter().flatten() {
+        for (i, path) in priced.into_iter().flat_map(|(imp, _)| imp) {
             // Column: 1 on the demand row, 1 per capacitated edge (paths
             // are simple, so each edge appears once).
             let mut column = vec![(demand_rows[i], 1.0)];
@@ -217,6 +259,7 @@ pub fn min_cost_multicommodity_with_context(
             added = true;
         }
         if !added {
+            converged = true;
             break;
         }
         solution = {
@@ -245,10 +288,169 @@ pub fn min_cost_multicommodity_with_context(
             });
         }
     }
+    // Commodities whose demand sits below the master's feasibility
+    // tolerance can end the CG loop with no column at all: the equality
+    // row is satisfied "at zero" within tolerance, so pricing never sees
+    // an attractive reduced cost. Route such negligible demands on their
+    // plain shortest path — optimal in the infinitesimal-demand limit,
+    // with cost and capacity impact below every certificate tolerance —
+    // so every commodity leaves with at least one path (downstream
+    // rounding requires it).
+    if path_flows.iter().any(Vec::is_empty) {
+        let mut scratch = shortest::DijkstraScratch::new();
+        let mut path_buf = Vec::new();
+        for (i, c) in commodities.iter().enumerate() {
+            if !path_flows[i].is_empty() {
+                continue;
+            }
+            shortest::dijkstra_into_with_context(g, c.source, cost, &mut scratch, ctx);
+            if !scratch.path_into(g, c.dest, &mut path_buf) {
+                return Err(FlowError::Infeasible);
+            }
+            let path = Path::new(path_buf.clone());
+            total += c.demand * path.cost(cost);
+            path_flows[i].push(PathFlow {
+                path,
+                amount: c.demand,
+            });
+        }
+    }
+    let certificate = certify_multicommodity(
+        g,
+        cost,
+        cap,
+        commodities,
+        &path_flows,
+        total,
+        lower_bound,
+        converged,
+    );
+    certificate.record(ctx);
+    if !certificate.verified() {
+        return Err(FlowError::NumericalBreakdown(certificate.failure_summary()));
+    }
     Ok(McfSolution {
         path_flows,
         cost: total,
+        lower_bound,
+        certificate,
     })
+}
+
+/// Independently verifies a path-decomposed multicommodity flow: path
+/// endpoints, per-commodity demand satisfaction, link capacity residuals,
+/// a compensated recomputation of the reported cost, and — when a finite
+/// Lagrangian `lower_bound` is supplied — that the objective respects it
+/// (plus a near-optimality gap check when pricing `converged`). All sums
+/// are Neumaier–Kahan, independent of the master LP's arithmetic.
+#[allow(clippy::too_many_arguments)]
+pub fn certify_multicommodity(
+    g: &DiGraph,
+    cost: &[f64],
+    cap: &[f64],
+    commodities: &[Commodity],
+    path_flows: &[Vec<PathFlow>],
+    reported_cost: f64,
+    lower_bound: f64,
+    converged: bool,
+) -> jcr_ctx::cert::Certificate {
+    use jcr_ctx::cert::{Certificate, Kahan};
+    let mut cert = Certificate::new("mmsfp");
+    if path_flows.len() != commodities.len() {
+        cert.push("shape", f64::INFINITY, 0.0);
+        return cert;
+    }
+
+    // Paths must connect their commodity's endpoints and carry finite,
+    // non-negative flow.
+    let mut endpoints_ok = true;
+    let mut neg = 0.0f64;
+    for (i, flows) in path_flows.iter().enumerate() {
+        for pf in flows {
+            if pf.path.source(g) != Some(commodities[i].source)
+                || pf.path.target(g) != Some(commodities[i].dest)
+            {
+                endpoints_ok = false;
+            }
+            neg = neg.max(-pf.amount);
+            if !pf.amount.is_finite() {
+                neg = f64::INFINITY;
+            }
+        }
+    }
+    cert.push(
+        "paths-valid",
+        if endpoints_ok { 0.0 } else { f64::INFINITY },
+        0.0,
+    );
+    cert.push("flow-nonneg", neg, FLOW_EPS);
+
+    // Demand satisfaction, worst over commodities, relative to 1 + d_k.
+    // The master tolerates artificials up to 1e-6 and extraction drops
+    // columns below FLOW_EPS, hence the 1e-5 headroom.
+    let mut worst_demand = 0.0f64;
+    for (i, flows) in path_flows.iter().enumerate() {
+        let mut routed = Kahan::new();
+        for pf in flows {
+            routed.add(pf.amount);
+        }
+        let r = (routed.total() - commodities[i].demand).abs();
+        worst_demand = worst_demand.max(r / (1.0 + commodities[i].demand));
+    }
+    cert.push("demand", worst_demand, 1e-5);
+
+    // Link capacity, worst over finite-capacity edges, relative to 1 + cap.
+    let mut loads: Vec<Kahan> = vec![Kahan::new(); g.edge_count()];
+    for flows in path_flows {
+        for pf in flows {
+            for e in pf.path.edges() {
+                loads[e.index()].add(pf.amount);
+            }
+        }
+    }
+    let mut worst_cap = 0.0f64;
+    for e in g.edges() {
+        let c = cap[e.index()];
+        if c.is_finite() {
+            worst_cap = worst_cap.max((loads[e.index()].total() - c) / (1.0 + c));
+        }
+    }
+    cert.push("capacity", worst_cap, 1e-5);
+
+    // Cost recomputation (compensated) vs the reported accumulation.
+    let mut exact = Kahan::new();
+    let mut magnitude = Kahan::new();
+    for flows in path_flows {
+        for pf in flows {
+            let pc = pf.path.cost(cost);
+            exact.add_prod(pf.amount, pc);
+            magnitude.add((pf.amount * pc).abs());
+        }
+    }
+    cert.push(
+        "cost",
+        (exact.total() - reported_cost).abs(),
+        1e-9 * (1.0 + magnitude.total()),
+    );
+
+    // The Lagrangian bound must not exceed the primal objective, and at
+    // pricing convergence the duality gap must close to within the
+    // pricing threshold's error budget.
+    if lower_bound.is_finite() {
+        let scale = 1.0 + reported_cost.abs();
+        cert.push(
+            "cg-bound",
+            (lower_bound - reported_cost).max(0.0) / scale,
+            1e-6,
+        );
+        if converged {
+            let demand_sum: f64 = commodities.iter().map(|c| c.demand).sum();
+            let cap_sum: f64 = cap.iter().copied().filter(|c| c.is_finite()).sum();
+            let budget = 1e-5 * (1.0 + reported_cost.abs() + demand_sum + cap_sum);
+            cert.push("cg-gap", (reported_cost - lower_bound).max(0.0), budget);
+        }
+    }
+    cert
 }
 
 /// An unsplittable routing: one path per commodity.

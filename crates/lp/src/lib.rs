@@ -34,6 +34,7 @@
 // chains would obscure the linear-algebra structure.
 #![allow(clippy::needless_range_loop)]
 
+pub mod certify;
 mod model;
 pub mod presolve;
 mod simplex;

@@ -222,27 +222,34 @@ impl Model {
             .all(|(r, &v)| v >= self.row_lower[r] - tol && v <= self.row_upper[r] + tol)
     }
 
-    /// Solves the model from scratch.
+    /// Solves the model from scratch. The returned solution carries an
+    /// independently verified certificate
+    /// ([`Solution::certificate`]); a solution that fails verification is
+    /// never returned.
     ///
     /// # Errors
     ///
     /// [`LpError::Infeasible`] if no point satisfies all constraints,
     /// [`LpError::Unbounded`] if the objective is unbounded in the model's
-    /// sense, and [`LpError::Numerical`] if the solver loses too much
-    /// precision to certify a result.
+    /// sense, [`LpError::Numerical`] if the solver loses too much
+    /// precision to certify a result, and [`LpError::NumericalBreakdown`]
+    /// if the independent certificate verifier rejects the extracted
+    /// solution.
     pub fn solve(&self) -> Result<Solution, LpError> {
-        Simplex::new(self).solve()
+        self.solve_with_context(&jcr_ctx::SolverContext::new())
     }
 
     /// [`Model::solve`] under an explicit [`jcr_ctx::SolverContext`] — the context
-    /// bounds the pivot loop and records simplex statistics.
+    /// bounds the pivot loop and records simplex statistics plus the
+    /// certificate residuals.
     ///
     /// # Errors
     ///
     /// Same as [`Model::solve`], plus [`LpError::Budget`] when the
     /// context's deadline or simplex iteration cap trips.
     pub fn solve_with_context(&self, ctx: &jcr_ctx::SolverContext) -> Result<Solution, LpError> {
-        Simplex::new(self).solve_with_context(ctx)
+        let sol = Simplex::new(self).solve_with_context(ctx)?;
+        attach_certificate(self, sol, ctx)
     }
 
     /// Creates a reusable solver for this model, allowing columns to be
@@ -323,7 +330,7 @@ impl ModelSolver {
         &mut self,
         ctx: &jcr_ctx::SolverContext,
     ) -> Result<Solution, LpError> {
-        match &mut self.simplex {
+        let result = match &mut self.simplex {
             Some(s) => s.resolve_with_context(&self.model, ctx),
             None => {
                 let mut s = Simplex::new(&self.model);
@@ -331,8 +338,27 @@ impl ModelSolver {
                 self.simplex = Some(s);
                 result
             }
-        }
+        };
+        attach_certificate(&self.model, result?, ctx)
     }
+}
+
+/// Runs the independent verifier over a freshly extracted solution,
+/// records the certificate's residuals into the context's metrics
+/// registry, and refuses to return an unverified "optimal" claim.
+fn attach_certificate(
+    model: &Model,
+    mut sol: Solution,
+    ctx: &jcr_ctx::SolverContext,
+) -> Result<Solution, LpError> {
+    sol.certificate = crate::certify::certify(model, &sol);
+    sol.certificate.record(ctx);
+    if !sol.certificate.verified() {
+        return Err(LpError::NumericalBreakdown(
+            sol.certificate.failure_summary(),
+        ));
+    }
+    Ok(sol)
 }
 
 #[cfg(test)]

@@ -226,6 +226,9 @@ pub fn solve_with_info_ctx(
             x,
             objective: sub.objective + fixed_obj,
             duals,
+            // The reduced solve was certified; the map-back is exact
+            // substitution, so its certificate carries over.
+            certificate: sub.certificate,
         },
         PresolveInfo {
             fixed_vars: fixed_count,

@@ -26,6 +26,17 @@ pub const PIVOT_NS: &str = "lp.pivot_ns";
 pub const FTRAN_FILL: &str = "lp.ftran_fill";
 /// `Count` histogram of nonzeros in the btran result `cbᵀ·B⁻¹` per pivot.
 pub const BTRAN_FILL: &str = "lp.btran_fill";
+/// `Count` histogram of basis-residual agreement bits
+/// (`−log₂ ‖A·x‖∞ / scale`) sampled by the residual monitor.
+pub const BASIS_RESIDUAL_BITS: &str = "lp.basis_residual_bits";
+/// `Count` histogram of iterative-refinement correction magnitudes
+/// (agreement bits of the largest `δ` applied at extraction).
+pub const REFINE_DELTA_BITS: &str = "lp.refine_delta_bits";
+/// Obs counter: residual-triggered refactorizations performed *before*
+/// the periodic [`REFACTOR_EVERY`] cadence was due.
+pub const EARLY_REFACTOR: &str = "lp.early_refactor";
+/// Obs counter: iterative-refinement rounds applied at extraction.
+pub const REFINE_ROUNDS: &str = "lp.refine_rounds";
 
 /// Entries with magnitude above the fill tolerance, for the fill
 /// histograms (deterministic: pure arithmetic on deterministic state).
@@ -43,6 +54,17 @@ const PIVOT_TOL: f64 = 1e-9;
 const REFACTOR_EVERY: usize = 128;
 /// Iterations without objective progress before switching to Bland's rule.
 const STALL_LIMIT: usize = 200;
+/// Pivots between basis-residual probes (the residual costs one pass over
+/// the nonzeros, so it is sampled rather than taken every pivot).
+const RESIDUAL_CHECK_EVERY: usize = 16;
+/// First rung of the residual ladder: a relative basis residual above
+/// this triggers an early refactorization instead of waiting for the
+/// [`REFACTOR_EVERY`] cadence.
+const RESIDUAL_REFRESH: f64 = 1e-8;
+/// Last rung of the residual ladder: a relative residual still above this
+/// *after* a fresh refactorization means the basis is numerically beyond
+/// repair — the solve aborts with [`LpError::NumericalBreakdown`].
+const RESIDUAL_FAIL: f64 = 1e-5;
 
 /// Why an LP could not be solved to optimality.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -53,6 +75,14 @@ pub enum LpError {
     Unbounded,
     /// The solver lost too much numerical precision to certify an answer.
     Numerical(String),
+    /// A numerical guardrail tripped: the basis residual stayed above the
+    /// failure rung of the tolerance ladder after a fresh refactorization,
+    /// or the independent certificate verifier rejected the extracted
+    /// solution. Unlike [`LpError::Numerical`] (structural failures such
+    /// as a singular basis), this is a *detected drift* — callers should
+    /// degrade (retry, fall back, keep the incumbent) rather than trust
+    /// any value computed so far.
+    NumericalBreakdown(String),
     /// A [`SolverContext`] budget (deadline or simplex iteration cap)
     /// tripped mid-solve.
     Budget(BudgetExceeded),
@@ -64,6 +94,7 @@ impl fmt::Display for LpError {
             LpError::Infeasible => write!(f, "infeasible linear program"),
             LpError::Unbounded => write!(f, "unbounded linear program"),
             LpError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            LpError::NumericalBreakdown(msg) => write!(f, "numerical breakdown: {msg}"),
             LpError::Budget(b) => write!(f, "{b}"),
         }
     }
@@ -90,6 +121,13 @@ pub struct Solution {
     /// *improves* the objective when its reduced cost is positive; for a
     /// minimization model, when it is negative.
     pub duals: Vec<f64>,
+    /// Independent verification of this solution (primal feasibility,
+    /// dual signs, complementary slackness, duality gap), recomputed with
+    /// compensated arithmetic by [`crate::certify`]. Populated by the
+    /// [`Model`](crate::Model)-level entry points; a raw
+    /// `Simplex::solve_with_context` leaves it empty (vacuously
+    /// verified).
+    pub certificate: jcr_ctx::cert::Certificate,
 }
 
 impl Solution {
@@ -238,12 +276,6 @@ impl Simplex {
         }
     }
 
-    /// Solves from the current state under a fresh default (unlimited)
-    /// context.
-    pub fn solve(&mut self) -> Result<Solution, LpError> {
-        self.solve_with_context(&SolverContext::new())
-    }
-
     /// Solves from the current state; `ctx` bounds the pivot loop
     /// ([`jcr_ctx::Phase::Simplex`] iteration cap and deadline) and records
     /// pivot/refactorization counts and phase wall time.
@@ -261,6 +293,7 @@ impl Simplex {
             let _p2 = ctx.span("lp.phase2");
             self.run(Phase::Two, ctx)?;
         }
+        self.refine(ctx);
         Ok(self.extract(ctx.scratch()))
     }
 
@@ -452,6 +485,115 @@ impl Simplex {
             .sum()
     }
 
+    /// Relative basis residual `‖A·x‖∞ / max(1, ‖x_B‖∞)`: in computational
+    /// form every row of `A·x` (structural columns plus `−1` slacks) must
+    /// be zero, so any mass left over is drift accumulated by the
+    /// product-form updates of `B⁻¹`. One pass over the nonzeros.
+    fn basis_residual(&self, scratch: &ScratchArena) -> f64 {
+        let m = self.m;
+        if m == 0 {
+            return 0.0;
+        }
+        let mut res = scratch.take_f64(m, 0.0);
+        let ncols = self.n_struct + m;
+        for j in 0..ncols {
+            let v = self.xval[j];
+            if v != 0.0 {
+                self.for_col(j, |r, a| res[r] += a * v);
+            }
+        }
+        let norm = res.iter().fold(0.0f64, |acc, r| acc.max(r.abs()));
+        scratch.put_f64(res);
+        let scale = self
+            .basis
+            .iter()
+            .map(|&j| self.xval[j].abs())
+            .fold(1.0f64, f64::max);
+        norm / scale
+    }
+
+    /// The residual tolerance ladder, probed every
+    /// [`RESIDUAL_CHECK_EVERY`] pivots and at the periodic refactorization
+    /// cadence: a residual above [`RESIDUAL_REFRESH`] forces an early
+    /// refactorization; a residual still above [`RESIDUAL_FAIL`] on a
+    /// *fresh* inverse is a detected numerical breakdown.
+    fn residual_ladder(&mut self, ctx: &SolverContext) -> Result<(), LpError> {
+        let periodic_due = self.pivots_since_refactor >= REFACTOR_EVERY;
+        let probe_due = periodic_due
+            || self
+                .pivots_since_refactor
+                .is_multiple_of(RESIDUAL_CHECK_EVERY);
+        if !probe_due {
+            return Ok(());
+        }
+        let res = self.basis_residual(ctx.scratch());
+        ctx.metric_value(BASIS_RESIDUAL_BITS, jcr_ctx::cert::residual_bits(res));
+        if !periodic_due && res <= RESIDUAL_REFRESH {
+            return Ok(());
+        }
+        if !periodic_due {
+            ctx.obs().add_counter(EARLY_REFACTOR, 1);
+        }
+        {
+            let _s = ctx.span("lp.refactor");
+            self.refactorize(ctx.scratch())?;
+        }
+        ctx.count(Counter::Refactorizations, 1);
+        let fresh = self.basis_residual(ctx.scratch());
+        if fresh > RESIDUAL_FAIL {
+            return Err(LpError::NumericalBreakdown(format!(
+                "basis residual {fresh:.3e} exceeds {RESIDUAL_FAIL:.1e} after refactorization"
+            )));
+        }
+        Ok(())
+    }
+
+    /// One round of iterative refinement on the basic values: the row
+    /// residual `r = 0 − A·x` is accumulated with compensated summation,
+    /// the correction `δ = B⁻¹·r` is applied to `x_B`, and the magnitude
+    /// of the largest correction is recorded. Runs once at extraction —
+    /// cheap (one nonzero pass plus one `B⁻¹` apply) and squeezes the
+    /// drift of the final pivot stretch out of the reported solution.
+    fn refine(&mut self, ctx: &SolverContext) {
+        let m = self.m;
+        if m == 0 {
+            return;
+        }
+        let scratch = ctx.scratch();
+        let mut r = scratch.take_f64(m, 0.0);
+        let mut comp = scratch.take_f64(m, 0.0);
+        let ncols = self.n_struct + m;
+        for j in 0..ncols {
+            let v = self.xval[j];
+            if v != 0.0 {
+                self.for_col(j, |row, a| {
+                    let (s, e) = jcr_ctx::cert::two_sum(r[row], -(a * v));
+                    r[row] = s;
+                    comp[row] += e;
+                });
+            }
+        }
+        for (ri, ci) in r.iter_mut().zip(comp.iter()) {
+            *ri += ci;
+        }
+        let mut delta_max = 0.0f64;
+        for i in 0..m {
+            let row = &self.binv[i * m..(i + 1) * m];
+            let mut acc = 0.0;
+            for k in 0..m {
+                acc += row[k] * r[k];
+            }
+            if acc != 0.0 {
+                self.xval[self.basis[i]] += acc;
+                delta_max = delta_max.max(acc.abs());
+            }
+        }
+        scratch.put_f64(comp);
+        scratch.put_f64(r);
+        ctx.obs().add_counter(REFINE_ROUNDS, 1);
+        ctx.metric_value(REFINE_DELTA_BITS, jcr_ctx::cert::residual_bits(delta_max));
+    }
+
     /// Phase-specific cost of column `j` (phase 1: zero for nonbasic; the
     /// gradient of basic violations is handled via `cb`).
     fn phase_cost(&self, phase: Phase, j: usize) -> f64 {
@@ -476,6 +618,54 @@ impl Simplex {
                 }
                 Phase::Two => self.c[j],
             };
+        }
+    }
+
+    /// Enumerates ratio-test candidates for an entering move: calls
+    /// `f(i, rate, bound, v, to_upper)` for every basis position whose
+    /// value blocks the step (phase-1 violated rows chase their violated
+    /// bound; otherwise rows block at their finite bound in the direction
+    /// of motion). Shared by both passes of the Harris ratio test.
+    fn ratio_candidates<F: FnMut(usize, f64, f64, f64, bool)>(
+        &self,
+        phase: Phase,
+        dir: f64,
+        alpha: &[f64],
+        mut f: F,
+    ) {
+        for i in 0..self.m {
+            let rate = -dir * alpha[i]; // d x_B[i] / dt
+            if rate.abs() < PIVOT_TOL {
+                continue;
+            }
+            let k = self.basis[i];
+            let v = self.xval[k];
+            let below = v < self.lo[k] - FEAS_TOL;
+            let above = v > self.up[k] + FEAS_TOL;
+            let (bound, to_upper) = if phase == Phase::One && below {
+                if rate > 0.0 {
+                    (self.lo[k], false) // rising toward its violated lower bound
+                } else {
+                    continue; // moving further away: gradient constant, no block
+                }
+            } else if phase == Phase::One && above {
+                if rate < 0.0 {
+                    (self.up[k], true)
+                } else {
+                    continue;
+                }
+            } else if rate > 0.0 {
+                if self.up[k].is_finite() {
+                    (self.up[k], true)
+                } else {
+                    continue;
+                }
+            } else if self.lo[k].is_finite() {
+                (self.lo[k], false)
+            } else {
+                continue;
+            };
+            f(i, rate, bound, v, to_upper);
         }
     }
 
@@ -559,59 +749,49 @@ impl Simplex {
 
             self.ftran_into(q, alpha);
             ctx.metric_value(FTRAN_FILL, fill_count(alpha));
-            // Ratio test.
+            // Harris two-pass ratio test. Pass 1: the largest step
+            // admissible when every blocking bound is relaxed by half the
+            // feasibility tolerance. Pass 2: among rows whose *exact*
+            // ratio fits under that relaxed step, the largest pivot
+            // magnitude wins (smallest basis index under Bland) — on
+            // degenerate ties this trades a bounded, tolerance-absorbed
+            // overshoot for a far better-conditioned basis update.
+            let expand = FEAS_TOL * 0.5;
+            let mut t_relaxed = f64::INFINITY;
+            self.ratio_candidates(phase, dir, alpha, |_i, rate, bound, v, _to_upper| {
+                let t = ((bound - v) / rate).max(0.0) + expand / rate.abs();
+                if t < t_relaxed {
+                    t_relaxed = t;
+                }
+            });
             let mut t_best = f64::INFINITY;
             let mut leave: Option<usize> = None; // basis position
             let mut leave_to_upper = false;
-            for i in 0..self.m {
-                let rate = -dir * alpha[i]; // d x_B[i] / dt
-                if rate.abs() < PIVOT_TOL {
-                    continue;
+            let mut best_mag = 0.0f64;
+            self.ratio_candidates(phase, dir, alpha, |i, rate, bound, v, to_upper| {
+                let t = ((bound - v) / rate).max(0.0);
+                if t > t_relaxed {
+                    return;
                 }
-                let k = self.basis[i];
-                let v = self.xval[k];
-                let below = v < self.lo[k] - FEAS_TOL;
-                let above = v > self.up[k] + FEAS_TOL;
-                let (bound, to_upper) = if phase == Phase::One && below {
-                    if rate > 0.0 {
-                        (self.lo[k], false) // rising toward its violated lower bound
-                    } else {
-                        continue; // moving further away: gradient constant, no block
+                // `|rate| == |alpha[i]|` (dir is ±1), so the pivot
+                // magnitude comes along for free.
+                let better = match leave {
+                    None => true,
+                    Some(cur) => {
+                        if bland {
+                            self.basis[i] < self.basis[cur]
+                        } else {
+                            rate.abs() > best_mag
+                        }
                     }
-                } else if phase == Phase::One && above {
-                    if rate < 0.0 {
-                        (self.up[k], true)
-                    } else {
-                        continue;
-                    }
-                } else if rate > 0.0 {
-                    if self.up[k].is_finite() {
-                        (self.up[k], true)
-                    } else {
-                        continue;
-                    }
-                } else if self.lo[k].is_finite() {
-                    (self.lo[k], false)
-                } else {
-                    continue;
                 };
-                let t = (bound - v) / rate;
-                let t = t.max(0.0);
-                let better = t < t_best - 1e-12
-                    || (t < t_best + 1e-12
-                        && leave.is_none_or(|cur| {
-                            if bland {
-                                self.basis[i] < self.basis[cur]
-                            } else {
-                                alpha[i].abs() > alpha[cur].abs()
-                            }
-                        }));
                 if better {
                     t_best = t;
                     leave = Some(i);
                     leave_to_upper = to_upper;
+                    best_mag = rate.abs();
                 }
-            }
+            });
             // Entering variable's own opposite bound (bound flip).
             let span = self.up[q] - self.lo[q];
             let t_flip = if span.is_finite() && self.status[q] != ColStatus::FreeZero {
@@ -682,11 +862,7 @@ impl Simplex {
                 }
                 ctx.count(Counter::SimplexPivots, 1);
                 self.pivots_since_refactor += 1;
-                if self.pivots_since_refactor >= REFACTOR_EVERY {
-                    let _s = ctx.span("lp.refactor");
-                    self.refactorize(ctx.scratch())?;
-                    ctx.count(Counter::Refactorizations, 1);
-                }
+                self.residual_ladder(ctx)?;
             }
 
             // Stall tracking for anti-cycling.
@@ -729,6 +905,7 @@ impl Simplex {
             x,
             objective,
             duals,
+            certificate: jcr_ctx::cert::Certificate::new("lp"),
         }
     }
 }

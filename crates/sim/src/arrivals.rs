@@ -72,11 +72,10 @@ impl ArrivalGenerator {
 
     /// The next arrival strictly before `horizon`, advancing the stream.
     pub fn next_before(&mut self, horizon: f64) -> Option<Arrival> {
-        let top = self.heap.peek()?;
-        if top.time >= horizon {
+        if self.heap.peek()?.time >= horizon {
             return None;
         }
-        let HeapEntry { time, request } = self.heap.pop().expect("peeked");
+        let HeapEntry { time, request } = self.heap.pop()?;
         let rate = self.rates[request];
         self.heap.push(HeapEntry {
             time: time + exp_sample(&mut self.rng, rate),

@@ -285,7 +285,10 @@ impl FaultInjector {
             requests,
             base.origin,
         )
-        .expect("faulted instance stays well-formed");
+        .expect(
+            "invariant: injection preserves shapes and non-negativity \
+             (caps floor at 0, rates only scale up), so validation holds",
+        );
         FaultedHour {
             instance,
             events,
