@@ -17,6 +17,7 @@ use jcr_ctx::rng::{Rng, SeedableRng, StdRng};
 use jcr_ctx::{Counter, SolverContext};
 use jcr_flow::multicommodity::{min_cost_multicommodity_with_context, Commodity};
 use jcr_graph::{shortest, DiGraph, NodeId};
+use jcr_lp::{Model, Sense};
 
 use jcr_core::prelude::*;
 
@@ -469,6 +470,171 @@ fn stress_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
     }
 }
 
+/// The warm-start LP family: a seeded covering LP `min c·x` over
+/// `[0, 5]`-bounded variables with `m` rows `Σ a_j x_j ≥ b`. The objective
+/// is `c_j · (1 + obj_shift · δ_j)` with per-variable seeded `δ_j`, so
+/// `obj_shift = 0` is the base hour and a small positive shift is the
+/// "next hour" of the online loop: same constraints, drifted prices.
+fn warm_lp(n: usize, m: usize, seed: u64, obj_shift: f64) -> Model {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = Model::new(Sense::Minimize);
+    let vars: Vec<_> = (0..n)
+        .map(|_| {
+            let c = rng.gen_range(1.0..10.0);
+            let delta = rng.gen_range(0.0..1.0);
+            model.add_var(0.0, 5.0, c * (1.0 + obj_shift * delta))
+        })
+        .collect();
+    for _ in 0..m {
+        let entries: Vec<_> = (0..6)
+            .map(|_| (vars[rng.gen_range(0..n)], rng.gen_range(0.5..2.0)))
+            .collect();
+        let rhs = rng.gen_range(3.0..9.0);
+        model.add_row(rhs, f64::INFINITY, &entries);
+    }
+    model
+}
+
+/// Seeded candidate columns for the CG-style leg of [`lp_warm_phase`]:
+/// cheap columns covering several rows, attractive enough that the master
+/// re-solve has real pivoting to do.
+fn warm_lp_columns(n_cols: usize, m: usize, seed: u64) -> Vec<(f64, Vec<(usize, f64)>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_cols)
+        .map(|_| {
+            let obj = rng.gen_range(0.2..1.0);
+            let entries: Vec<_> = (0..8)
+                .map(|_| (rng.gen_range(0..m), rng.gen_range(0.5..2.0)))
+                .collect();
+            (obj, entries)
+        })
+        .collect()
+}
+
+/// The `lp_warm` phase: measures the warm-start machinery the simplex
+/// exposes ([`jcr_lp::ModelSolver::solve_from_basis`] and the retained
+/// solver's column-generation re-solve) against cold solves of the same
+/// models, counting [`Counter::SimplexPivots`] for each leg. The phase
+/// *asserts* the headline claim — warm re-solves take at most half the
+/// cold pivots — so the bench gate fails loudly if warm starting ever
+/// regresses to cold-solve behavior, and records all four pivot counts
+/// in the checksum so the baseline pins them exactly.
+fn lp_warm_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
+    let (n, m) = if cfg.full { (160, 80) } else { (80, 40) };
+    let n_cg_cols = 8;
+    let seed = cfg.seed.wrapping_add(53);
+    let (wall_serial, wall_parallel, checksum, counters) = run_pair(workers, |ctx| {
+        let pivots = |ctx: &SolverContext| ctx.stats().counter(Counter::SimplexPivots);
+
+        // Online-hour leg: solve the base hour, snapshot the basis, then
+        // solve the drifted-objective "next hour" cold vs warm.
+        let mut base = warm_lp(n, m, seed, 0.0).into_solver();
+        let base_sol = base
+            .solve_with_context(ctx)
+            .expect("warm bench base LP is feasible");
+        let basis = base.basis().expect("solved LP exposes a basis");
+
+        let mark = pivots(ctx);
+        let cold_next = warm_lp(n, m, seed, 0.03)
+            .into_solver()
+            .solve_with_context(ctx)
+            .expect("drifted LP is feasible");
+        let cold_hour_pivots = pivots(ctx) - mark;
+
+        let mark = pivots(ctx);
+        let warm_next = warm_lp(n, m, seed, 0.03)
+            .into_solver()
+            .solve_from_basis(&basis, ctx)
+            .expect("warm solve of the drifted LP succeeds");
+        let warm_hour_pivots = pivots(ctx) - mark;
+
+        assert!(
+            (warm_next.objective - cold_next.objective).abs()
+                <= 1e-7 * cold_next.objective.abs().max(1.0),
+            "warm and cold solves disagree: {} vs {}",
+            warm_next.objective,
+            cold_next.objective
+        );
+        assert!(
+            warm_hour_pivots * 2 <= cold_hour_pivots,
+            "online warm re-solve took {warm_hour_pivots} pivots, cold took \
+             {cold_hour_pivots}: warm starting must at least halve the work"
+        );
+
+        // CG-master leg: the retained solver re-solves after a batch of
+        // added columns vs a cold solve of the final (extended) model.
+        let columns = warm_lp_columns(n_cg_cols, m, seed.wrapping_add(7));
+        let mut master = warm_lp(n, m, seed, 0.0).into_solver();
+        master
+            .solve_with_context(ctx)
+            .expect("CG master base LP is feasible");
+        let mark = pivots(ctx);
+        for (obj, entries) in &columns {
+            let entries: Vec<_> = entries
+                .iter()
+                .map(|&(r, a)| (jcr_lp::ConId::from_index(r), a))
+                .collect();
+            master.add_column(0.0, 5.0, *obj, &entries);
+        }
+        let warm_cg = master
+            .solve_with_context(ctx)
+            .expect("CG master re-solve succeeds");
+        let warm_cg_pivots = pivots(ctx) - mark;
+
+        let mut extended = warm_lp(n, m, seed, 0.0);
+        for (obj, entries) in &columns {
+            let entries: Vec<_> = entries
+                .iter()
+                .map(|&(r, a)| (jcr_lp::ConId::from_index(r), a))
+                .collect();
+            extended.add_var_with_column(0.0, 5.0, *obj, &entries);
+        }
+        let mark = pivots(ctx);
+        let cold_cg = extended
+            .into_solver()
+            .solve_with_context(ctx)
+            .expect("extended LP is feasible");
+        let cold_cg_pivots = pivots(ctx) - mark;
+
+        assert!(
+            (warm_cg.objective - cold_cg.objective).abs()
+                <= 1e-7 * cold_cg.objective.abs().max(1.0),
+            "CG warm and cold solves disagree: {} vs {}",
+            warm_cg.objective,
+            cold_cg.objective
+        );
+        assert!(
+            warm_cg_pivots * 2 <= cold_cg_pivots,
+            "CG master re-solve took {warm_cg_pivots} pivots, cold took \
+             {cold_cg_pivots}: warm starting must at least halve the work"
+        );
+
+        let mut h = Checksum::new();
+        for v in [
+            base_sol.objective,
+            cold_next.objective,
+            warm_next.objective,
+            cold_cg.objective,
+            warm_cg.objective,
+            cold_hour_pivots as f64,
+            warm_hour_pivots as f64,
+            cold_cg_pivots as f64,
+            warm_cg_pivots as f64,
+        ] {
+            h.push(v);
+        }
+        h.hex()
+    });
+    PhaseReport {
+        name: "lp_warm".into(),
+        wall_ms_serial: wall_serial,
+        wall_ms_parallel: wall_parallel,
+        speedup: wall_serial / wall_parallel.max(1e-9),
+        checksum,
+        counters,
+    }
+}
+
 /// Entry point of `experiments stress`: the stress phase alone, printed
 /// as a one-phase report — the quick way to exercise the beyond-paper
 /// scale (and its on-demand oracle) without the full bench suite.
@@ -491,6 +657,7 @@ pub fn run(cfg: ExpConfig) -> BenchReport {
         phases: vec![
             all_pairs_phase(cfg, workers),
             column_generation_phase(cfg, workers),
+            lp_warm_phase(cfg, workers),
             monte_carlo_phase(cfg, workers),
             stress_phase(cfg, workers),
         ],
@@ -638,7 +805,123 @@ pub fn compare(report: &BenchReport, baseline: &Json, tolerance: f64) -> Vec<Str
             }
         }
     }
+    // The reverse direction is just as much a regression: a phase the
+    // baseline records but this run never produced means coverage was
+    // silently dropped (deleted phase, renamed phase, harness bug), and
+    // skipping it would let the gate pass while measuring less. Fail by
+    // name instead.
+    for base in base_phases {
+        let Some(name) = base.get("name").and_then(Json::as_str) else {
+            violations.push("baseline has a phase with no name".into());
+            continue;
+        };
+        if !report.phases.iter().any(|p| p.name == name) {
+            violations.push(format!(
+                "phase {name:?} is recorded in the baseline but missing from this run \
+                 (removed or renamed phases must re-record the baseline)"
+            ));
+        }
+    }
     violations
+}
+
+/// Signed relative drift of `fresh` against `base`, as a `+4.2%` string.
+fn delta_pct(fresh: f64, base: Option<f64>) -> String {
+    match base {
+        Some(b) if b > 0.0 => format!("{:+.1}%", (fresh - b) / b * 100.0),
+        _ => "—".into(),
+    }
+}
+
+/// A named counter of a phase report (0 when the phase never counted it).
+fn phase_counter(phase: &PhaseReport, name: &str) -> u64 {
+    phase
+        .counters
+        .iter()
+        .find(|&&(n, _)| n == name)
+        .map_or(0, |&(_, v)| v)
+}
+
+/// Renders the gate outcome as the markdown block the CI bench job
+/// appends to `$GITHUB_STEP_SUMMARY`: one row per phase with its wall
+/// drift against the baseline, whether the checksum matched, and the
+/// deterministic pivot/refactorization counts, followed by the verdict
+/// (and every violation, when the gate failed).
+pub fn step_summary_markdown(
+    report: &BenchReport,
+    baseline: Option<&Json>,
+    violations: &[String],
+) -> String {
+    let base_phases = baseline
+        .and_then(|b| b.get("phases"))
+        .and_then(Json::as_arr);
+    let base_of = |name: &str| {
+        base_phases?
+            .iter()
+            .find(|p| p.get("name").and_then(Json::as_str) == Some(name))
+    };
+    let mut md = String::from("### Bench gate\n\n");
+    md.push_str(&format!("Pool width: {} worker(s)\n\n", report.workers));
+    md.push_str(
+        "| phase | serial Δ | parallel Δ | checksum | simplex pivots | refactorizations |\n",
+    );
+    md.push_str("|---|---|---|---|---|---|\n");
+    for phase in &report.phases {
+        let base = base_of(&phase.name);
+        let wall = |key: &str| base.and_then(|b| b.get(key)).and_then(Json::as_f64);
+        let checksum = match base.and_then(|b| b.get("checksum")).and_then(Json::as_str) {
+            None => "—",
+            Some(sum) if sum == phase.checksum => "match ✅",
+            Some(_) => "MISMATCH ❌",
+        };
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            phase.name,
+            delta_pct(phase.wall_ms_serial, wall("wall_ms_serial")),
+            delta_pct(phase.wall_ms_parallel, wall("wall_ms_parallel")),
+            checksum,
+            phase_counter(phase, "simplex pivots"),
+            phase_counter(phase, "refactorizations"),
+        ));
+    }
+    md.push('\n');
+    if violations.is_empty() {
+        md.push_str("**Gate passed.**\n");
+    } else {
+        md.push_str(&format!(
+            "**Gate FAILED ({} violations):**\n\n",
+            violations.len()
+        ));
+        for v in violations {
+            md.push_str(&format!("- {v}\n"));
+        }
+    }
+    md
+}
+
+/// Appends `md` to the file `$GITHUB_STEP_SUMMARY` points at, if set —
+/// the GitHub Actions job-summary contract (append, never truncate).
+/// Outside Actions this is a no-op.
+fn write_step_summary(md: &str) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(md.as_bytes()) {
+                eprintln!("[bench] writing step summary {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("[bench] opening step summary {path}: {e}"),
+    }
 }
 
 /// Entry point of `experiments bench`: run, print, optionally write the
@@ -661,10 +944,19 @@ pub fn bench(cfg: ExpConfig, opts: &BenchOpts) -> Result<(), String> {
             std::fs::read_to_string(path).map_err(|e| format!("reading baseline {path}: {e}"))?;
         let baseline = Json::parse(&text).map_err(|e| format!("parsing baseline {path}: {e}"))?;
         let violations = compare(&report, &baseline, opts.tolerance);
+        // The summary is written pass or fail — the failing run is the
+        // one whose table someone actually reads.
+        write_step_summary(&step_summary_markdown(
+            &report,
+            Some(&baseline),
+            &violations,
+        ));
         if !violations.is_empty() {
             return Err(format!("bench gate failed:\n  {}", violations.join("\n  ")));
         }
         eprintln!("[bench] gate passed against {path}");
+    } else {
+        write_step_summary(&step_summary_markdown(&report, None, &[]));
     }
     Ok(())
 }
@@ -750,6 +1042,74 @@ mod tests {
             violations.iter().any(|v| v.contains("workers")),
             "{violations:?}"
         );
+    }
+
+    #[test]
+    fn compare_fails_hard_when_run_drops_a_baseline_phase() {
+        // A baseline with two phases, a run with only the first: the
+        // dropped phase must be a named violation, not a silent skip.
+        let mut two_phase = tiny_report();
+        two_phase.phases.push(PhaseReport {
+            name: "lp_warm".into(),
+            wall_ms_serial: 4.0,
+            wall_ms_parallel: 2.0,
+            speedup: 2.0,
+            checksum: "aa11".into(),
+            counters: vec![("simplex pivots", 100)],
+        });
+        let baseline = Json::parse(&two_phase.to_json().render()).unwrap();
+        let violations = compare(&tiny_report(), &baseline, 0.25);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("lp_warm") && violations[0].contains("missing from this run"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn step_summary_reports_drift_checksums_and_counts() {
+        let mut report = tiny_report();
+        report.phases[0].counters = vec![("simplex pivots", 85), ("refactorizations", 3)];
+        let baseline = Json::parse(&report.to_json().render()).unwrap();
+
+        // Against its own baseline: zero drift, matching checksum, pass.
+        let md = step_summary_markdown(&report, Some(&baseline), &[]);
+        assert!(
+            md.contains("| all_pairs | +0.0% | +0.0% | match ✅ | 85 | 3 |"),
+            "{md}"
+        );
+        assert!(md.contains("Gate passed"), "{md}");
+
+        // Drifted walls, broken checksum, violations listed.
+        let mut worse = report.clone();
+        worse.phases[0].wall_ms_serial = 12.0; // 10 → 12 = +20%
+        worse.phases[0].checksum = "beef".into();
+        let violations = vec!["phase \"all_pairs\": checksum beef != baseline 00ff".into()];
+        let md = step_summary_markdown(&worse, Some(&baseline), &violations);
+        assert!(md.contains("+20.0%"), "{md}");
+        assert!(md.contains("MISMATCH ❌"), "{md}");
+        assert!(md.contains("Gate FAILED (1 violations)"), "{md}");
+        assert!(md.contains("- phase \"all_pairs\": checksum"), "{md}");
+
+        // No baseline: drift and checksum columns degrade to em-dashes.
+        let md = step_summary_markdown(&report, None, &[]);
+        assert!(md.contains("| all_pairs | — | — | — | 85 | 3 |"), "{md}");
+    }
+
+    #[test]
+    fn lp_warm_phase_halves_pivots_and_is_deterministic() {
+        // The 2× assertions live inside the phase; surviving two runs at
+        // different widths with equal checksums is the determinism half.
+        let cfg = ExpConfig {
+            runs: 1,
+            hours: 1,
+            ..ExpConfig::default()
+        };
+        let a = lp_warm_phase(cfg, 2);
+        let b = lp_warm_phase(cfg, 4);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.counters, b.counters);
+        assert!(phase_counter(&a, "simplex pivots") > 0);
     }
 
     #[test]

@@ -161,6 +161,30 @@ impl Alternating {
         initial: Placement,
         ctx: &SolverContext,
     ) -> Result<AlternatingSolution, JcrError> {
+        self.solve_from_with_basis(inst, initial, None, ctx)
+            .map(|(solution, _)| solution)
+    }
+
+    /// [`Alternating::solve_from_with_context`] with LP warm-start
+    /// plumbing: `warm` seeds the first placement LP from a prior basis
+    /// snapshot (e.g. the previous online hour's), and the returned
+    /// snapshot — from the last placement LP this run solved — feeds the
+    /// next call. Within the run, each alternating iteration's placement
+    /// LP warm-starts from the previous iteration's basis; incompatible
+    /// snapshots (the segment structure moved with the routing) silently
+    /// fall back to a cold solve, so the optimization trajectory is
+    /// unaffected — only the simplex pivot counts change.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Alternating::solve_from_with_context`].
+    pub fn solve_from_with_basis(
+        &self,
+        inst: &Instance,
+        initial: Placement,
+        warm: Option<&jcr_lp::Basis>,
+        ctx: &SolverContext,
+    ) -> Result<(AlternatingSolution, Option<jcr_lp::Basis>), JcrError> {
         let _span = ctx.span("alt.solve");
         let method = self.placement.unwrap_or(if inst.homogeneous() {
             PlacementMethod::PipageLp
@@ -168,6 +192,7 @@ impl Alternating {
             PlacementMethod::Greedy
         });
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x616c_7465_726e);
+        let mut lp_basis: Option<jcr_lp::Basis> = warm.cloned();
 
         // Warm the all-pairs cache through the context so the per-source
         // Dijkstra runs fan out over the pool (and are counted) instead of
@@ -200,12 +225,19 @@ impl Alternating {
                 let _p = ctx.span("alt.placement");
                 match method {
                     PlacementMethod::PipageLp => {
-                        match placement_opt::optimize_placement_with_context(
+                        match placement_opt::optimize_placement_warm(
                             inst,
                             &best_routing,
+                            false,
                             ctx,
+                            lp_basis.as_ref(),
                         ) {
-                            Ok(p) => p,
+                            Ok((p, basis)) => {
+                                if basis.is_some() {
+                                    lp_basis = basis;
+                                }
+                                p
+                            }
                             Err(e) => {
                                 return Err(attach_incumbent(e, best_placement, best_routing))
                             }
@@ -249,12 +281,15 @@ impl Alternating {
         if !certificate.verified() {
             return Err(JcrError::NumericalBreakdown(certificate.failure_summary()));
         }
-        Ok(AlternatingSolution {
-            solution,
-            history,
-            iterations,
-            certificate,
-        })
+        Ok((
+            AlternatingSolution {
+                solution,
+                history,
+                iterations,
+                certificate,
+            },
+            lp_basis,
+        ))
     }
 
     /// The routing subproblem given a placement (§4.3.2), exposed for

@@ -182,6 +182,13 @@ pub struct OnlineSimulator {
     /// caches).
     pub warm_start: bool,
     previous: Option<Solution>,
+    /// Simplex basis of the previous hour's last placement LP, threaded
+    /// into the next hour's solve. Best effort: an hour whose LP shape
+    /// drifted (topology delta, different segment structure) falls back to
+    /// a cold solve on its own. Only [`OnlineSimulator::commit`] updates
+    /// this, so a failed hour keeps the last good basis and retries
+    /// bit-identically.
+    lp_basis: Option<jcr_lp::Basis>,
     hour: usize,
 }
 
@@ -192,6 +199,7 @@ impl OnlineSimulator {
             solver,
             warm_start: true,
             previous: None,
+            lp_basis: None,
             hour: 0,
         }
     }
@@ -219,8 +227,20 @@ impl OnlineSimulator {
     ) -> Result<HourOutcome, JcrError> {
         let solver = self.hour_solver();
         let initial = self.initial_placement(decision_inst);
-        let result = solver.solve_from(decision_inst, initial)?;
-        Ok(self.commit(decision_inst, true_rates, result.solution, Rung::Full, None))
+        let (result, basis) = solver.solve_from_with_basis(
+            decision_inst,
+            initial,
+            self.lp_basis.as_ref(),
+            &SolverContext::new(),
+        )?;
+        Ok(self.commit(
+            decision_inst,
+            true_rates,
+            result.solution,
+            Rung::Full,
+            None,
+            basis,
+        ))
     }
 
     /// Executes one hour with the fault-tolerant anytime ladder (see the
@@ -263,10 +283,15 @@ impl OnlineSimulator {
         let ctx = rung_context(cfg, cfg.budget);
         let attempt = {
             let _s = ctx.span("online.rung.full");
-            solver.solve_from_with_context(decision_inst, initial.clone(), &ctx)
+            solver.solve_from_with_basis(
+                decision_inst,
+                initial.clone(),
+                self.lp_basis.as_ref(),
+                &ctx,
+            )
         };
         match attempt {
-            Ok(result) => {
+            Ok((result, basis)) => {
                 if let Some((solution, repair)) = accept(decision_inst, result.solution) {
                     emit(Rung::Full, "served", polish_note(&repair));
                     return Ok(self.commit(
@@ -275,6 +300,7 @@ impl OnlineSimulator {
                         solution,
                         Rung::Full,
                         repair,
+                        basis,
                     ));
                 }
                 emit(Rung::Full, "failed", "candidate failed validation");
@@ -291,6 +317,7 @@ impl OnlineSimulator {
                             solution,
                             Rung::Incumbent,
                             repair,
+                            None,
                         ));
                     }
                     emit(Rung::Incumbent, "failed", "incumbent failed validation");
@@ -310,10 +337,15 @@ impl OnlineSimulator {
         let ctx = rung_context(cfg, budget);
         let attempt = {
             let _s = ctx.span("online.rung.retry-halved");
-            halved.solve_from_with_context(decision_inst, initial.clone(), &ctx)
+            halved.solve_from_with_basis(
+                decision_inst,
+                initial.clone(),
+                self.lp_basis.as_ref(),
+                &ctx,
+            )
         };
         match attempt {
-            Ok(result) => {
+            Ok((result, basis)) => {
                 if let Some((solution, repair)) = accept(decision_inst, result.solution) {
                     emit(Rung::RetryHalved, "served", polish_note(&repair));
                     return Ok(self.commit(
@@ -322,6 +354,7 @@ impl OnlineSimulator {
                         solution,
                         Rung::RetryHalved,
                         repair,
+                        basis,
                     ));
                 }
                 emit(Rung::RetryHalved, "failed", "candidate failed validation");
@@ -337,6 +370,7 @@ impl OnlineSimulator {
                             solution,
                             Rung::RetryHalved,
                             repair,
+                            None,
                         ));
                     }
                 }
@@ -365,6 +399,7 @@ impl OnlineSimulator {
                         solution,
                         Rung::RoutingOnly,
                         repair,
+                        None,
                     ));
                 }
                 emit(Rung::RoutingOnly, "failed", "candidate failed validation");
@@ -401,6 +436,7 @@ impl OnlineSimulator {
                     repaired,
                     Rung::CarryForward,
                     Some(stats),
+                    None,
                 ));
             }
         }
@@ -445,6 +481,9 @@ impl OnlineSimulator {
     /// Commits a served hour: computes the outcome metrics and only then
     /// advances the carried state. All mutation of `self` funnels through
     /// here, so failure paths cannot leave the simulator inconsistent.
+    /// `lp_basis` replaces the carried LP basis when the serving rung
+    /// produced one; rungs that solved no placement LP pass `None` and
+    /// keep the last good basis (still restorable next hour).
     fn commit(
         &mut self,
         decision_inst: &Instance,
@@ -452,6 +491,7 @@ impl OnlineSimulator {
         solution: Solution,
         rung: Rung,
         repair: Option<RepairStats>,
+        lp_basis: Option<jcr_lp::Basis>,
     ) -> HourOutcome {
         let decided_cost = solution.cost(decision_inst);
         let (realized_cost, realized_congestion) =
@@ -463,6 +503,9 @@ impl OnlineSimulator {
             _ => solution.placement.len(),
         };
         let certificate = crate::certify::certify_solution(decision_inst, &solution, false);
+        if lp_basis.is_some() {
+            self.lp_basis = lp_basis;
+        }
         self.previous = Some(solution.clone());
         self.hour += 1;
         HourOutcome {

@@ -177,10 +177,28 @@ pub(crate) fn optimize_placement_impl(
     size_oblivious_rounding: bool,
     ctx: &jcr_ctx::SolverContext,
 ) -> Result<Placement, JcrError> {
+    optimize_placement_warm(inst, routing, size_oblivious_rounding, ctx, None).map(|(p, _)| p)
+}
+
+/// [`optimize_placement_impl`] with LP warm-start plumbing: `warm` is a
+/// basis snapshot from a previous placement LP (e.g. the prior alternating
+/// iteration or the prior online hour), and the returned snapshot feeds
+/// the next call. Restoring is best effort — a snapshot whose dimensions
+/// no longer match (the segment structure changed with the routing) is
+/// silently discarded for a cold solve, so callers thread the basis
+/// unconditionally. Returns `None` for the basis only on the trivial
+/// no-cache-nodes path, which solves no LP.
+pub(crate) fn optimize_placement_warm(
+    inst: &Instance,
+    routing: &Routing,
+    size_oblivious_rounding: bool,
+    ctx: &jcr_ctx::SolverContext,
+    warm: Option<&jcr_lp::Basis>,
+) -> Result<(Placement, Option<jcr_lp::Basis>), JcrError> {
     let cache_nodes = inst.cache_nodes();
     let n_items = inst.num_items();
     if cache_nodes.is_empty() {
-        return Ok(Placement::empty(inst));
+        return Ok((Placement::empty(inst), None));
     }
     let segments = extract_segments(inst, routing);
     let mut node_pos = vec![None; inst.graph.node_count()];
@@ -213,7 +231,12 @@ pub(crate) fn optimize_placement_impl(
             .collect();
         model.add_row(f64::NEG_INFINITY, inst.cache_cap[v.index()], &entries);
     }
-    let lp = model.solve_with_context(ctx)?;
+    let mut lp_solver = model.into_solver();
+    let lp = match warm {
+        Some(basis) => lp_solver.solve_from_basis(basis, ctx)?,
+        None => lp_solver.solve_with_context(ctx)?,
+    };
+    let basis_out = lp_solver.basis();
 
     // --- Pipage rounding ------------------------------------------------
     // Gradient of the multilinear extension of (14) at the current x.
@@ -286,7 +309,7 @@ pub(crate) fn optimize_placement_impl(
         }
     }
     debug_assert!(size_oblivious_rounding || !inst.homogeneous() || placement.is_feasible(inst));
-    Ok(placement)
+    Ok((placement, basis_out))
 }
 
 #[cfg(test)]

@@ -1,0 +1,113 @@
+//! Basis snapshots for warm-started solves.
+//!
+//! A [`Basis`] records, for every column of the computational form
+//! (structural variables first, then one slack per row), whether it was
+//! basic or at which bound it rested when the snapshot was taken. That
+//! is everything a simplex needs to resume: the basic *values* are
+//! recomputed from a fresh factorization, so a snapshot stays valid
+//! across objective changes, right-hand-side perturbations, and bound
+//! tightenings — phase 1 repairs whatever feasibility the new data
+//! broke.
+//!
+//! Restoring is *best effort by design*: a snapshot whose dimensions no
+//! longer match the model (columns added or removed, rows changed), or
+//! whose basic set is numerically singular under the new coefficients,
+//! is silently discarded and the solve proceeds cold from the slack
+//! basis. Callers that re-solve near-identical LPs (alternating
+//! placement steps, hour-over-hour online re-solves) therefore thread a
+//! `Basis` through unconditionally and let incompatible hours fall back
+//! on their own.
+
+/// Where one column rested in the snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SnapStatus {
+    /// In the basis.
+    Basic,
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+    /// Free variable pinned at zero.
+    FreeZero,
+}
+
+/// An opaque snapshot of a simplex basis, produced by
+/// [`ModelSolver::basis`](crate::ModelSolver::basis) and consumed by
+/// [`ModelSolver::solve_from_basis`](crate::ModelSolver::solve_from_basis).
+///
+/// Snapshots are cheap (`n + m` bytes of status plus two dimensions) and
+/// `Clone`; they carry no factorization state.
+#[derive(Clone, Debug)]
+pub struct Basis {
+    /// Structural column count the snapshot was taken at.
+    pub(crate) n_struct: usize,
+    /// Row (slack) count the snapshot was taken at.
+    pub(crate) m: usize,
+    /// Per-column status, structural columns then slacks.
+    pub(crate) statuses: Vec<SnapStatus>,
+}
+
+impl Basis {
+    /// Structural-variable count of the model this snapshot came from.
+    pub fn num_vars(&self) -> usize {
+        self.n_struct
+    }
+
+    /// Row count of the model this snapshot came from.
+    pub fn num_rows(&self) -> usize {
+        self.m
+    }
+
+    /// Number of basic columns (equals [`Basis::num_rows`] for any
+    /// snapshot taken from a consistent solver state).
+    pub fn num_basic(&self) -> usize {
+        self.statuses
+            .iter()
+            .filter(|s| **s == SnapStatus::Basic)
+            .count()
+    }
+
+    /// Whether this snapshot's dimensions match a model with `n_vars`
+    /// structural variables and `n_rows` rows — the cheap first gate of
+    /// restore; the factorization gate runs inside the solver.
+    pub fn matches_dims(&self, n_vars: usize, n_rows: usize) -> bool {
+        self.n_struct == n_vars && self.m == n_rows && self.num_basic() == self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimension_gate() {
+        let b = Basis {
+            n_struct: 3,
+            m: 2,
+            statuses: vec![
+                SnapStatus::Basic,
+                SnapStatus::AtLower,
+                SnapStatus::AtUpper,
+                SnapStatus::Basic,
+                SnapStatus::FreeZero,
+            ],
+        };
+        assert_eq!(b.num_vars(), 3);
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(b.num_basic(), 2);
+        assert!(b.matches_dims(3, 2));
+        assert!(!b.matches_dims(4, 2));
+        assert!(!b.matches_dims(3, 3));
+    }
+
+    #[test]
+    fn basic_count_gate() {
+        // Right dims, wrong basic count: not restorable.
+        let b = Basis {
+            n_struct: 1,
+            m: 2,
+            statuses: vec![SnapStatus::Basic, SnapStatus::AtLower, SnapStatus::AtLower],
+        };
+        assert!(!b.matches_dims(1, 2));
+    }
+}

@@ -1,0 +1,431 @@
+//! Sparse LU factorization of the simplex basis.
+//!
+//! Replaces the dense `B⁻¹` the engine historically carried. The basis
+//! `B` (one sparse column per basic variable, slacks implicit `−1`) is
+//! factorized left-looking, one column at a time in a static
+//! Markowitz-flavoured order (ascending column nonzero count), with
+//! threshold partial pivoting: any row whose eliminated value is within
+//! a factor [`PIVOT_THRESHOLD`] of the column maximum is admissible, and
+//! among admissible rows the sparsest (by static row count, then lowest
+//! index) wins — the classic stability/fill compromise, made fully
+//! deterministic by the explicit tie-breaks.
+//!
+//! Between refactorizations the factorization is *not* rebuilt: each
+//! simplex basis change appends a product-form eta (the pivot column in
+//! basis-position space) to an eta file, and `ftran`/`btran` apply the
+//! LU triangles followed by the etas (transposed, in reverse, for
+//! `btran`). The eta file is bounded by the engine's refactorization
+//! cadence plus a nonzero budget; when either trips, the basis is
+//! refactorized from scratch (the Bartels–Golub-style fallback) and the
+//! file is cleared.
+//!
+//! Layout (all indices `usize`, all values `f64`):
+//!
+//! * `L` — one eta column per elimination step: `(original row,
+//!   multiplier)` pairs over the rows *not yet pivotal* at that step;
+//!   unit diagonal implicit.
+//! * `U` — one column per step: `(earlier step, value)` pairs plus a
+//!   separate diagonal array.
+//! * `pivot_row[k]` — the original row chosen at step `k`;
+//!   `col_at[k]` — the basis *position* eliminated at step `k`.
+//!
+//! `ftran` solves `B·x = a` (row-space input, position-space output);
+//! `btran` solves `Bᵀ·y = c` (position-space input, row-space output).
+//! Both exploit sparsity of the right-hand side: the `L`-forward pass
+//! skips steps whose pivot entry is exactly zero, which is where the
+//! ftran-fill histograms come from.
+
+/// Threshold partial pivoting factor: a row is an admissible pivot when
+/// its magnitude is at least this fraction of the column maximum.
+const PIVOT_THRESHOLD: f64 = 0.1;
+
+/// One product-form eta: the pivot column `α = B⁻¹·A_q` recorded at a
+/// basis change on position `r`.
+#[derive(Clone, Debug)]
+pub(crate) struct Eta {
+    /// Basis position the entering column replaced.
+    pub r: usize,
+    /// Pivot element `α_r`.
+    pub pivot: f64,
+    /// Off-pivot nonzeros `(position, α_i)`, `i ≠ r`.
+    pub entries: Vec<(usize, f64)>,
+}
+
+impl Eta {
+    /// Nonzeros this eta stores (pivot included).
+    pub fn nnz(&self) -> usize {
+        self.entries.len() + 1
+    }
+
+    /// Applies `E·v` in place (ftran direction), `v` in position space.
+    pub fn apply(&self, v: &mut [f64]) {
+        let vr = v[self.r] / self.pivot;
+        if vr != 0.0 {
+            for &(i, a) in &self.entries {
+                v[i] -= a * vr;
+            }
+        }
+        v[self.r] = vr;
+    }
+
+    /// Applies `Eᵀ·v` in place (btran direction), `v` in position space.
+    pub fn apply_transposed(&self, v: &mut [f64]) {
+        let mut acc = v[self.r];
+        for &(i, a) in &self.entries {
+            acc -= a * v[i];
+        }
+        v[self.r] = acc / self.pivot;
+    }
+}
+
+/// Sparse LU factors of one basis matrix, plus scratch for the solves.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LuFactors {
+    m: usize,
+    /// Per-step L eta column: `(original row, multiplier)`.
+    l_cols: Vec<Vec<(usize, f64)>>,
+    /// Per-step U column: `(earlier step, value)` above the diagonal.
+    u_cols: Vec<Vec<(usize, f64)>>,
+    /// U diagonal, one entry per step.
+    u_diag: Vec<f64>,
+    /// Original row pivotal at step `k`.
+    pivot_row: Vec<usize>,
+    /// Basis position eliminated at step `k`.
+    col_at: Vec<usize>,
+    /// Inverse of `col_at`: step at which a basis position was eliminated.
+    step_of: Vec<usize>,
+    /// Dense workspace reused across solves (row or position space).
+    work: Vec<f64>,
+    /// Second workspace for the two-stage solves.
+    work2: Vec<f64>,
+}
+
+impl LuFactors {
+    /// Factorizes the `m×m` basis whose column at position `j` is
+    /// produced by `col(j, f)` (calling `f(row, value)` per nonzero).
+    /// Columns are eliminated in ascending nonzero count (ties by
+    /// position) and rows chosen by threshold partial pivoting.
+    ///
+    /// Returns `None` when the basis is numerically singular (no pivot
+    /// above `pivot_tol` in some column).
+    pub fn factorize<F>(m: usize, pivot_tol: f64, col: F) -> Option<LuFactors>
+    where
+        F: Fn(usize, &mut dyn FnMut(usize, f64)),
+    {
+        // Gather the columns once; static counts drive both orderings.
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+        let mut row_count = vec![0usize; m];
+        for (j, c) in cols.iter_mut().enumerate() {
+            col(j, &mut |r, v| {
+                if v != 0.0 {
+                    c.push((r, v));
+                    row_count[r] += 1;
+                }
+            });
+        }
+        // Markowitz-flavoured static order: sparsest column first,
+        // position as the deterministic tie-break.
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by_key(|&j| (cols[j].len(), j));
+
+        let mut lu = LuFactors {
+            m,
+            l_cols: Vec::with_capacity(m),
+            u_cols: Vec::with_capacity(m),
+            u_diag: Vec::with_capacity(m),
+            pivot_row: Vec::with_capacity(m),
+            col_at: Vec::with_capacity(m),
+            step_of: vec![usize::MAX; m],
+            work: vec![0.0; m],
+            work2: vec![0.0; m],
+        };
+        // `row_step[r]` = step at which original row `r` became pivotal.
+        let mut row_step = vec![usize::MAX; m];
+        let mut x = vec![0.0; m];
+        let mut touched: Vec<usize> = Vec::with_capacity(m);
+        let mut is_touched = vec![false; m];
+
+        for (k, &j) in order.iter().enumerate() {
+            // Left-looking: solve the partial L system for column j.
+            for &r in &touched {
+                is_touched[r] = false;
+            }
+            touched.clear();
+            for &(r, v) in &cols[j] {
+                x[r] = v;
+                if !is_touched[r] {
+                    is_touched[r] = true;
+                    touched.push(r);
+                }
+            }
+            let mut u_col = Vec::new();
+            for t in 0..k {
+                let pr = lu.pivot_row[t];
+                let xt = x[pr];
+                if xt != 0.0 {
+                    u_col.push((t, xt));
+                    for &(r, mult) in &lu.l_cols[t] {
+                        if !is_touched[r] {
+                            is_touched[r] = true;
+                            touched.push(r);
+                        }
+                        x[r] -= mult * xt;
+                    }
+                }
+            }
+            // Threshold partial pivot over the not-yet-pivotal rows:
+            // admissible = within PIVOT_THRESHOLD of the column max;
+            // among admissible, sparsest static row, then lowest index.
+            let mut col_max = 0.0f64;
+            for &r in &touched {
+                if row_step[r] == usize::MAX {
+                    col_max = col_max.max(x[r].abs());
+                }
+            }
+            if col_max < pivot_tol {
+                for &r in &touched {
+                    x[r] = 0.0;
+                }
+                return None;
+            }
+            let mut pivot: Option<usize> = None;
+            for &r in &touched {
+                if row_step[r] != usize::MAX || x[r].abs() < PIVOT_THRESHOLD * col_max {
+                    continue;
+                }
+                let better = match pivot {
+                    None => true,
+                    Some(p) => (row_count[r], r) < (row_count[p], p),
+                };
+                if better {
+                    pivot = Some(r);
+                }
+            }
+            let pr = pivot.expect("col_max >= pivot_tol guarantees a candidate");
+            let piv = x[pr];
+            let mut l_col = Vec::new();
+            for &r in &touched {
+                if r != pr && row_step[r] == usize::MAX && x[r] != 0.0 {
+                    l_col.push((r, x[r] / piv));
+                }
+            }
+            // Deterministic storage order regardless of touch order.
+            l_col.sort_unstable_by_key(|&(r, _)| r);
+            for &r in &touched {
+                x[r] = 0.0;
+            }
+            row_step[pr] = k;
+            lu.pivot_row.push(pr);
+            lu.l_cols.push(l_col);
+            lu.u_cols.push(u_col);
+            lu.u_diag.push(piv);
+            lu.col_at.push(j);
+            lu.step_of[j] = k;
+        }
+        Some(lu)
+    }
+
+    /// Dimension of the factored basis.
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    /// Solves `B·x = a`: `a` indexed by original row, `x` by basis
+    /// position. `out` must have length `m`; it is fully overwritten.
+    pub fn ftran(&mut self, a: &[f64], out: &mut [f64]) {
+        let m = self.m;
+        self.work[..m].copy_from_slice(&a[..m]);
+        // Forward pass through L (skips steps with a zero pivot entry —
+        // the sparse-RHS win).
+        for t in 0..m {
+            let v = self.work[self.pivot_row[t]];
+            if v != 0.0 {
+                for &(r, mult) in &self.l_cols[t] {
+                    self.work[r] -= mult * v;
+                }
+            }
+        }
+        // Back-substitute U in step space.
+        for k in 0..m {
+            self.work2[k] = self.work[self.pivot_row[k]];
+        }
+        for k in (0..m).rev() {
+            let y = self.work2[k] / self.u_diag[k];
+            self.work2[k] = y;
+            if y != 0.0 {
+                for &(t, u) in &self.u_cols[k] {
+                    self.work2[t] -= u * y;
+                }
+            }
+        }
+        // Scatter step space -> basis-position space.
+        for k in 0..m {
+            out[self.col_at[k]] = self.work2[k];
+        }
+    }
+
+    /// Solves `Bᵀ·y = c`: `c` indexed by basis position, `y` by original
+    /// row. `out` must have length `m`; it is fully overwritten.
+    pub fn btran(&mut self, c: &[f64], out: &mut [f64]) {
+        let m = self.m;
+        // Gather position space -> step space.
+        for k in 0..m {
+            self.work2[k] = c[self.col_at[k]];
+        }
+        // Solve Uᵀ·z = c' by forward substitution in step order.
+        for k in 0..m {
+            let mut acc = self.work2[k];
+            for &(t, u) in &self.u_cols[k] {
+                acc -= u * self.work2[t];
+            }
+            self.work2[k] = acc / self.u_diag[k];
+        }
+        // Solve Lᵀ: scatter to row space, then apply the transposed
+        // eliminations in reverse step order.
+        for v in out.iter_mut() {
+            *v = 0.0;
+        }
+        for k in 0..m {
+            out[self.pivot_row[k]] = self.work2[k];
+        }
+        for t in (0..m).rev() {
+            let mut acc = out[self.pivot_row[t]];
+            for &(r, mult) in &self.l_cols[t] {
+                acc -= mult * out[r];
+            }
+            out[self.pivot_row[t]] = acc;
+        }
+    }
+
+    /// Total stored nonzeros across both triangles (diagnostics).
+    pub fn fill(&self) -> usize {
+        self.l_cols.iter().map(Vec::len).sum::<usize>()
+            + self.u_cols.iter().map(Vec::len).sum::<usize>()
+            + self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Factorizes a dense matrix given row-major, for the tests.
+    fn factor_dense(a: &[f64], m: usize) -> Option<LuFactors> {
+        LuFactors::factorize(m, 1e-12, |j, f| {
+            for r in 0..m {
+                let v = a[r * m + j];
+                if v != 0.0 {
+                    f(r, v);
+                }
+            }
+        })
+    }
+
+    fn mat_vec(a: &[f64], m: usize, x: &[f64]) -> Vec<f64> {
+        (0..m)
+            .map(|r| (0..m).map(|c| a[r * m + c] * x[c]).sum())
+            .collect()
+    }
+
+    fn mat_t_vec(a: &[f64], m: usize, y: &[f64]) -> Vec<f64> {
+        (0..m)
+            .map(|c| (0..m).map(|r| a[r * m + c] * y[r]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn ftran_btran_match_dense_solves() {
+        let m = 4;
+        #[rustfmt::skip]
+        let a = [
+            2.0, 0.0, 1.0, 0.0,
+            0.0, -1.0, 0.0, 3.0,
+            1.0, 0.0, 0.0, 0.0,
+            0.0, 2.0, 0.0, 1.0,
+        ];
+        let mut lu = factor_dense(&a, m).expect("nonsingular");
+        let rhs = [1.0, 2.0, -1.0, 0.5];
+        let mut x = vec![0.0; m];
+        lu.ftran(&rhs, &mut x);
+        let ax = mat_vec(&a, m, &x);
+        for (got, want) in ax.iter().zip(&rhs) {
+            assert!((got - want).abs() < 1e-12, "{got} != {want}");
+        }
+        let c = [0.5, -1.0, 2.0, 0.0];
+        let mut y = vec![0.0; m];
+        lu.btran(&c, &mut y);
+        let aty = mat_t_vec(&a, m, &y);
+        for (got, want) in aty.iter().zip(&c) {
+            assert!((got - want).abs() < 1e-12, "{got} != {want}");
+        }
+    }
+
+    #[test]
+    fn negative_identity_factors() {
+        // The slack basis B = −I, the engine's cold start.
+        let m = 3;
+        let mut lu = LuFactors::factorize(m, 1e-12, |j, f| f(j, -1.0)).unwrap();
+        let rhs = [3.0, -1.0, 2.0];
+        let mut x = vec![0.0; m];
+        lu.ftran(&rhs, &mut x);
+        assert_eq!(x, vec![-3.0, 1.0, -2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let m = 2;
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(factor_dense(&a, m).is_none());
+    }
+
+    #[test]
+    fn eta_apply_matches_explicit_pivot() {
+        // E from pivoting on position 1 with alpha = [0.5, 2.0, -1.0].
+        let eta = Eta {
+            r: 1,
+            pivot: 2.0,
+            entries: vec![(0, 0.5), (2, -1.0)],
+        };
+        let mut v = [1.0, 4.0, 3.0];
+        eta.apply(&mut v);
+        // vr = 4/2 = 2; v0 = 1 - 0.5*2 = 0; v2 = 3 + 1*2 = 5.
+        assert_eq!(v, [0.0, 2.0, 5.0]);
+
+        // Eᵀ consistency: <E·a, b> == <a, Eᵀ·b> for arbitrary vectors.
+        let a = [1.0, -2.0, 0.5];
+        let b = [3.0, 1.0, -1.0];
+        let mut ea = a;
+        eta.apply(&mut ea);
+        let mut etb = b;
+        eta.apply_transposed(&mut etb);
+        let lhs: f64 = ea.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let rhs: f64 = a.iter().zip(&etb).map(|(x, y)| x * y).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factorization_is_deterministic() {
+        let m = 5;
+        let mut a = vec![0.0; m * m];
+        // A seeded sparse-ish matrix with ties in magnitudes.
+        let mut s = 12345u64;
+        for r in 0..m {
+            for c in 0..m {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if s.is_multiple_of(3) || r == c {
+                    a[r * m + c] = ((s >> 33) % 7) as f64 - 3.0;
+                }
+            }
+            if a[r * m + r] == 0.0 {
+                a[r * m + r] = 1.0;
+            }
+        }
+        let lu1 = factor_dense(&a, m).unwrap();
+        let lu2 = factor_dense(&a, m).unwrap();
+        assert_eq!(lu1.pivot_row, lu2.pivot_row);
+        assert_eq!(lu1.col_at, lu2.col_at);
+        assert_eq!(lu1.fill(), lu2.fill());
+    }
+}

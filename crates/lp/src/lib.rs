@@ -11,10 +11,13 @@
 //! * **ranged rows** (`L ≤ aᵀx ≤ U`, equalities as `L == U`), handled via
 //!   bounded slacks;
 //! * a **phase-1 infeasibility minimization** start (no big-M constants);
-//! * dense basis inverse with periodic refactorization;
-//! * Dantzig pricing with a Bland anti-cycling fallback;
-//! * **duals and reduced costs**, and **incremental column addition with
-//!   warm starts** — the primitives column generation needs.
+//! * a **sparse LU basis factorization** with threshold partial pivoting,
+//!   product-form eta updates between refactorizations, and sparse
+//!   ftran/btran;
+//! * **Devex pricing** with a Bland anti-cycling fallback;
+//! * **duals and reduced costs**, **incremental column addition**, and
+//!   **warm starts from a saved [`Basis`]** — the primitives column
+//!   generation and repeated re-solves need.
 //!
 //! # Examples
 //!
@@ -34,10 +37,13 @@
 // chains would obscure the linear-algebra structure.
 #![allow(clippy::needless_range_loop)]
 
+mod basis;
 pub mod certify;
+mod factor;
 mod model;
 pub mod presolve;
 mod simplex;
 
+pub use basis::Basis;
 pub use model::{ConId, Model, ModelSolver, Sense, VarId};
 pub use simplex::{LpError, Solution};

@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-use crate::simplex::{LpError, Simplex, Solution};
+use crate::basis::Basis;
+use crate::simplex::{LpError, Simplex, Solution, WARM_FALLBACK, WARM_RESOLVE, WARM_START};
 
 /// Optimization direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -331,7 +332,10 @@ impl ModelSolver {
         ctx: &jcr_ctx::SolverContext,
     ) -> Result<Solution, LpError> {
         let result = match &mut self.simplex {
-            Some(s) => s.resolve_with_context(&self.model, ctx),
+            Some(s) => {
+                ctx.obs().add_counter(WARM_RESOLVE, 1);
+                s.resolve_with_context(&self.model, ctx)
+            }
             None => {
                 let mut s = Simplex::new(&self.model);
                 let result = s.solve_with_context(ctx);
@@ -339,6 +343,44 @@ impl ModelSolver {
                 result
             }
         };
+        attach_certificate(&self.model, result?, ctx)
+    }
+
+    /// Snapshots the basis of the most recent solve, or `None` if the
+    /// model has never been solved through this wrapper. The snapshot is
+    /// cheap to clone and can warm-start a *different* `ModelSolver` over
+    /// a same-shaped model via [`ModelSolver::solve_from_basis`].
+    pub fn basis(&self) -> Option<Basis> {
+        self.simplex.as_ref().map(Simplex::snapshot_basis)
+    }
+
+    /// Solves the model warm-started from a [`Basis`] snapshot.
+    ///
+    /// Restoring is best effort: when the snapshot's dimensions do not
+    /// match this model, its statuses are invalid under the current
+    /// bounds, or its basic set is singular under the current
+    /// coefficients, the solve silently falls back to a cold start — the
+    /// result is identical either way, only the pivot count differs. The
+    /// outcome is observable via the `lp.warm_start` / `lp.warm_fallback`
+    /// context counters.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModelSolver::solve_with_context`].
+    pub fn solve_from_basis(
+        &mut self,
+        basis: &Basis,
+        ctx: &jcr_ctx::SolverContext,
+    ) -> Result<Solution, LpError> {
+        let s = self
+            .simplex
+            .get_or_insert_with(|| Simplex::new(&self.model));
+        if s.try_restore_basis(basis) {
+            ctx.obs().add_counter(WARM_START, 1);
+        } else {
+            ctx.obs().add_counter(WARM_FALLBACK, 1);
+        }
+        let result = s.resolve_with_context(&self.model, ctx);
         attach_certificate(&self.model, result?, ctx)
     }
 }

@@ -9,14 +9,24 @@
 //! where one slack `s_r` per ranged row carries the row's activity bounds.
 //! The initial basis is the slack basis (B = −I), phase 1 minimizes the sum
 //! of bound violations of basic variables (no big-M), and phase 2 optimizes
-//! the true objective. The basis inverse is kept dense and refactorized
-//! periodically.
+//! the true objective.
+//!
+//! The basis is represented by a **sparse LU factorization**
+//! ([`crate::factor`]): Markowitz-flavoured column ordering with threshold
+//! partial pivoting, product-form eta updates between refactorizations,
+//! and sparse ftran/btran. Pricing is **Devex** (reference-framework
+//! weights reset per phase) with a Bland anti-cycling fallback, and the
+//! ratio test is Harris two-pass. Warm starts restore a
+//! [`Basis`](crate::Basis) snapshot and let phase 1 repair whatever
+//! feasibility the new data broke.
 
 use std::fmt;
 use std::time::Instant;
 
 use jcr_ctx::{BudgetExceeded, Counter, ScratchArena, SolverContext};
 
+use crate::basis::{Basis, SnapStatus};
+use crate::factor::{Eta, LuFactors};
 use crate::model::Model;
 
 /// `Nanos` histogram of per-iteration pivot-loop latency (pricing, ratio
@@ -37,6 +47,18 @@ pub const REFINE_DELTA_BITS: &str = "lp.refine_delta_bits";
 pub const EARLY_REFACTOR: &str = "lp.early_refactor";
 /// Obs counter: iterative-refinement rounds applied at extraction.
 pub const REFINE_ROUNDS: &str = "lp.refine_rounds";
+/// `Count` histogram of total LU fill (stored nonzeros in both
+/// triangles) sampled at each refactorization.
+pub const LU_FILL: &str = "lp.lu_fill";
+/// Obs counter: solves that successfully restored a warm-start basis.
+pub const WARM_START: &str = "lp.warm_start";
+/// Obs counter: master re-solves that reused a retained simplex (basis,
+/// LU factors, and values carried across `add_column`/objective edits) —
+/// the column-generation warm path.
+pub const WARM_RESOLVE: &str = "lp.warm_resolve";
+/// Obs counter: warm-start attempts that fell back to a cold solve
+/// (dimension mismatch, invalid statuses, or a singular restored basis).
+pub const WARM_FALLBACK: &str = "lp.warm_fallback";
 
 /// Entries with magnitude above the fill tolerance, for the fill
 /// histograms (deterministic: pure arithmetic on deterministic state).
@@ -65,6 +87,16 @@ const RESIDUAL_REFRESH: f64 = 1e-8;
 /// *after* a fresh refactorization means the basis is numerically beyond
 /// repair — the solve aborts with [`LpError::NumericalBreakdown`].
 const RESIDUAL_FAIL: f64 = 1e-5;
+/// Devex weights above this trigger a reference-framework reset (all
+/// weights back to one) — the standard growth guard.
+const DEVEX_RESET: f64 = 1e12;
+
+/// Eta-file nonzero budget as a function of the basis dimension: when the
+/// product-form file outgrows it, the basis is refactorized early even if
+/// the pivot cadence is not due (the Bartels–Golub-style fallback).
+fn eta_budget(m: usize) -> usize {
+    16 * m + 512
+}
 
 /// Why an LP could not be solved to optimality.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -185,8 +217,16 @@ pub struct Simplex {
     status: Vec<ColStatus>,
     /// Value of every column (basic values refreshed after each pivot).
     xval: Vec<f64>,
-    /// Dense row-major basis inverse.
-    binv: Vec<f64>,
+    /// Sparse LU factors of the current basis.
+    lu: LuFactors,
+    /// Product-form eta file accumulated since the last refactorization.
+    etas: Vec<Eta>,
+    /// Total nonzeros stored in the eta file (refactorization trigger).
+    eta_nnz: usize,
+    /// Devex reference weights, one per column; reset at each phase entry.
+    devex: Vec<f64>,
+    /// Dense m-length buffer reused by the ftran/btran entry points.
+    rhs_buf: Vec<f64>,
     pivots_since_refactor: usize,
 }
 
@@ -216,33 +256,24 @@ impl Simplex {
             lo,
             up,
             cols,
-            basis: (0..m).map(|r| n + r).collect(),
+            basis: Vec::new(),
             status: Vec::new(),
             xval: Vec::new(),
-            binv: Vec::new(),
+            lu: LuFactors::default(),
+            etas: Vec::new(),
+            eta_nnz: 0,
+            devex: Vec::new(),
+            rhs_buf: vec![0.0; m],
             pivots_since_refactor: 0,
         };
-        s.status = (0..n + m)
-            .map(|j| {
-                if s.basis.contains(&j) {
-                    ColStatus::Basic
-                } else {
-                    initial_status(s.lo[j], s.up[j])
-                }
-            })
-            .collect();
-        // Slack basis: B = −I, so B⁻¹ = −I.
-        s.binv = vec![0.0; m * m];
-        for r in 0..m {
-            s.binv[r * m + r] = -1.0;
-        }
-        s.set_nonbasic_values();
-        s.recompute_basic_values(&ScratchArena::default());
+        s.reset_cold();
         s
     }
 
     /// Registers a column added to the model after construction; the column
-    /// enters nonbasic at its bound.
+    /// enters nonbasic at its bound. The LU factors stay valid — the basis
+    /// itself is unchanged (only its column *indices* shift), so a
+    /// warm-started re-solve pays no refactorization.
     pub fn add_column(&mut self, model: &Model, var: usize) {
         debug_assert_eq!(var, self.n_struct, "columns must be added in order");
         let j_internal = self.n_struct; // new structural index
@@ -315,6 +346,105 @@ impl Simplex {
         self.solve_with_context(ctx)
     }
 
+    // ----- warm starts ----------------------------------------------------
+
+    /// Snapshots the current basis (statuses only — cheap and `Clone`).
+    pub fn snapshot_basis(&self) -> Basis {
+        Basis {
+            n_struct: self.n_struct,
+            m: self.m,
+            statuses: self
+                .status
+                .iter()
+                .map(|s| match s {
+                    ColStatus::Basic => SnapStatus::Basic,
+                    ColStatus::AtLower => SnapStatus::AtLower,
+                    ColStatus::AtUpper => SnapStatus::AtUpper,
+                    ColStatus::FreeZero => SnapStatus::FreeZero,
+                })
+                .collect(),
+        }
+    }
+
+    /// Attempts to adopt a [`Basis`] snapshot. Returns `true` when the
+    /// snapshot was restored (statuses adopted, basis refactorized,
+    /// basic values recomputed — phase 1 then repairs any residual
+    /// infeasibility); `false` when the snapshot is incompatible
+    /// (dimension mismatch, statuses invalid under the current bounds,
+    /// or a singular basic set), in which case the solver is left on a
+    /// consistent cold slack basis.
+    pub fn try_restore_basis(&mut self, snap: &Basis) -> bool {
+        if !snap.matches_dims(self.n_struct, self.m) {
+            return false;
+        }
+        // Validate every status against the *current* bounds before
+        // mutating anything: a bound that went infinite-to-finite (or
+        // vice versa) invalidates the resting position.
+        for (j, s) in snap.statuses.iter().enumerate() {
+            let ok = match s {
+                SnapStatus::Basic => true,
+                SnapStatus::AtLower => self.lo[j].is_finite(),
+                SnapStatus::AtUpper => self.up[j].is_finite(),
+                SnapStatus::FreeZero => !self.lo[j].is_finite() && !self.up[j].is_finite(),
+            };
+            if !ok {
+                return false;
+            }
+        }
+        self.status = snap
+            .statuses
+            .iter()
+            .map(|s| match s {
+                SnapStatus::Basic => ColStatus::Basic,
+                SnapStatus::AtLower => ColStatus::AtLower,
+                SnapStatus::AtUpper => ColStatus::AtUpper,
+                SnapStatus::FreeZero => ColStatus::FreeZero,
+            })
+            .collect();
+        self.basis = (0..self.n_struct + self.m)
+            .filter(|&j| self.status[j] == ColStatus::Basic)
+            .collect();
+        match self.factor_basis() {
+            Some(lu) => {
+                self.lu = lu;
+                self.etas.clear();
+                self.eta_nnz = 0;
+                self.pivots_since_refactor = 0;
+                self.set_nonbasic_values();
+                self.recompute_basic_values(&ScratchArena::default());
+                true
+            }
+            None => {
+                // Singular under the new coefficients: fall back cold.
+                self.reset_cold();
+                false
+            }
+        }
+    }
+
+    /// Resets to the cold slack basis (the `Simplex::new` state).
+    fn reset_cold(&mut self) {
+        let ncols = self.n_struct + self.m;
+        self.basis = (0..self.m).map(|r| self.n_struct + r).collect();
+        self.status = (0..ncols)
+            .map(|j| {
+                if j >= self.n_struct {
+                    ColStatus::Basic
+                } else {
+                    initial_status(self.lo[j], self.up[j])
+                }
+            })
+            .collect();
+        self.lu = self
+            .factor_basis()
+            .expect("the slack basis B = -I is always nonsingular");
+        self.etas.clear();
+        self.eta_nnz = 0;
+        self.pivots_since_refactor = 0;
+        self.set_nonbasic_values();
+        self.recompute_basic_values(&ScratchArena::default());
+    }
+
     // ----- core machinery -------------------------------------------------
 
     fn slack_of(&self, j: usize) -> Option<usize> {
@@ -333,29 +463,44 @@ impl Simplex {
         }
     }
 
-    /// `B⁻¹ · A_j`, written into `out` (reused across pivots).
-    fn ftran_into(&self, j: usize, out: &mut [f64]) {
-        let m = self.m;
-        out.fill(0.0);
-        self.for_col(j, |r, v| {
-            for (i, o) in out.iter_mut().enumerate() {
-                *o += self.binv[i * m + r] * v;
-            }
-        });
+    /// Sparse-LU factorization of the current basis columns.
+    fn factor_basis(&self) -> Option<LuFactors> {
+        LuFactors::factorize(self.m, PIVOT_TOL, |pos, f| {
+            self.for_col(self.basis[pos], f);
+        })
     }
 
-    /// `yᵀ = cbᵀ · B⁻¹` written into `y` (reused across pivots).
-    fn btran_into(&self, cb: &[f64], y: &mut [f64]) {
-        let m = self.m;
-        y.fill(0.0);
-        for (i, &ci) in cb.iter().enumerate() {
-            if ci != 0.0 {
-                let row = &self.binv[i * m..(i + 1) * m];
-                for r in 0..m {
-                    y[r] += ci * row[r];
-                }
-            }
+    /// Applies `B⁻¹` (LU solve plus the eta file) to a row-space vector,
+    /// producing basis-position values in `out`.
+    fn apply_basis_inverse(&mut self, rhs: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(self.lu.dim(), self.m);
+        self.lu.ftran(rhs, out);
+        for eta in &self.etas {
+            eta.apply(out);
         }
+    }
+
+    /// `B⁻¹ · A_j`, written into `out` (reused across pivots).
+    fn ftran_into(&mut self, j: usize, out: &mut [f64]) {
+        let mut rhs = std::mem::take(&mut self.rhs_buf);
+        rhs.resize(self.m, 0.0);
+        rhs.fill(0.0);
+        self.for_col(j, |r, v| rhs[r] += v);
+        self.apply_basis_inverse(&rhs, out);
+        self.rhs_buf = rhs;
+    }
+
+    /// `yᵀ = cbᵀ · B⁻¹` written into `y` (reused across pivots): eta
+    /// transposes in reverse order, then the LU btran.
+    fn btran_into(&mut self, cb: &[f64], y: &mut [f64]) {
+        let mut u = std::mem::take(&mut self.rhs_buf);
+        u.resize(self.m, 0.0);
+        u.copy_from_slice(&cb[..self.m]);
+        for eta in self.etas.iter().rev() {
+            eta.apply_transposed(&mut u);
+        }
+        self.lu.btran(&u, y);
+        self.rhs_buf = u;
     }
 
     fn dot_col(&self, y: &[f64], j: usize) -> f64 {
@@ -380,7 +525,7 @@ impl Simplex {
     }
 
     /// Recomputes basic values `x_B = B⁻¹(0 − N·x_N)` from scratch; the
-    /// m-length right-hand side comes from the arena.
+    /// m-length working vectors come from the arena.
     fn recompute_basic_values(&mut self, scratch: &ScratchArena) {
         let m = self.m;
         let ncols = self.n_struct + m;
@@ -393,85 +538,28 @@ impl Simplex {
                 }
             }
         }
+        let mut xb = scratch.take_f64(m, 0.0);
+        self.apply_basis_inverse(&rhs, &mut xb);
         for i in 0..m {
-            let mut acc = 0.0;
-            let row = &self.binv[i * m..(i + 1) * m];
-            for r in 0..m {
-                acc += row[r] * rhs[r];
-            }
-            self.xval[self.basis[i]] = acc;
+            self.xval[self.basis[i]] = xb[i];
         }
+        scratch.put_f64(xb);
         scratch.put_f64(rhs);
     }
 
-    /// Rebuilds `B⁻¹` by Gauss–Jordan elimination with partial pivoting.
-    /// The two m×m working matrices come from the arena, so periodic
-    /// refactorizations stop being the LP's largest recurring allocation.
+    /// Rebuilds the LU factors from the current basis columns and clears
+    /// the eta file (the Bartels–Golub-style fallback of the product-form
+    /// update scheme).
     fn refactorize(&mut self, scratch: &ScratchArena) -> Result<(), LpError> {
-        let m = self.m;
-        let mut work = scratch.take_f64(m * m, 0.0);
-        let mut inv = scratch.take_f64(m * m, 0.0);
-        let out = self.refactorize_into(&mut work, &mut inv);
-        if out.is_ok() {
-            // The freshly built inverse becomes `binv`; the old `binv`
-            // returns to the arena in its place.
-            std::mem::swap(&mut self.binv, &mut inv);
-        }
-        scratch.put_f64(inv);
-        scratch.put_f64(work);
-        out?;
+        let lu = self
+            .factor_basis()
+            .ok_or_else(|| LpError::Numerical("singular basis".into()))?;
+        self.lu = lu;
+        self.etas.clear();
+        self.eta_nnz = 0;
         self.pivots_since_refactor = 0;
         self.set_nonbasic_values();
         self.recompute_basic_values(scratch);
-        Ok(())
-    }
-
-    fn refactorize_into(&self, work: &mut [f64], inv: &mut [f64]) -> Result<(), LpError> {
-        let m = self.m;
-        // Assemble B column-wise into the dense working matrix.
-        for (pos, &j) in self.basis.iter().enumerate() {
-            self.for_col(j, |r, v| work[r * m + pos] = v);
-        }
-        for r in 0..m {
-            inv[r * m + r] = 1.0;
-        }
-        for col in 0..m {
-            // Partial pivot.
-            let mut best = col;
-            let mut best_mag = work[col * m + col].abs();
-            for r in col + 1..m {
-                let mag = work[r * m + col].abs();
-                if mag > best_mag {
-                    best = r;
-                    best_mag = mag;
-                }
-            }
-            if best_mag < PIVOT_TOL {
-                return Err(LpError::Numerical("singular basis".into()));
-            }
-            if best != col {
-                for k in 0..m {
-                    work.swap(col * m + k, best * m + k);
-                    inv.swap(col * m + k, best * m + k);
-                }
-            }
-            let piv = work[col * m + col];
-            for k in 0..m {
-                work[col * m + k] /= piv;
-                inv[col * m + k] /= piv;
-            }
-            for r in 0..m {
-                if r != col {
-                    let f = work[r * m + col];
-                    if f != 0.0 {
-                        for k in 0..m {
-                            work[r * m + k] -= f * work[col * m + k];
-                            inv[r * m + k] -= f * inv[col * m + k];
-                        }
-                    }
-                }
-            }
-        }
         Ok(())
     }
 
@@ -488,7 +576,7 @@ impl Simplex {
     /// Relative basis residual `‖A·x‖∞ / max(1, ‖x_B‖∞)`: in computational
     /// form every row of `A·x` (structural columns plus `−1` slacks) must
     /// be zero, so any mass left over is drift accumulated by the
-    /// product-form updates of `B⁻¹`. One pass over the nonzeros.
+    /// eta-file updates. One pass over the nonzeros.
     fn basis_residual(&self, scratch: &ScratchArena) -> f64 {
         let m = self.m;
         if m == 0 {
@@ -513,12 +601,14 @@ impl Simplex {
     }
 
     /// The residual tolerance ladder, probed every
-    /// [`RESIDUAL_CHECK_EVERY`] pivots and at the periodic refactorization
-    /// cadence: a residual above [`RESIDUAL_REFRESH`] forces an early
-    /// refactorization; a residual still above [`RESIDUAL_FAIL`] on a
-    /// *fresh* inverse is a detected numerical breakdown.
+    /// [`RESIDUAL_CHECK_EVERY`] pivots and at the refactorization cadence
+    /// (pivot count *or* eta-file nonzero budget): a residual above
+    /// [`RESIDUAL_REFRESH`] forces an early refactorization; a residual
+    /// still above [`RESIDUAL_FAIL`] on fresh factors is a detected
+    /// numerical breakdown.
     fn residual_ladder(&mut self, ctx: &SolverContext) -> Result<(), LpError> {
-        let periodic_due = self.pivots_since_refactor >= REFACTOR_EVERY;
+        let periodic_due =
+            self.pivots_since_refactor >= REFACTOR_EVERY || self.eta_nnz > eta_budget(self.m);
         let probe_due = periodic_due
             || self
                 .pivots_since_refactor
@@ -539,6 +629,7 @@ impl Simplex {
             self.refactorize(ctx.scratch())?;
         }
         ctx.count(Counter::Refactorizations, 1);
+        ctx.metric_value(LU_FILL, self.lu.fill() as u64);
         let fresh = self.basis_residual(ctx.scratch());
         if fresh > RESIDUAL_FAIL {
             return Err(LpError::NumericalBreakdown(format!(
@@ -576,18 +667,17 @@ impl Simplex {
         for (ri, ci) in r.iter_mut().zip(comp.iter()) {
             *ri += ci;
         }
+        let mut delta = scratch.take_f64(m, 0.0);
+        self.apply_basis_inverse(&r, &mut delta);
         let mut delta_max = 0.0f64;
         for i in 0..m {
-            let row = &self.binv[i * m..(i + 1) * m];
-            let mut acc = 0.0;
-            for k in 0..m {
-                acc += row[k] * r[k];
-            }
-            if acc != 0.0 {
-                self.xval[self.basis[i]] += acc;
-                delta_max = delta_max.max(acc.abs());
+            let d = delta[i];
+            if d != 0.0 {
+                self.xval[self.basis[i]] += d;
+                delta_max = delta_max.max(d.abs());
             }
         }
+        scratch.put_f64(delta);
         scratch.put_f64(comp);
         scratch.put_f64(r);
         ctx.obs().add_counter(REFINE_ROUNDS, 1);
@@ -669,15 +759,22 @@ impl Simplex {
         }
     }
 
-    /// One simplex phase. The three m-length work vectors (basic costs,
-    /// duals, pivot column) come from the context's scratch arena so
-    /// thousands of pivots reuse the same allocations.
+    /// One simplex phase. The four m-length work vectors (basic costs,
+    /// duals, pivot column, Devex pivot row) come from the context's
+    /// scratch arena so thousands of pivots reuse the same allocations.
     fn run(&mut self, phase: Phase, ctx: &SolverContext) -> Result<(), LpError> {
+        // Fresh Devex reference framework per phase: every nonbasic
+        // column starts at weight one.
+        let ncols = self.n_struct + self.m;
+        self.devex.clear();
+        self.devex.resize(ncols, 1.0);
         let scratch = ctx.scratch();
         let mut cb = scratch.take_f64(self.m, 0.0);
         let mut y = scratch.take_f64(self.m, 0.0);
         let mut alpha = scratch.take_f64(self.m, 0.0);
-        let out = self.run_inner(phase, ctx, &mut cb, &mut y, &mut alpha);
+        let mut rho = scratch.take_f64(self.m, 0.0);
+        let out = self.run_inner(phase, ctx, &mut cb, &mut y, &mut alpha, &mut rho);
+        scratch.put_f64(rho);
         scratch.put_f64(alpha);
         scratch.put_f64(y);
         scratch.put_f64(cb);
@@ -691,6 +788,7 @@ impl Simplex {
         cb: &mut [f64],
         y: &mut [f64],
         alpha: &mut [f64],
+        rho: &mut [f64],
     ) -> Result<(), LpError> {
         let ncols = self.n_struct + self.m;
         let max_iter = 200 * (self.m + ncols) + 20_000;
@@ -711,8 +809,10 @@ impl Simplex {
             ctx.metric_value(BTRAN_FILL, fill_count(y));
 
             let bland = stall >= STALL_LIMIT;
-            // Pricing: pick entering column.
-            let mut enter: Option<(usize, f64, i8)> = None; // (col, |d|, dir)
+            // Devex pricing: pick the entering column maximizing
+            // `d² / w` over the eligible nonbasic columns (plain Bland
+            // smallest-index under the anti-cycling fallback).
+            let mut enter: Option<(usize, f64, i8)> = None; // (col, score, dir)
             for j in 0..ncols {
                 if self.status[j] == ColStatus::Basic {
                     continue;
@@ -732,11 +832,12 @@ impl Simplex {
                 };
                 if eligible {
                     if bland {
-                        enter = Some((j, d.abs(), dir));
+                        enter = Some((j, 0.0, dir));
                         break;
                     }
-                    if enter.is_none_or(|(_, best, _)| d.abs() > best) {
-                        enter = Some((j, d.abs(), dir));
+                    let score = d * d / self.devex[j];
+                    if enter.is_none_or(|(_, best, _)| score > best) {
+                        enter = Some((j, score, dir));
                     }
                 }
             }
@@ -825,6 +926,35 @@ impl Simplex {
                 if alpha[r].abs() < PIVOT_TOL {
                     return Err(LpError::Numerical("tiny pivot".into()));
                 }
+
+                // Devex reference-framework update (Forrest–Goldfarb):
+                // the pivot row `α_r· = eᵣᵀB⁻¹N` prices every nonbasic
+                // weight against the entering column's weight. `cb` is
+                // recomputed next iteration, so it doubles as the unit
+                // vector here.
+                let arq = alpha[r];
+                let wq = self.devex[q];
+                let mut w_overflow = false;
+                if !bland {
+                    cb.fill(0.0);
+                    cb[r] = 1.0;
+                    self.btran_into(cb, rho);
+                    for j in 0..ncols {
+                        if self.status[j] == ColStatus::Basic || j == q {
+                            continue;
+                        }
+                        let arj = self.dot_col(rho, j);
+                        if arj != 0.0 {
+                            let ratio = arj / arq;
+                            let cand = ratio * ratio * wq;
+                            if cand > self.devex[j] {
+                                self.devex[j] = cand;
+                                w_overflow |= cand > DEVEX_RESET;
+                            }
+                        }
+                    }
+                }
+
                 let t = t_best;
                 // Move all basics, set entering value, swap basis.
                 for i in 0..self.m {
@@ -846,20 +976,26 @@ impl Simplex {
                 self.basis[r] = q;
                 self.status[q] = ColStatus::Basic;
                 self.xval[q] = enter_val;
-                // Update B⁻¹: pivot on alpha[r].
-                let m = self.m;
-                let piv = alpha[r];
-                for k in 0..m {
-                    self.binv[r * m + k] /= piv;
+                self.devex[old] = (wq / (arq * arq)).max(1.0);
+                if w_overflow || self.devex[old] > DEVEX_RESET {
+                    // Framework grew stale: start a fresh reference set.
+                    self.devex.iter_mut().for_each(|w| *w = 1.0);
                 }
-                for i in 0..m {
-                    if i != r && alpha[i].abs() > 0.0 {
-                        let f = alpha[i];
-                        for k in 0..m {
-                            self.binv[i * m + k] -= f * self.binv[r * m + k];
-                        }
+                // Update the factorization: append the product-form eta
+                // for this pivot (O(nnz(α)) — no dense m² update).
+                let mut entries = Vec::new();
+                for (i, &a) in alpha.iter().enumerate() {
+                    if i != r && a != 0.0 {
+                        entries.push((i, a));
                     }
                 }
+                let eta = Eta {
+                    r,
+                    pivot: arq,
+                    entries,
+                };
+                self.eta_nnz += eta.nnz();
+                self.etas.push(eta);
                 ctx.count(Counter::SimplexPivots, 1);
                 self.pivots_since_refactor += 1;
                 self.residual_ladder(ctx)?;
@@ -888,7 +1024,7 @@ impl Simplex {
         Err(LpError::Numerical("iteration limit exceeded".into()))
     }
 
-    fn extract(&self, scratch: &ScratchArena) -> Solution {
+    fn extract(&mut self, scratch: &ScratchArena) -> Solution {
         let x: Vec<f64> = (0..self.n_struct).map(|j| self.xval[j]).collect();
         let obj_min: f64 = (0..self.n_struct).map(|j| self.c[j] * self.xval[j]).sum();
         let mut cb = scratch.take_f64(self.m, 0.0);
@@ -1110,5 +1246,79 @@ mod tests {
                 assert!(m.objective_value(&x) >= s.objective - 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn warm_restart_reaches_same_objective_with_fewer_pivots() {
+        use jcr_ctx::rng::{Rng, SeedableRng};
+        use jcr_ctx::{Counter, SolverContext};
+        // A dense-ish LP solved cold, snapshotted, then re-solved from
+        // the snapshot after a small objective perturbation: the warm
+        // solve must agree on the perturbed optimum and pivot less.
+        let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(99);
+        let n = 24;
+        let rows = 14;
+        let build = |perturb: f64| {
+            let mut rng = jcr_ctx::rng::StdRng::seed_from_u64(99);
+            let mut m = Model::new(Sense::Minimize);
+            let vars: Vec<_> = (0..n)
+                .map(|_| {
+                    m.add_var(
+                        0.0,
+                        rng.gen_range(0.5..4.0),
+                        rng.gen_range(-2.0..3.0) + perturb,
+                    )
+                })
+                .collect();
+            for _ in 0..rows {
+                let entries: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(0.0..2.0))).collect();
+                m.add_row(f64::NEG_INFINITY, rng.gen_range(1.0..6.0), &entries);
+            }
+            m
+        };
+        let _ = &mut rng;
+
+        let ctx_cold = SolverContext::new();
+        let mut cold = build(1e-3).into_solver();
+        let cold_sol = cold.solve_with_context(&ctx_cold).unwrap();
+        let cold_pivots = ctx_cold.stats().counter(Counter::SimplexPivots);
+
+        // Solve the unperturbed LP, snapshot, warm start the perturbed one.
+        let mut base = build(0.0).into_solver();
+        base.solve().unwrap();
+        let snap = base.basis().expect("solved at least once");
+
+        let ctx_warm = SolverContext::new();
+        let mut warm = build(1e-3).into_solver();
+        let warm_sol = warm.solve_from_basis(&snap, &ctx_warm).unwrap();
+        let warm_pivots = ctx_warm.stats().counter(Counter::SimplexPivots);
+
+        assert_near(warm_sol.objective, cold_sol.objective);
+        assert!(
+            warm_pivots <= cold_pivots,
+            "warm start pivoted more ({warm_pivots}) than cold ({cold_pivots})"
+        );
+    }
+
+    #[test]
+    fn incompatible_basis_falls_back_cold() {
+        // Snapshot from a 2-var model restored against a 3-var model:
+        // dimension gate rejects it, solve still succeeds cold.
+        let mut m2 = Model::new(Sense::Minimize);
+        let x = m2.add_var(0.0, 2.0, 1.0);
+        m2.add_row(1.0, 1.0, &[(x, 1.0)]);
+        let mut s2 = m2.into_solver();
+        s2.solve().unwrap();
+        let snap = s2.basis().unwrap();
+
+        let mut m3 = Model::new(Sense::Minimize);
+        let a = m3.add_var(0.0, 2.0, 1.0);
+        let b = m3.add_var(0.0, 2.0, 3.0);
+        m3.add_row(1.0, 1.0, &[(a, 1.0), (b, 1.0)]);
+        let mut s3 = m3.into_solver();
+        let sol = s3
+            .solve_from_basis(&snap, &jcr_ctx::SolverContext::new())
+            .unwrap();
+        assert_near(sol.objective, 1.0);
     }
 }
