@@ -5,7 +5,7 @@
 //!                     [--out PATH] [--baseline PATH] [--tolerance F]
 //!
 //!   ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology
-//!        table1 table2 table3 table4 stats faults stress adversary bench trace all
+//!        table1 table2 table3 table4 stats faults stress adversary chaos bench trace all
 //! ```
 //!
 //! Run with `--release`; the quick defaults finish in minutes, `--full`
@@ -164,6 +164,12 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+            "chaos" => {
+                if let Err(msg) = jcr_bench::chaos::chaos(cfg) {
+                    eprintln!("error: {msg}");
+                    std::process::exit(1);
+                }
+            }
             "bench" => {
                 if let Err(msg) = perf::bench(cfg, &bench_opts) {
                     eprintln!("error: {msg}");
@@ -193,9 +199,11 @@ fn usage(err: &str) -> ! {
         "usage: experiments <id>... [--runs N] [--hours N] [--seed N] [--workers N] [--full] \
          [--out PATH] [--baseline PATH] [--tolerance F]\n\
          ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology \
-         table1 table2 table3 table4 stats faults stress adversary bench trace all\n\
+         table1 table2 table3 table4 stats faults stress adversary chaos bench trace all\n\
          `adversary` fuzzes ≥ 200 seeded hostile instances (5 families) against every solver with \
          independent certificate verification; exits nonzero on any panic or unverified claim.\n\
+         `chaos` kills/resumes the online loop at snapshot boundaries and replays corrupted, truncated,\n\
+         stale, and foreign snapshots; exits nonzero unless resume is bit-identical with zero panics.\n\
          env: JCR_TRACE=path  write a Chrome trace (implies a trailing `trace` run)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -635,6 +635,111 @@ fn lp_warm_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
     }
 }
 
+/// Per-hour instances for the `online_warm` phase: one seeded topology
+/// whose demand drifts mildly and non-uniformly hour over hour — the
+/// steady-state regime the crash-recoverable online loop is built for.
+fn online_warm_instance(seed: u64, hour: usize, full: bool) -> Instance {
+    let degree = if full { 5 } else { 4 };
+    let topo = jcr_topo::Topology::generate(jcr_topo::TopologyKind::Abovenet, degree)
+        .expect("known topology generates");
+    let n_edges = topo.edge_nodes.len();
+    let rates: Vec<Vec<f64>> = (0..6)
+        .map(|i| {
+            (0..n_edges)
+                .map(|k| {
+                    let base = 100.0 * (1.0 + ((i * 7 + k * 3 + seed as usize) % 5) as f64);
+                    // Mild per-hour drift with a small non-uniform term so
+                    // warm hours must genuinely re-optimize, not just
+                    // rescale the previous solution.
+                    base * (1.0 + 0.02 * hour as f64 + 0.01 * ((k * 31 + hour) % 7) as f64)
+                })
+                .collect()
+        })
+        .collect();
+    InstanceBuilder::new(topo)
+        .items(6)
+        .cache_capacity(2.0)
+        .demand_matrix(rates)
+        .link_capacity_fraction(0.05)
+        .build()
+        .expect("online_warm instance builds")
+}
+
+/// The `online_warm` phase: the hour-over-hour carry chain of the online
+/// loop — previous placement as the starting iterate, the last placement
+/// LP basis, and the active CG column pool — measured against solving
+/// every hour cold, counting [`Counter::SimplexPivots`] for both legs.
+/// The phase *asserts* the headline claim — steady-state warm hours cost
+/// at most half the cold pivots — so the bench gate fails loudly if the
+/// carry chain ever stops paying for itself, and records every per-hour
+/// cost and both pivot totals in the checksum.
+fn online_warm_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
+    let hours = if cfg.full { 6 } else { 4 };
+    let seed = cfg.seed.wrapping_add(89);
+    let (wall_serial, wall_parallel, checksum, counters) = run_pair(workers, |ctx| {
+        let pivots = |ctx: &SolverContext| ctx.stats().counter(Counter::SimplexPivots);
+        let solver = Alternating::new();
+        let mut h = Checksum::new();
+
+        // Cold leg: every hour from scratch (the crash-without-snapshot
+        // baseline). Hour 0 is cold in both legs and excluded from the
+        // steady-state totals.
+        let mut cold_steady = 0u64;
+        for hour in 0..hours {
+            let inst = online_warm_instance(seed, hour, cfg.full);
+            let mark = pivots(ctx);
+            let (out, _, _) = solver
+                .solve_from_with_carry(&inst, Placement::empty(&inst), None, &[], ctx)
+                .expect("cold online_warm hour solves");
+            if hour > 0 {
+                cold_steady += pivots(ctx) - mark;
+            }
+            h.push(out.solution.cost(&inst));
+        }
+
+        // Warm leg: thread placement, basis, and column pool hour over
+        // hour exactly as `OnlineSimulator` commits them.
+        let mut warm_steady = 0u64;
+        let mut basis: Option<jcr_lp::Basis> = None;
+        let mut pool: Vec<(usize, Vec<NodeId>)> = Vec::new();
+        let mut prev: Option<Placement> = None;
+        for hour in 0..hours {
+            let inst = online_warm_instance(seed, hour, cfg.full);
+            let initial = prev
+                .filter(|p: &Placement| p.dims_match(&inst) && p.is_feasible(&inst))
+                .unwrap_or_else(|| Placement::empty(&inst));
+            let mark = pivots(ctx);
+            let (out, b, p) = solver
+                .solve_from_with_carry(&inst, initial, basis.as_ref(), &pool, ctx)
+                .expect("warm online_warm hour solves");
+            if hour > 0 {
+                warm_steady += pivots(ctx) - mark;
+            }
+            basis = b;
+            pool = p;
+            prev = Some(out.solution.placement.clone());
+            h.push(out.solution.cost(&inst));
+        }
+
+        assert!(
+            warm_steady * 2 <= cold_steady,
+            "steady-state warm hours took {warm_steady} pivots, cold took \
+             {cold_steady}: the online carry chain must at least halve the work"
+        );
+        h.push(cold_steady as f64);
+        h.push(warm_steady as f64);
+        h.hex()
+    });
+    PhaseReport {
+        name: "online_warm".into(),
+        wall_ms_serial: wall_serial,
+        wall_ms_parallel: wall_parallel,
+        speedup: wall_serial / wall_parallel.max(1e-9),
+        checksum,
+        counters,
+    }
+}
+
 /// Entry point of `experiments stress`: the stress phase alone, printed
 /// as a one-phase report — the quick way to exercise the beyond-paper
 /// scale (and its on-demand oracle) without the full bench suite.
@@ -658,6 +763,7 @@ pub fn run(cfg: ExpConfig) -> BenchReport {
             all_pairs_phase(cfg, workers),
             column_generation_phase(cfg, workers),
             lp_warm_phase(cfg, workers),
+            online_warm_phase(cfg, workers),
             monte_carlo_phase(cfg, workers),
             stress_phase(cfg, workers),
         ],

@@ -185,6 +185,40 @@ impl Alternating {
         warm: Option<&jcr_lp::Basis>,
         ctx: &SolverContext,
     ) -> Result<(AlternatingSolution, Option<jcr_lp::Basis>), JcrError> {
+        self.solve_from_with_carry(inst, initial, warm, &[], ctx)
+            .map(|(solution, basis, _)| (solution, basis))
+    }
+
+    /// [`Alternating::solve_from_with_basis`] with full state carryover:
+    /// `seed_columns` is a CG column pool from a previous, near-identical
+    /// solve (`(request index, auxiliary-graph node sequence)` pairs, see
+    /// [`multicommodity::min_cost_multicommodity_seeded`]), used to warm
+    /// the *initial* routing solve; iteration-internal routing re-solves
+    /// stay unseeded so the optimization trajectory with empty seeds is
+    /// bit-identical to [`Alternating::solve_from_with_basis`]. Returns
+    /// the active column pool of the accepted routing for the next hour
+    /// to carry.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Alternating::solve_from_with_context`]; stale seed
+    /// columns are dropped by revalidation, never an error.
+    #[allow(clippy::type_complexity)]
+    pub fn solve_from_with_carry(
+        &self,
+        inst: &Instance,
+        initial: Placement,
+        warm: Option<&jcr_lp::Basis>,
+        seed_columns: &[(usize, Vec<jcr_graph::NodeId>)],
+        ctx: &SolverContext,
+    ) -> Result<
+        (
+            AlternatingSolution,
+            Option<jcr_lp::Basis>,
+            Vec<(usize, Vec<jcr_graph::NodeId>)>,
+        ),
+        JcrError,
+    > {
         let _span = ctx.span("alt.solve");
         let method = self.placement.unwrap_or(if inst.homogeneous() {
             PlacementMethod::PipageLp
@@ -203,9 +237,9 @@ impl Alternating {
         // A budget tripping here surfaces without an incumbent — nothing
         // feasible has been constructed yet.
         let mut best_placement = initial;
-        let mut best_routing = {
+        let (mut best_routing, mut best_pool) = {
             let _r = ctx.span("alt.routing");
-            self.route(inst, &best_placement, &mut rng, ctx)?
+            self.route(inst, &best_placement, seed_columns, &mut rng, ctx)?
         };
         let mut best_key = solution_key(inst, &best_routing);
         let mut history = vec![best_key];
@@ -248,10 +282,12 @@ impl Alternating {
                     }
                 }
             };
-            // (2) routing step against the new placement.
-            let routing = {
+            // (2) routing step against the new placement. Unseeded: only
+            // the initial route above consumes the carried pool, so the
+            // no-carry trajectory is unchanged.
+            let (routing, pool) = {
                 let _r = ctx.span("alt.routing");
-                match self.route(inst, &placement, &mut rng, ctx) {
+                match self.route(inst, &placement, &[], &mut rng, ctx) {
                     Ok(r) => r,
                     Err(e) => return Err(attach_incumbent(e, best_placement, best_routing)),
                 }
@@ -266,6 +302,7 @@ impl Alternating {
                 best_key = key;
                 best_placement = placement;
                 best_routing = routing;
+                best_pool = pool;
                 history.push(key);
             } else {
                 history.push(best_key);
@@ -289,6 +326,7 @@ impl Alternating {
                 certificate,
             },
             lp_basis,
+            best_pool,
         ))
     }
 
@@ -321,18 +359,22 @@ impl Alternating {
         ctx: &SolverContext,
     ) -> Result<Routing, JcrError> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0072_6f75_7465);
-        self.route(inst, placement, &mut rng, ctx)
+        self.route(inst, placement, &[], &mut rng, ctx)
+            .map(|(routing, _)| routing)
     }
 
     /// The routing subproblem: MMSFP in `G^x` by column generation, plus
-    /// an MMUFP heuristic for integral routing.
+    /// an MMUFP heuristic for integral routing. Returns the routing and
+    /// the active CG column pool (empty for greedy routing).
+    #[allow(clippy::type_complexity)]
     fn route(
         &self,
         inst: &Instance,
         placement: &Placement,
+        seeds: &[(usize, Vec<jcr_graph::NodeId>)],
         rng: &mut StdRng,
         ctx: &SolverContext,
-    ) -> Result<Routing, JcrError> {
+    ) -> Result<(Routing, Vec<(usize, Vec<jcr_graph::NodeId>)>), JcrError> {
         let aux = AuxiliaryGraph::per_item(inst, placement);
         let commodities: Vec<Commodity> = inst
             .requests
@@ -351,25 +393,29 @@ impl Alternating {
                 &commodities,
                 ctx,
             )?;
-            return Ok(Routing {
-                per_request: greedy
-                    .paths
-                    .iter()
-                    .zip(&inst.requests)
-                    .map(|(p, r)| {
-                        vec![jcr_flow::PathFlow {
-                            path: aux.strip_virtual(p),
-                            amount: r.rate,
-                        }]
-                    })
-                    .collect(),
-            });
+            return Ok((
+                Routing {
+                    per_request: greedy
+                        .paths
+                        .iter()
+                        .zip(&inst.requests)
+                        .map(|(p, r)| {
+                            vec![jcr_flow::PathFlow {
+                                path: aux.strip_virtual(p),
+                                amount: r.rate,
+                            }]
+                        })
+                        .collect(),
+                },
+                Vec::new(),
+            ));
         }
-        let mcf = multicommodity::min_cost_multicommodity_with_context(
+        let (mcf, pool) = multicommodity::min_cost_multicommodity_seeded(
             &aux.graph,
             &aux.cost,
             &aux.cap,
             &commodities,
+            seeds,
             ctx,
         )?;
         if self.integral_routing {
@@ -383,35 +429,41 @@ impl Alternating {
                 rng,
                 ctx,
             );
-            Ok(Routing {
-                per_request: rounded
-                    .paths
-                    .iter()
-                    .zip(&inst.requests)
-                    .map(|(p, r)| {
-                        vec![jcr_flow::PathFlow {
-                            path: aux.strip_virtual(p),
-                            amount: r.rate,
-                        }]
-                    })
-                    .collect(),
-            })
+            Ok((
+                Routing {
+                    per_request: rounded
+                        .paths
+                        .iter()
+                        .zip(&inst.requests)
+                        .map(|(p, r)| {
+                            vec![jcr_flow::PathFlow {
+                                path: aux.strip_virtual(p),
+                                amount: r.rate,
+                            }]
+                        })
+                        .collect(),
+                },
+                pool,
+            ))
         } else {
-            Ok(Routing {
-                per_request: mcf
-                    .path_flows
-                    .iter()
-                    .map(|flows| {
-                        flows
-                            .iter()
-                            .map(|pf| jcr_flow::PathFlow {
-                                path: aux.strip_virtual(&pf.path),
-                                amount: pf.amount,
-                            })
-                            .collect()
-                    })
-                    .collect(),
-            })
+            Ok((
+                Routing {
+                    per_request: mcf
+                        .path_flows
+                        .iter()
+                        .map(|flows| {
+                            flows
+                                .iter()
+                                .map(|pf| jcr_flow::PathFlow {
+                                    path: aux.strip_virtual(&pf.path),
+                                    amount: pf.amount,
+                                })
+                                .collect()
+                        })
+                        .collect(),
+                },
+                pool,
+            ))
         }
     }
 }

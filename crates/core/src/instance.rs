@@ -226,6 +226,55 @@ impl Instance {
             .get_or_init(|| self.compute_all_pairs(Some(ctx)))
     }
 
+    /// Seeds this instance's all-pairs cache by carrying forward the rows
+    /// of a previous instance's oracle that the per-edge delta
+    /// certificate proves still exact
+    /// ([`DistanceOracle::carry_with_config`]): only rows touched by the
+    /// hour's cost delta (killed or restored links, changed weights) are
+    /// recomputed, and a sampled Dijkstra re-verification gates the
+    /// carry. Carried rows are bit-identical to freshly computed ones, so
+    /// downstream answers do not depend on whether this method was
+    /// called.
+    ///
+    /// Returns the carry report, or `None` if the cache was already
+    /// initialized (in which case nothing changes).
+    pub fn adopt_all_pairs_from(
+        &self,
+        prev: &DistanceOracle,
+        ctx: &jcr_ctx::SolverContext,
+    ) -> Option<jcr_graph::CarryReport> {
+        if self.all_pairs.get().is_some() {
+            return None;
+        }
+        let dense_max = self
+            .oracle_dense_max
+            .unwrap_or_else(jcr_graph::oracle::default_dense_max);
+        let row_capacity = jcr_graph::oracle::default_row_capacity();
+        let mut report = None;
+        self.all_pairs.get_or_init(|| {
+            let (oracle, r) = DistanceOracle::carry_with_config(
+                prev,
+                &self.graph,
+                &self.link_cost,
+                dense_max,
+                row_capacity,
+                jcr_graph::oracle::DEFAULT_CARRY_VERIFY_SAMPLES,
+                Some(ctx),
+            );
+            report = Some(r);
+            AllPairs { oracle }
+        });
+        report
+    }
+
+    /// A resident-row clone of this instance's oracle, if the all-pairs
+    /// cache has been computed — the handle an hourly driver stores so
+    /// the *next* hour's instance can [`Instance::adopt_all_pairs_from`]
+    /// it. `None` when no solve has touched the cache yet.
+    pub fn cloned_oracle(&self) -> Option<DistanceOracle> {
+        self.all_pairs.get().map(|ap| ap.oracle().clone_resident())
+    }
+
     fn compute_all_pairs(&self, ctx: Option<&jcr_ctx::SolverContext>) -> AllPairs {
         let serial_ctx;
         let ctx = match ctx {
@@ -443,11 +492,13 @@ impl InstanceBuilder {
             CapacitySpec::Fraction(fr) => {
                 let total: f64 = per_edge_total.iter().sum();
                 topo.set_uniform_capacity(fr * total);
-                topo.augment_origin_paths(&per_edge_total);
+                topo.augment_origin_paths(&per_edge_total)
+                    .map_err(|e| JcrError::InvalidInstance(e.to_string()))?;
             }
             CapacitySpec::Uniform(kappa) => {
                 topo.set_uniform_capacity(kappa);
-                topo.augment_origin_paths(&per_edge_total);
+                topo.augment_origin_paths(&per_edge_total)
+                    .map_err(|e| JcrError::InvalidInstance(e.to_string()))?;
             }
         }
 

@@ -55,6 +55,7 @@ pub mod report;
 pub mod rnr;
 pub mod routing;
 pub mod serial;
+pub mod state;
 pub mod validate;
 
 /// Convenient re-exports of the main entry points.
@@ -68,9 +69,12 @@ pub mod prelude {
     pub use crate::certify::certify_solution;
     pub use crate::error::JcrError;
     pub use crate::instance::{Instance, InstanceBuilder, Request};
-    pub use crate::online::{AnytimeConfig, HourOutcome, OnlineSimulator, Rung};
+    pub use crate::online::{
+        AnytimeConfig, ComponentStatus, HourOutcome, OnlineSimulator, RestoreReport, Rung,
+    };
     pub use crate::placement::Placement;
     pub use crate::repair::repair_solution_checked;
     pub use crate::repair::{repair_solution, RepairStats};
     pub use crate::routing::{Routing, Solution};
+    pub use crate::state::{SolverState, StateError};
 }

@@ -18,26 +18,45 @@
 //! [`SolverContext`]) and, on failure, walks an
 //! explicit ladder of increasingly cheap fallbacks:
 //!
-//! 1. [`Rung::Full`] — the full alternating re-solve;
-//! 2. [`Rung::Incumbent`] — on [`JcrError::BudgetExceeded`], the
+//! 1. [`Rung::Full`] — the full alternating re-solve, warm-started from
+//!    every piece of carried state (placement, LP basis, column pool,
+//!    carried oracle rows);
+//! 2. [`Rung::ColdRestore`] — when the full solve *with carried state*
+//!    failed for a reason other than the budget, retry once from scratch
+//!    with every carried component dropped (a restored-but-poisoned
+//!    snapshot component must degrade to cold, never wedge the hour);
+//! 3. [`Rung::Incumbent`] — on [`JcrError::BudgetExceeded`], the
 //!    validated best incumbent the interrupted solve produced;
-//! 3. [`Rung::RetryHalved`] — one retry with halved iteration caps under
+//! 4. [`Rung::RetryHalved`] — one retry with halved iteration caps under
 //!    the remaining budget;
-//! 4. [`Rung::RoutingOnly`] — re-route over the carried placement without
+//! 5. [`Rung::RoutingOnly`] — re-route over the carried placement without
 //!    touching the caches;
-//! 5. [`Rung::CarryForward`] — repair the previous hour's solution
+//! 6. [`Rung::CarryForward`] — repair the previous hour's solution
 //!    against the current instance ([`crate::repair`]) and serve from it.
 //!
 //! Every candidate is checked with [`validate_solution`] before it is
 //! served; the rung that produced the served solution is recorded in
 //! [`HourOutcome::rung`] and streamed as a structured `"rung"` event
 //! through the configured [`Probe`].
+//!
+//! # Crash recovery
+//!
+//! [`OnlineSimulator::snapshot`] captures the carried state as a
+//! [`SolverState`] and [`OnlineSimulator::restore`] rebuilds a simulator
+//! from one, independently validating each component (placement bitset,
+//! routing, LP basis, column pool) and degrading whatever fails to cold
+//! — reported per component in [`RestoreReport`], never an error. Carried
+//! distance-oracle rows are *not* part of the snapshot: they are re-
+//! derived (and re-verified) from each hour's instance, and carried rows
+//! are bit-identical to fresh ones, so a resumed run replays the exact
+//! bits of an uninterrupted one.
 
 use std::fmt;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use jcr_ctx::{Budget, Phase, Probe, SolverContext};
+use jcr_graph::{DistanceOracle, EdgeId, NodeId, Path};
 
 use crate::alternating::Alternating;
 use crate::error::JcrError;
@@ -45,14 +64,23 @@ use crate::instance::Instance;
 use crate::placement::Placement;
 use crate::repair::{repair_solution, RepairStats};
 use crate::rnr;
-use crate::routing::Solution;
+use crate::routing::{Routing, Solution};
+use crate::state::{ColumnRecord, FlowRecord, SolverState};
 use crate::validate::validate_solution;
+
+/// A carried column-generation column: the commodity it priced for and
+/// its auxiliary-graph node sequence (see
+/// [`jcr_flow::multicommodity::min_cost_multicommodity_seeded`]).
+pub type CarriedColumn = (usize, Vec<NodeId>);
 
 /// The degradation-ladder rung that served an hour (see the module docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Rung {
     /// Full alternating re-solve succeeded.
     Full,
+    /// The full solve failed with carried state; a from-scratch re-solve
+    /// with every carried component dropped served instead.
+    ColdRestore,
     /// Budget tripped; the interrupted solve's best incumbent served.
     Incumbent,
     /// A retry with halved iteration caps served.
@@ -65,8 +93,9 @@ pub enum Rung {
 
 impl Rung {
     /// All rungs, in ladder order.
-    pub const ALL: [Rung; 5] = [
+    pub const ALL: [Rung; 6] = [
         Rung::Full,
+        Rung::ColdRestore,
         Rung::Incumbent,
         Rung::RetryHalved,
         Rung::RoutingOnly,
@@ -77,6 +106,7 @@ impl Rung {
     pub fn name(self) -> &'static str {
         match self {
             Rung::Full => "full",
+            Rung::ColdRestore => "cold-restore",
             Rung::Incumbent => "incumbent",
             Rung::RetryHalved => "retry-halved",
             Rung::RoutingOnly => "routing-only",
@@ -88,10 +118,11 @@ impl Rung {
     pub fn index(self) -> usize {
         match self {
             Rung::Full => 0,
-            Rung::Incumbent => 1,
-            Rung::RetryHalved => 2,
-            Rung::RoutingOnly => 3,
-            Rung::CarryForward => 4,
+            Rung::ColdRestore => 1,
+            Rung::Incumbent => 2,
+            Rung::RetryHalved => 3,
+            Rung::RoutingOnly => 4,
+            Rung::CarryForward => 5,
         }
     }
 }
@@ -189,7 +220,59 @@ pub struct OnlineSimulator {
     /// this, so a failed hour keeps the last good basis and retries
     /// bit-identically.
     lp_basis: Option<jcr_lp::Basis>,
+    /// Active CG columns of the last committed hour, re-priced into the
+    /// next hour's first master ([`Alternating::solve_from_with_carry`]).
+    /// Stale columns (endpoints moved, edges gone) are revalidated and
+    /// dropped per hour by the flow layer, so this is only ever a seed.
+    column_pool: Vec<CarriedColumn>,
+    /// Resident-row clone of the last committed hour's distance oracle,
+    /// offered to the next hour's instance via
+    /// [`Instance::adopt_all_pairs_from`]. Speed-only state: carried rows
+    /// are bit-identical to fresh ones, so it is not snapshotted.
+    prev_oracle: Option<DistanceOracle>,
+    /// A placement restored from a snapshot whose routing component was
+    /// degraded: still usable to warm-start the next hour even though no
+    /// full previous [`Solution`] exists. Cleared by the first commit.
+    seed_placement: Option<Placement>,
+    /// Dimensions of the instance the carried state was committed
+    /// against (nodes, items, edges, requests) — recorded into snapshots
+    /// so the restore gate can bounds-check every component.
+    dims: Option<(u32, u32, u32, u32)>,
     hour: usize,
+}
+
+/// Fate of one snapshot component at restore time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComponentStatus {
+    /// Decoded, validated, and carried into the simulator.
+    Restored,
+    /// Present in the snapshot but failed validation; the simulator runs
+    /// cold for this component (the reason says why).
+    Degraded(&'static str),
+    /// Not present in the snapshot.
+    Absent,
+}
+
+impl ComponentStatus {
+    /// Whether the component made it into the simulator.
+    pub fn restored(self) -> bool {
+        self == ComponentStatus::Restored
+    }
+}
+
+/// Per-component outcome of [`OnlineSimulator::restore`]. Degradation is
+/// deliberate: a snapshot with a corrupt basis still restores its
+/// placement, and vice versa — the ladder absorbs whatever is missing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// The committed placement bitset.
+    pub placement: ComponentStatus,
+    /// The served routing (degrades independently of the placement).
+    pub routing: ComponentStatus,
+    /// The simplex warm-start basis.
+    pub basis: ComponentStatus,
+    /// The carried CG column pool.
+    pub columns: ComponentStatus,
 }
 
 impl OnlineSimulator {
@@ -200,6 +283,10 @@ impl OnlineSimulator {
             warm_start: true,
             previous: None,
             lp_basis: None,
+            column_pool: Vec::new(),
+            prev_oracle: None,
+            seed_placement: None,
+            dims: None,
             hour: 0,
         }
     }
@@ -225,13 +312,16 @@ impl OnlineSimulator {
         decision_inst: &Instance,
         true_rates: &[f64],
     ) -> Result<HourOutcome, JcrError> {
+        let ctx = SolverContext::new();
+        self.offer_oracle(decision_inst, &ctx);
         let solver = self.hour_solver();
         let initial = self.initial_placement(decision_inst);
-        let (result, basis) = solver.solve_from_with_basis(
+        let (result, basis, pool) = solver.solve_from_with_carry(
             decision_inst,
             initial,
             self.lp_basis.as_ref(),
-            &SolverContext::new(),
+            &self.column_pool,
+            &ctx,
         )?;
         Ok(self.commit(
             decision_inst,
@@ -240,6 +330,7 @@ impl OnlineSimulator {
             Rung::Full,
             None,
             basis,
+            pool,
         ))
     }
 
@@ -278,20 +369,24 @@ impl OnlineSimulator {
         let initial = self.initial_placement(decision_inst);
         let mut last_err = JcrError::Infeasible;
 
-        // Rung 1: full re-solve under the hour budget.
-        // Rung 2: on budget exhaustion, the validated incumbent.
+        // Rung 1: full re-solve under the hour budget, warm-started from
+        // every piece of carried state.
         let ctx = rung_context(cfg, cfg.budget);
+        self.offer_oracle(decision_inst, &ctx);
         let attempt = {
             let _s = ctx.span("online.rung.full");
-            solver.solve_from_with_basis(
+            solver.solve_from_with_carry(
                 decision_inst,
                 initial.clone(),
                 self.lp_basis.as_ref(),
+                &self.column_pool,
                 &ctx,
             )
         };
+        let mut full_incumbent = None;
+        let mut budget_tripped = false;
         match attempt {
-            Ok((result, basis)) => {
+            Ok((result, basis, pool)) => {
                 if let Some((solution, repair)) = accept(decision_inst, result.solution) {
                     emit(Rung::Full, "served", polish_note(&repair));
                     return Ok(self.commit(
@@ -301,34 +396,81 @@ impl OnlineSimulator {
                         Rung::Full,
                         repair,
                         basis,
+                        pool,
                     ));
                 }
                 emit(Rung::Full, "failed", "candidate failed validation");
             }
             Err(e) => {
                 emit(Rung::Full, "failed", &e.to_string());
-                let budget_tripped = matches!(e, JcrError::BudgetExceeded { .. });
-                if let Some(incumbent) = e.clone().into_incumbent() {
-                    if let Some((solution, repair)) = accept(decision_inst, *incumbent) {
-                        emit(Rung::Incumbent, "served", polish_note(&repair));
-                        return Ok(self.commit(
-                            decision_inst,
-                            true_rates,
-                            solution,
-                            Rung::Incumbent,
-                            repair,
-                            None,
-                        ));
-                    }
-                    emit(Rung::Incumbent, "failed", "incumbent failed validation");
-                } else if budget_tripped {
-                    emit(Rung::Incumbent, "failed", "no incumbent to fall back on");
-                }
+                budget_tripped = matches!(e, JcrError::BudgetExceeded { .. });
+                full_incumbent = e.clone().into_incumbent();
                 last_err = e;
             }
         }
 
-        // Rung 3: one retry with halved iteration caps, on what remains
+        // Rung 2: the full solve failed *with* carried state for a reason
+        // other than the budget — suspect the carried state (a restored
+        // snapshot component may be subtly poisoned despite validating)
+        // and retry once completely cold. Skipped when there was nothing
+        // carried (the solve was already cold) or the budget tripped (a
+        // second full solve would waste what remains of the hour).
+        if !budget_tripped && self.carrying_state() {
+            let budget = remaining_budget(&cfg.budget, started.elapsed());
+            let ctx = rung_context(cfg, budget);
+            let attempt = {
+                let _s = ctx.span("online.rung.cold-restore");
+                solver.solve_from_with_carry(
+                    decision_inst,
+                    Placement::empty(decision_inst),
+                    None,
+                    &[],
+                    &ctx,
+                )
+            };
+            match attempt {
+                Ok((result, basis, pool)) => {
+                    if let Some((solution, repair)) = accept(decision_inst, result.solution) {
+                        emit(Rung::ColdRestore, "served", polish_note(&repair));
+                        return Ok(self.commit(
+                            decision_inst,
+                            true_rates,
+                            solution,
+                            Rung::ColdRestore,
+                            repair,
+                            basis,
+                            pool,
+                        ));
+                    }
+                    emit(Rung::ColdRestore, "failed", "candidate failed validation");
+                }
+                Err(e) => {
+                    emit(Rung::ColdRestore, "failed", &e.to_string());
+                    last_err = e;
+                }
+            }
+        }
+
+        // Rung 3: the interrupted full solve's validated incumbent.
+        if let Some(incumbent) = full_incumbent {
+            if let Some((solution, repair)) = accept(decision_inst, *incumbent) {
+                emit(Rung::Incumbent, "served", polish_note(&repair));
+                return Ok(self.commit(
+                    decision_inst,
+                    true_rates,
+                    solution,
+                    Rung::Incumbent,
+                    repair,
+                    None,
+                    Vec::new(),
+                ));
+            }
+            emit(Rung::Incumbent, "failed", "incumbent failed validation");
+        } else if budget_tripped {
+            emit(Rung::Incumbent, "failed", "no incumbent to fall back on");
+        }
+
+        // Rung 4: one retry with halved iteration caps, on what remains
         // of the hour budget.
         let mut halved = solver.clone();
         halved.max_iters = (halved.max_iters / 2).max(1);
@@ -337,15 +479,16 @@ impl OnlineSimulator {
         let ctx = rung_context(cfg, budget);
         let attempt = {
             let _s = ctx.span("online.rung.retry-halved");
-            halved.solve_from_with_basis(
+            halved.solve_from_with_carry(
                 decision_inst,
                 initial.clone(),
                 self.lp_basis.as_ref(),
+                &self.column_pool,
                 &ctx,
             )
         };
         match attempt {
-            Ok((result, basis)) => {
+            Ok((result, basis, pool)) => {
                 if let Some((solution, repair)) = accept(decision_inst, result.solution) {
                     emit(Rung::RetryHalved, "served", polish_note(&repair));
                     return Ok(self.commit(
@@ -355,6 +498,7 @@ impl OnlineSimulator {
                         Rung::RetryHalved,
                         repair,
                         basis,
+                        pool,
                     ));
                 }
                 emit(Rung::RetryHalved, "failed", "candidate failed validation");
@@ -371,6 +515,7 @@ impl OnlineSimulator {
                             Rung::RetryHalved,
                             repair,
                             None,
+                            Vec::new(),
                         ));
                     }
                 }
@@ -378,7 +523,7 @@ impl OnlineSimulator {
             }
         }
 
-        // Rung 4: keep the carried placement, only re-route.
+        // Rung 5: keep the carried placement, only re-route.
         let budget = remaining_budget(&cfg.budget, started.elapsed());
         let ctx = rung_context(cfg, budget);
         let attempt = {
@@ -400,6 +545,7 @@ impl OnlineSimulator {
                         Rung::RoutingOnly,
                         repair,
                         None,
+                        Vec::new(),
                     ));
                 }
                 emit(Rung::RoutingOnly, "failed", "candidate failed validation");
@@ -410,7 +556,7 @@ impl OnlineSimulator {
             }
         }
 
-        // Rung 5: carry the previous hour's solution, repaired against
+        // Rung 6: carry the previous hour's solution, repaired against
         // the current instance. With no previous hour (or when its repair
         // fails), fall back to an origin-only solution. Repair is
         // budget-free by design: this rung must always produce an answer.
@@ -437,6 +583,7 @@ impl OnlineSimulator {
                     Rung::CarryForward,
                     Some(stats),
                     None,
+                    Vec::new(),
                 ));
             }
         }
@@ -454,6 +601,148 @@ impl OnlineSimulator {
         self.previous.as_ref().map(|s| &s.placement)
     }
 
+    /// Captures the carried state as a [`SolverState`] snapshot. Taken at
+    /// an hour boundary (after a step returned), restoring it resumes the
+    /// run bit-identically: everything that can change the bits of future
+    /// decisions is included, and the speed-only carried oracle rows —
+    /// which are bit-identical to freshly computed ones — are not.
+    pub fn snapshot(&self) -> SolverState {
+        let (n_nodes, n_items, n_edges, n_requests) = self.dims.unwrap_or_default();
+        let placement = self
+            .previous
+            .as_ref()
+            .map(|s| &s.placement)
+            .or(self.seed_placement.as_ref())
+            .map(|p| p.to_raw_parts().1.to_vec());
+        let routing = self.previous.as_ref().map(|s| {
+            s.routing
+                .per_request
+                .iter()
+                .map(|flows| {
+                    flows
+                        .iter()
+                        .map(|pf| FlowRecord {
+                            amount_bits: pf.amount.to_bits(),
+                            edges: pf.path.edges().iter().map(|e| e.index() as u32).collect(),
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+        SolverState {
+            hour: self.hour as u64,
+            n_nodes,
+            n_items,
+            n_edges,
+            n_requests,
+            placement,
+            routing,
+            basis: self.lp_basis.as_ref().map(jcr_lp::Basis::to_bytes),
+            columns: self
+                .column_pool
+                .iter()
+                .map(|(k, nodes)| ColumnRecord {
+                    commodity: *k as u32,
+                    nodes: nodes.iter().map(|v| v.index() as u32).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a simulator from a decoded snapshot, independently
+    /// validating every component and degrading whatever fails to cold
+    /// (see [`RestoreReport`]); restore itself never errors. The deeper
+    /// semantic checks run where the context to perform them exists: the
+    /// LP re-factorizes the basis on first use and falls back cold if it
+    /// is singular or mis-shaped, carried columns are re-priced against
+    /// each hour's auxiliary graph and stale ones dropped, and carried
+    /// oracle rows are delta-checked and sample-verified per hour.
+    pub fn restore(solver: Alternating, state: &SolverState) -> (OnlineSimulator, RestoreReport) {
+        let mut sim = OnlineSimulator::new(solver);
+        sim.hour = state.hour as usize;
+        if state.n_nodes > 0 {
+            sim.dims = Some((
+                state.n_nodes,
+                state.n_items,
+                state.n_edges,
+                state.n_requests,
+            ));
+        }
+        let mut report = RestoreReport {
+            placement: ComponentStatus::Absent,
+            routing: ComponentStatus::Absent,
+            basis: ComponentStatus::Absent,
+            columns: ComponentStatus::Absent,
+        };
+
+        let placement = state.placement.as_deref().and_then(|words| {
+            let decoded =
+                Placement::from_raw_parts(state.n_nodes as usize, state.n_items as usize, words);
+            report.placement = match decoded {
+                Some(_) => ComponentStatus::Restored,
+                None => ComponentStatus::Degraded("placement words do not fit the dimensions"),
+            };
+            decoded
+        });
+        let routing = state.routing.as_ref().and_then(|per_request| {
+            let decoded = decode_routing(per_request, state.n_requests, state.n_edges);
+            report.routing = match decoded {
+                Some(_) => ComponentStatus::Restored,
+                None => ComponentStatus::Degraded("routing references out-of-range edges"),
+            };
+            decoded
+        });
+        match (placement, routing) {
+            (Some(p), Some(r)) => {
+                sim.previous = Some(Solution {
+                    placement: p,
+                    routing: r,
+                });
+            }
+            (Some(p), None) => sim.seed_placement = Some(p),
+            (None, Some(_)) => {
+                // A routing without its placement cannot be served or
+                // repaired; degrade it alongside.
+                report.routing = ComponentStatus::Degraded("placement unavailable");
+            }
+            (None, None) => {}
+        }
+
+        sim.lp_basis = state.basis.as_deref().and_then(|bytes| {
+            let decoded = jcr_lp::Basis::from_bytes(bytes);
+            report.basis = match decoded {
+                Some(_) => ComponentStatus::Restored,
+                None => ComponentStatus::Degraded("basis bytes malformed"),
+            };
+            decoded
+        });
+
+        if !state.columns.is_empty() {
+            let max_node = state.n_nodes as usize + state.n_items as usize;
+            let mut dropped = false;
+            for col in &state.columns {
+                let in_range = (col.commodity as usize) < state.n_requests as usize
+                    && col.nodes.len() >= 2
+                    && col.nodes.iter().all(|&v| (v as usize) < max_node);
+                if in_range {
+                    sim.column_pool.push((
+                        col.commodity as usize,
+                        col.nodes.iter().map(|&v| NodeId::new(v as usize)).collect(),
+                    ));
+                } else {
+                    dropped = true;
+                }
+            }
+            report.columns = if dropped {
+                ComponentStatus::Degraded("column references out-of-range nodes")
+            } else {
+                ComponentStatus::Restored
+            };
+        }
+
+        (sim, report)
+    }
+
     /// The hour's solver: the configured one with the seed perturbed by
     /// the hour index, so every hour makes fresh randomized-rounding
     /// draws. Pure in `self` — a failed hour repeats identically.
@@ -464,17 +753,39 @@ impl OnlineSimulator {
     }
 
     /// The warm-start placement for the current hour: the carried
-    /// placement when enabled, dimension-compatible, and feasible.
+    /// placement when enabled, dimension-compatible, and feasible. A
+    /// snapshot-restored placement whose routing was degraded
+    /// (`seed_placement`) fills in when no full previous solution exists.
     fn initial_placement(&self, decision_inst: &Instance) -> Placement {
-        match &self.previous {
-            Some(prev)
-                if self.warm_start
-                    && prev.placement.dims_match(decision_inst)
-                    && prev.placement.is_feasible(decision_inst) =>
-            {
-                prev.placement.clone()
-            }
-            _ => Placement::empty(decision_inst),
+        if !self.warm_start {
+            return Placement::empty(decision_inst);
+        }
+        self.previous
+            .as_ref()
+            .map(|s| &s.placement)
+            .or(self.seed_placement.as_ref())
+            .filter(|p| p.dims_match(decision_inst) && p.is_feasible(decision_inst))
+            .cloned()
+            .unwrap_or_else(|| Placement::empty(decision_inst))
+    }
+
+    /// Whether any carried component would warm-start the next solve —
+    /// the precondition for attempting [`Rung::ColdRestore`].
+    fn carrying_state(&self) -> bool {
+        self.previous.is_some()
+            || self.seed_placement.is_some()
+            || self.lp_basis.is_some()
+            || !self.column_pool.is_empty()
+    }
+
+    /// Offers the previous hour's oracle rows to this hour's instance
+    /// (delta invalidation + sampled re-verification; see
+    /// [`Instance::adopt_all_pairs_from`]). Speed-only: adopted rows are
+    /// bit-identical to fresh ones. No-op when nothing is carried or the
+    /// instance already computed its all-pairs cache.
+    fn offer_oracle(&self, decision_inst: &Instance, ctx: &SolverContext) {
+        if let Some(oracle) = &self.prev_oracle {
+            decision_inst.adopt_all_pairs_from(oracle, ctx);
         }
     }
 
@@ -483,7 +794,11 @@ impl OnlineSimulator {
     /// here, so failure paths cannot leave the simulator inconsistent.
     /// `lp_basis` replaces the carried LP basis when the serving rung
     /// produced one; rungs that solved no placement LP pass `None` and
-    /// keep the last good basis (still restorable next hour).
+    /// keep the last good basis (still restorable next hour). `pool` is
+    /// the hour's active CG columns (empty for rungs that ran no column
+    /// generation — the next hour then starts unseeded, which is exactly
+    /// what an uninterrupted run would do after the same rung).
+    #[allow(clippy::too_many_arguments)]
     fn commit(
         &mut self,
         decision_inst: &Instance,
@@ -492,6 +807,7 @@ impl OnlineSimulator {
         rung: Rung,
         repair: Option<RepairStats>,
         lp_basis: Option<jcr_lp::Basis>,
+        pool: Vec<CarriedColumn>,
     ) -> HourOutcome {
         let decided_cost = solution.cost(decision_inst);
         let (realized_cost, realized_congestion) =
@@ -506,6 +822,17 @@ impl OnlineSimulator {
         if lp_basis.is_some() {
             self.lp_basis = lp_basis;
         }
+        self.column_pool = pool;
+        if let Some(oracle) = decision_inst.cloned_oracle() {
+            self.prev_oracle = Some(oracle);
+        }
+        self.seed_placement = None;
+        self.dims = Some((
+            decision_inst.graph.node_count() as u32,
+            decision_inst.num_items() as u32,
+            decision_inst.graph.edge_count() as u32,
+            decision_inst.requests.len() as u32,
+        ));
         self.previous = Some(solution.clone());
         self.hour += 1;
         HourOutcome {
@@ -519,6 +846,44 @@ impl OnlineSimulator {
             solution,
         }
     }
+}
+
+/// Decodes a snapshot's routing section into a [`Routing`], or `None`
+/// when any record is out of range for the snapshot's own dimensions
+/// (wrong request count, edge index ≥ `n_edges`, non-finite or negative
+/// flow amount).
+fn decode_routing(
+    per_request: &[Vec<FlowRecord>],
+    n_requests: u32,
+    n_edges: u32,
+) -> Option<Routing> {
+    if per_request.len() != n_requests as usize {
+        return None;
+    }
+    let mut out = Vec::with_capacity(per_request.len());
+    for flows in per_request {
+        let mut decoded = Vec::with_capacity(flows.len());
+        for flow in flows {
+            let amount = f64::from_bits(flow.amount_bits);
+            if !amount.is_finite() || amount < 0.0 {
+                return None;
+            }
+            if flow.edges.iter().any(|&e| e >= n_edges) {
+                return None;
+            }
+            decoded.push(jcr_flow::PathFlow {
+                path: Path::new(
+                    flow.edges
+                        .iter()
+                        .map(|&e| EdgeId::new(e as usize))
+                        .collect(),
+                ),
+                amount,
+            });
+        }
+        out.push(decoded);
+    }
+    Some(Routing { per_request: out })
 }
 
 /// Accepts a rung's candidate if it validates, polishing it with one
@@ -755,6 +1120,130 @@ mod tests {
         let outcome = warm.step_anytime(&decision, &truth, &cfg).unwrap();
         assert_eq!(outcome.rung, Rung::CarryForward);
         assert!(validate_solution(&decision, &outcome.solution).is_empty());
+    }
+
+    #[test]
+    fn ladder_metadata_is_consistent() {
+        assert_eq!(Rung::ALL.len(), 6);
+        for (i, rung) in Rung::ALL.iter().enumerate() {
+            assert_eq!(rung.index(), i);
+            assert!(!rung.name().is_empty());
+        }
+        assert_eq!(Rung::ColdRestore.name(), "cold-restore");
+    }
+
+    #[test]
+    fn snapshot_resumes_bit_identically_through_the_wire_format() {
+        // Run three hours, snapshotting after hour 2; a simulator
+        // restored from the serialized snapshot must replay hour 3
+        // bit-for-bit, including across fault-like demand changes.
+        let hours: Vec<Instance> = (0..4)
+            .map(|h| hourly_instance(100.0 + 15.0 * h as f64, h))
+            .collect();
+        let truths: Vec<Vec<f64>> = hours
+            .iter()
+            .map(|inst| inst.requests.iter().map(|r| r.rate * 1.05).collect())
+            .collect();
+
+        let mut uninterrupted = OnlineSimulator::new(Alternating::new());
+        let mut killed = OnlineSimulator::new(Alternating::new());
+        for h in 0..2 {
+            uninterrupted.step(&hours[h], &truths[h]).unwrap();
+            killed.step(&hours[h], &truths[h]).unwrap();
+        }
+        let bytes = killed.snapshot().to_bytes();
+        drop(killed); // the "crash"
+
+        let state = SolverState::from_bytes(&bytes).unwrap();
+        let (mut resumed, report) = OnlineSimulator::restore(Alternating::new(), &state);
+        assert!(report.placement.restored());
+        assert!(report.routing.restored());
+        assert_eq!(resumed.hour(), 2);
+        assert_eq!(
+            resumed.current_solution(),
+            uninterrupted.current_solution(),
+            "restored carried solution differs"
+        );
+
+        for h in 2..4 {
+            let a = uninterrupted.step(&hours[h], &truths[h]).unwrap();
+            let b = resumed.step(&hours[h], &truths[h]).unwrap();
+            assert_eq!(a.solution, b.solution, "hour {h} diverged after resume");
+            assert_eq!(a.decided_cost.to_bits(), b.decided_cost.to_bits());
+            assert_eq!(a.realized_cost.to_bits(), b.realized_cost.to_bits());
+            assert_eq!(a.placement_churn, b.placement_churn);
+            assert_eq!(a.rung, b.rung);
+        }
+    }
+
+    #[test]
+    fn restore_degrades_corrupt_components_independently() {
+        let decision = hourly_instance(100.0, 11);
+        let truth: Vec<f64> = decision.requests.iter().map(|r| r.rate).collect();
+        let mut sim = OnlineSimulator::new(Alternating::new());
+        sim.step(&decision, &truth).unwrap();
+        let good = sim.snapshot();
+
+        // Placement words that do not fit the dimensions.
+        let mut state = good.clone();
+        state.placement.as_mut().unwrap().pop();
+        let (restored, report) = OnlineSimulator::restore(Alternating::new(), &state);
+        assert!(matches!(report.placement, ComponentStatus::Degraded(_)));
+        // Without a placement, the routing degrades alongside.
+        assert!(matches!(report.routing, ComponentStatus::Degraded(_)));
+        assert!(restored.current_solution().is_none());
+
+        // Routing referencing an out-of-range edge: the placement still
+        // restores (as a warm-start seed), the solution does not.
+        let mut state = good.clone();
+        state.routing.as_mut().unwrap()[0].push(FlowRecord {
+            amount_bits: 1.0f64.to_bits(),
+            edges: vec![state.n_edges + 7],
+        });
+        let (restored, report) = OnlineSimulator::restore(Alternating::new(), &state);
+        assert!(report.placement.restored());
+        assert!(matches!(report.routing, ComponentStatus::Degraded(_)));
+        assert!(restored.current_solution().is_none());
+        assert!(restored.seed_placement.is_some());
+
+        // Garbage basis bytes.
+        let mut state = good.clone();
+        state.basis = Some(vec![0xFF; 5]);
+        let (restored, report) = OnlineSimulator::restore(Alternating::new(), &state);
+        assert!(matches!(report.basis, ComponentStatus::Degraded(_)));
+        assert!(restored.lp_basis.is_none());
+
+        // A column referencing a node beyond the auxiliary graph.
+        let mut state = good.clone();
+        state.columns.push(crate::state::ColumnRecord {
+            commodity: 0,
+            nodes: vec![0, state.n_nodes + state.n_items + 9],
+        });
+        let (restored, report) = OnlineSimulator::restore(Alternating::new(), &state);
+        assert!(matches!(report.columns, ComponentStatus::Degraded(_)));
+
+        // Every degraded restore must still serve the next hour (via the
+        // anytime ladder, which repair-polishes bicriteria overloads).
+        let mut degraded = restored;
+        let outcome = degraded
+            .step_anytime(&decision, &truth, &AnytimeConfig::new())
+            .unwrap();
+        assert!(validate_solution(&decision, &outcome.solution).is_empty());
+    }
+
+    #[test]
+    fn fresh_simulator_snapshot_is_empty_but_loadable() {
+        let sim = OnlineSimulator::new(Alternating::new());
+        let state = sim.snapshot();
+        assert_eq!(state.hour, 0);
+        assert!(state.placement.is_none());
+        let bytes = state.to_bytes();
+        let back = SolverState::from_bytes(&bytes).unwrap();
+        let (restored, report) = OnlineSimulator::restore(Alternating::new(), &back);
+        assert_eq!(restored.hour(), 0);
+        assert_eq!(report.placement, ComponentStatus::Absent);
+        assert_eq!(report.basis, ComponentStatus::Absent);
+        assert_eq!(report.columns, ComponentStatus::Absent);
     }
 
     #[test]

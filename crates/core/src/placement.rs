@@ -176,6 +176,40 @@ impl Placement {
         evicted
     }
 
+    /// The raw parts of the bitset — `(dims, words)` with
+    /// `dims = (n_nodes, n_items)` — for snapshot serialization. The word
+    /// layout is an implementation detail; pair only with
+    /// [`Placement::from_raw_parts`].
+    pub fn to_raw_parts(&self) -> ((usize, usize), &[u64]) {
+        ((self.n_nodes, self.n_items), &self.bits)
+    }
+
+    /// Rebuilds a placement from [`Placement::to_raw_parts`] output.
+    /// Returns `None` if the word count disagrees with the dimensions or
+    /// a padding bit beyond `n_items` is set (a corrupt or foreign
+    /// snapshot).
+    pub fn from_raw_parts(n_nodes: usize, n_items: usize, words: &[u64]) -> Option<Self> {
+        let words_per_row = n_items.div_ceil(64);
+        if words.len() != n_nodes.checked_mul(words_per_row)? {
+            return None;
+        }
+        let tail_bits = n_items % 64;
+        if words_per_row > 0 && tail_bits != 0 {
+            let pad_mask = !0u64 << tail_bits;
+            for row in 0..n_nodes {
+                if words[row * words_per_row + words_per_row - 1] & pad_mask != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(Placement {
+            bits: words.to_vec(),
+            words_per_row,
+            n_nodes,
+            n_items,
+        })
+    }
+
     /// Total number of stored (node, item) pairs.
     pub fn len(&self) -> usize {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
@@ -287,6 +321,24 @@ mod tests {
         let before = p.clone();
         assert_eq!(p.repair(&inst), 0);
         assert_eq!(p, before);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_and_reject_padding() {
+        let inst = inst();
+        let mut p = Placement::empty(&inst);
+        let v = inst.cache_nodes()[0];
+        p.set(v, 0, true);
+        p.set(v, 3, true);
+        let ((n_nodes, n_items), words) = p.to_raw_parts();
+        let back = Placement::from_raw_parts(n_nodes, n_items, words).expect("round trip");
+        assert_eq!(back, p);
+        // Wrong word count.
+        assert!(Placement::from_raw_parts(n_nodes, n_items, &words[1..]).is_none());
+        // A set padding bit beyond n_items (4 items -> bits 4..64 are pad).
+        let mut bad = words.to_vec();
+        bad[v.index()] |= 1u64 << 17;
+        assert!(Placement::from_raw_parts(n_nodes, n_items, &bad).is_none());
     }
 
     #[test]

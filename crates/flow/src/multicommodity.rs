@@ -12,6 +12,11 @@ use jcr_ctx::{Counter, Phase, SolverContext};
 /// parallel Dijkstra sweep over the commodity sources).
 pub const PRICING_ROUND_NS: &str = "cg.pricing_round_ns";
 
+/// Named counter: carried seed columns accepted by revalidation.
+pub const SEED_COLUMNS_ACCEPTED: &str = "cg.seed_accepted";
+/// Named counter: carried seed columns rejected by revalidation.
+pub const SEED_COLUMNS_REJECTED: &str = "cg.seed_rejected";
+
 use jcr_graph::{shortest, DiGraph, NodeId, Path};
 use jcr_lp::{Model, Sense};
 
@@ -96,16 +101,51 @@ pub fn min_cost_multicommodity_with_context(
     commodities: &[Commodity],
     ctx: &SolverContext,
 ) -> Result<McfSolution, FlowError> {
+    min_cost_multicommodity_seeded(g, cost, cap, commodities, &[], ctx).map(|(sol, _)| sol)
+}
+
+/// [`min_cost_multicommodity_with_context`] with a carried **column
+/// pool**: `seeds` are `(commodity index, node sequence)` paths from a
+/// previous, near-identical solve, re-validated hop by hop against *this*
+/// graph, cost vector, and commodity list, and added to the master before
+/// the first solve so the pricing loop starts from a warm column set.
+/// Stale seeds (missing edges, endpoint mismatch, non-simple or
+/// infinite-cost paths, out-of-range commodity) are silently dropped —
+/// carried columns are an optimization, never an obligation — with the
+/// outcome observable via the `cg.seed_accepted` / `cg.seed_rejected`
+/// counters.
+///
+/// Returns the solution together with the **active** column pool of this
+/// solve (columns carrying flow above tolerance, as node sequences) for
+/// the next hour to seed from. With empty `seeds` the master trajectory
+/// is identical to [`min_cost_multicommodity_with_context`], bit for bit.
+///
+/// # Errors
+///
+/// Same as [`min_cost_multicommodity_with_context`]; seed validation
+/// never errors.
+#[allow(clippy::type_complexity)]
+pub fn min_cost_multicommodity_seeded(
+    g: &DiGraph,
+    cost: &[f64],
+    cap: &[f64],
+    commodities: &[Commodity],
+    seeds: &[(usize, Vec<NodeId>)],
+    ctx: &SolverContext,
+) -> Result<(McfSolution, Vec<(usize, Vec<NodeId>)>), FlowError> {
     let _span = ctx.span("cg.solve");
     let _t = ctx.time(Phase::ColumnGeneration);
     debug_assert!(cost.iter().all(|c| *c >= 0.0));
     if commodities.is_empty() {
-        return Ok(McfSolution {
-            path_flows: Vec::new(),
-            cost: 0.0,
-            lower_bound: 0.0,
-            certificate: jcr_ctx::cert::Certificate::new("mmsfp"),
-        });
+        return Ok((
+            McfSolution {
+                path_flows: Vec::new(),
+                cost: 0.0,
+                lower_bound: 0.0,
+                certificate: jcr_ctx::cert::Certificate::new("mmsfp"),
+            },
+            Vec::new(),
+        ));
     }
     let big = 1e3
         + 10.0
@@ -137,6 +177,33 @@ pub fn min_cost_multicommodity_with_context(
 
     // Track the generated paths per column.
     let mut col_paths: Vec<(usize, Path)> = Vec::new(); // (commodity idx, path)
+
+    // Seed columns carried from a previous solve, re-validated for the
+    // current hour before the first master solve.
+    if !seeds.is_empty() {
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        let mut edge_seen = vec![false; g.edge_count()];
+        for (i, nodes) in seeds {
+            let Some(path) = seed_path(g, cost, commodities, *i, nodes, &mut edge_seen) else {
+                rejected += 1;
+                continue;
+            };
+            let mut column = vec![(demand_rows[*i], 1.0)];
+            for e in path.edges() {
+                if let Some(r) = cap_row[e.index()] {
+                    column.push((r, 1.0));
+                }
+            }
+            let obj = path.cost(cost);
+            solver.add_column(0.0, f64::INFINITY, obj, &column);
+            ctx.count(Counter::CgColumns, 1);
+            col_paths.push((*i, path));
+            accepted += 1;
+        }
+        ctx.obs().add_counter(SEED_COLUMNS_ACCEPTED, accepted);
+        ctx.obs().add_counter(SEED_COLUMNS_REJECTED, rejected);
+    }
 
     // Group commodities by source to share Dijkstra runs.
     let mut by_source: Vec<Vec<usize>> = vec![Vec::new(); g.node_count()];
@@ -329,12 +396,70 @@ pub fn min_cost_multicommodity_with_context(
     if !certificate.verified() {
         return Err(FlowError::NumericalBreakdown(certificate.failure_summary()));
     }
-    Ok(McfSolution {
-        path_flows,
-        cost: total,
-        lower_bound,
-        certificate,
-    })
+    // The active column pool: columns carrying flow above tolerance, as
+    // node sequences (edge ids shift across hours; node ids do not).
+    let pool: Vec<(usize, Vec<NodeId>)> = col_paths
+        .iter()
+        .enumerate()
+        .filter(|(k, _)| solution.x[n_art + *k] > FLOW_EPS)
+        .map(|(_, (i, path))| (*i, path_nodes(g, commodities[*i].source, path)))
+        .collect();
+    Ok((
+        McfSolution {
+            path_flows,
+            cost: total,
+            lower_bound,
+            certificate,
+        },
+        pool,
+    ))
+}
+
+/// Re-validates one carried seed path against the current graph and
+/// costs. `edge_seen` is a caller-provided scratch of `edge_count` flags,
+/// false on entry and restored to false on exit.
+fn seed_path(
+    g: &DiGraph,
+    cost: &[f64],
+    commodities: &[Commodity],
+    i: usize,
+    nodes: &[NodeId],
+    edge_seen: &mut [bool],
+) -> Option<Path> {
+    let c = commodities.get(i)?;
+    if nodes.first() != Some(&c.source) || nodes.last() != Some(&c.dest) {
+        return None;
+    }
+    if nodes.iter().any(|v| v.index() >= g.node_count()) {
+        return None;
+    }
+    let mut edges = Vec::with_capacity(nodes.len().saturating_sub(1));
+    for w in nodes.windows(2) {
+        edges.push(g.find_edge(w[0], w[1])?);
+    }
+    // Reject non-simple or infinite-cost paths: the master column format
+    // assumes each edge appears at most once, and a killed
+    // (infinite-cost) edge can never carry optimal flow.
+    let mut ok = edges.iter().all(|e| cost[e.index()].is_finite());
+    for &e in &edges {
+        if std::mem::replace(&mut edge_seen[e.index()], true) {
+            ok = false;
+        }
+    }
+    for &e in &edges {
+        edge_seen[e.index()] = false;
+    }
+    ok.then(|| Path::new(edges))
+}
+
+/// A path as the node sequence it visits, starting from `source`.
+fn path_nodes(g: &DiGraph, source: NodeId, path: &Path) -> Vec<NodeId> {
+    let mut nodes = Vec::with_capacity(path.edges().len() + 1);
+    nodes.push(source);
+    for &e in path.edges() {
+        nodes.push(g.dst(e));
+    }
+    nodes
 }
 
 /// Independently verifies a path-decomposed multicommodity flow: path
@@ -848,6 +973,56 @@ mod tests {
         let err = greedy_unsplittable_with_context(&g, &cost, &cap, &commodities, &ctx)
             .expect_err("zero deadline must fail fast");
         assert!(matches!(err, FlowError::Budget(_)));
+    }
+
+    #[test]
+    fn seeded_pool_round_trips_and_rejects_stale_seeds() {
+        let (g, cost, cap, commodities) = bottleneck_instance();
+        let ctx = SolverContext::new();
+        let (first, pool) =
+            min_cost_multicommodity_seeded(&g, &cost, &cap, &commodities, &[], &ctx).unwrap();
+        assert!(!pool.is_empty());
+        // Every pooled column names its commodity's endpoints.
+        for (i, nodes) in &pool {
+            assert_eq!(nodes.first(), Some(&commodities[*i].source));
+            assert_eq!(nodes.last(), Some(&commodities[*i].dest));
+        }
+        // Re-solving the identical instance from the carried pool must
+        // reach the same optimum (costs are unique here, so the same
+        // flows) without inventing new claims.
+        let (second, _) =
+            min_cost_multicommodity_seeded(&g, &cost, &cap, &commodities, &pool, &ctx).unwrap();
+        assert!((second.cost - first.cost).abs() < 1e-9);
+        // Stale seeds — bad commodity, endpoint mismatch, missing edge,
+        // infinite cost — are dropped, not errors.
+        let mut killed = cost.clone();
+        killed[2] = f64::INFINITY;
+        let stale = vec![
+            (99usize, pool[0].1.clone()),
+            (0usize, vec![commodities[0].dest, commodities[0].source]),
+            (0usize, vec![commodities[0].source, commodities[0].source]),
+        ];
+        let (third, _) =
+            min_cost_multicommodity_seeded(&g, &killed, &cap, &commodities, &stale, &ctx).unwrap();
+        assert!(third.cost.is_finite());
+    }
+
+    #[test]
+    fn empty_seeds_match_unseeded_bitwise() {
+        let (g, cost, cap, commodities) = bottleneck_instance();
+        let ctx = SolverContext::new();
+        let plain =
+            min_cost_multicommodity_with_context(&g, &cost, &cap, &commodities, &ctx).unwrap();
+        let (seeded, _) =
+            min_cost_multicommodity_seeded(&g, &cost, &cap, &commodities, &[], &ctx).unwrap();
+        assert_eq!(plain.cost.to_bits(), seeded.cost.to_bits());
+        for (a, b) in plain.path_flows.iter().zip(&seeded.path_flows) {
+            assert_eq!(a.len(), b.len());
+            for (fa, fb) in a.iter().zip(b) {
+                assert_eq!(fa.path, fb.path);
+                assert_eq!(fa.amount.to_bits(), fb.amount.to_bits());
+            }
+        }
     }
 
     #[test]

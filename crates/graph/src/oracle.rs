@@ -213,6 +213,34 @@ impl RowCache {
     }
 }
 
+/// What a carry-forward oracle construction did with the previous
+/// oracle's rows (see [`DistanceOracle::carry_with_config`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CarryReport {
+    /// Rows whose delta certificate held and that were copied verbatim.
+    pub rows_carried: usize,
+    /// Candidate rows invalidated by the cost delta (recomputed lazily or
+    /// eagerly depending on storage mode).
+    pub rows_dropped: usize,
+    /// Carried rows re-verified bitwise against a fresh Dijkstra.
+    pub rows_verified: usize,
+    /// Whether the previous oracle's graph was structurally identical;
+    /// `false` means nothing was carried.
+    pub compatible: bool,
+    /// Whether the sampled re-verification found a mismatch (in which
+    /// case every carried row was dropped and the build went cold).
+    pub verify_failed: bool,
+}
+
+/// Default number of carried rows re-verified bitwise against a fresh
+/// Dijkstra in [`DistanceOracle::carry_with_config`].
+pub const DEFAULT_CARRY_VERIFY_SAMPLES: usize = 2;
+
+/// Named counter: oracle rows carried across a cost delta.
+pub const ROWS_CARRIED: &str = "graph.oracle.rows_carried";
+/// Named counter: candidate rows invalidated by a cost delta.
+pub const ROWS_DROPPED: &str = "graph.oracle.rows_dropped";
+
 #[derive(Debug)]
 enum Storage {
     /// Flat row-major `n × n` planes: `dist[s * n + t]`, `parent[s * n + t]`.
@@ -469,6 +497,254 @@ impl DistanceOracle {
     }
 }
 
+impl DistanceOracle {
+    /// Builds an oracle for `graph` under `cost`, carrying forward every
+    /// row of `prev` that a per-edge delta certificate proves unchanged —
+    /// dynamic-SSSP delta invalidation instead of a full sweep.
+    ///
+    /// A row rooted at `s` survives iff:
+    ///
+    /// * **(a)** no reachable node's parent edge *increased* in cost —
+    ///   the tree's recorded distances are then still exact, and any
+    ///   alternative path through an increased edge only got worse; and
+    /// * **(b)** for every *decreased* edge `(u, v)`:
+    ///   `dist(s,u) + c_new(u,v) > dist(s,v)` **strictly** (rows with
+    ///   `dist(s,u) = ∞` pass vacuously: every `s → u` prefix uses only
+    ///   non-decreased edges up to the first decreased one, so it cannot
+    ///   have become finite). No decreased edge then offers an
+    ///   equal-or-better path anywhere, so no distance changes — and
+    ///   because the Dijkstra heap pops in deterministic `(dist, node)`
+    ///   order and every dirty candidate for a surviving row is strictly
+    ///   worse than the recorded optimum, the parent plane is unchanged
+    ///   too: carried rows are **bit-identical** to freshly computed
+    ///   ones. Equality is dropped conservatively — a tying edge could
+    ///   flip the parent choice.
+    ///
+    /// The first `verify_samples` carried rows (in source order) are
+    /// re-run from scratch and compared bitwise; any mismatch distrusts
+    /// the whole carry and drops every carried row. Structural graph
+    /// mismatch (node/edge counts or endpoints) carries nothing. Either
+    /// way the result is a fully valid oracle — invalid rows are
+    /// recomputed eagerly in dense mode and lazily in on-demand mode.
+    pub fn carry_with_config(
+        prev: &DistanceOracle,
+        graph: &DiGraph,
+        cost: &[f64],
+        dense_max: usize,
+        row_capacity: usize,
+        verify_samples: usize,
+        ctx: Option<&SolverContext>,
+    ) -> (Self, CarryReport) {
+        assert_eq!(cost.len(), graph.edge_count(), "cost slice length mismatch");
+        let n = graph.node_count();
+        let mut report = CarryReport {
+            compatible: prev.graph.node_count() == n
+                && prev.graph.edge_count() == graph.edge_count()
+                && (0..graph.edge_count()).all(|e| {
+                    prev.graph.endpoints(EdgeId::new(e)) == graph.endpoints(EdgeId::new(e))
+                }),
+            ..CarryReport::default()
+        };
+        if !report.compatible {
+            let oracle = Self::with_config(graph, cost, dense_max, row_capacity, ctx);
+            return (oracle, report);
+        }
+        let mut increased = vec![false; cost.len()];
+        let mut decreased: Vec<EdgeId> = Vec::new();
+        for e in 0..cost.len() {
+            if cost[e] > prev.cost[e] {
+                increased[e] = true;
+            } else if cost[e] < prev.cost[e] {
+                decreased.push(EdgeId::new(e));
+            }
+        }
+        let row_valid = |dist: &[f64], parent: &[u32]| -> bool {
+            for &p in parent.iter().take(n) {
+                if p != NO_PARENT && increased[p as usize] {
+                    return false;
+                }
+            }
+            for &e in &decreased {
+                let (u, v) = graph.endpoints(e);
+                let du = dist[u.index()];
+                if du.is_finite() && du + cost[e.index()] <= dist[v.index()] {
+                    return false;
+                }
+            }
+            true
+        };
+        // Candidate rows: every source in dense mode; resident cached
+        // rows, visited in source order for LRU determinism, on demand.
+        let candidates: Vec<(NodeId, RowData)> = match &prev.storage {
+            Storage::Dense { dist, parent } => (0..n)
+                .map(|s| {
+                    let lo = s * n;
+                    let data = RowData {
+                        dist: dist[lo..lo + n].to_vec(),
+                        parent: parent[lo..lo + n].to_vec(),
+                    };
+                    (NodeId::new(s), data)
+                })
+                .collect(),
+            Storage::OnDemand(cache) => {
+                let cache = cache.lock().expect("row cache poisoned");
+                let mut srcs: Vec<u32> = cache.src_of.clone();
+                srcs.sort_unstable();
+                srcs.iter()
+                    .map(|&s| {
+                        let slot = cache.slot_of[s as usize] as usize;
+                        (NodeId::new(s as usize), (*cache.rows[slot]).clone())
+                    })
+                    .collect()
+            }
+        };
+        let mut carried: Vec<(NodeId, RowData)> = Vec::new();
+        for (s, row) in candidates {
+            if row_valid(&row.dist, &row.parent) {
+                carried.push((s, row));
+            } else {
+                report.rows_dropped += 1;
+            }
+        }
+        // The validation gate: a deterministic sample of carried rows is
+        // recomputed from scratch and must match bitwise. One mismatch
+        // means the certificate reasoning does not hold for this delta —
+        // distrust everything carried and go cold.
+        let mut scratch = DijkstraScratch::default();
+        for (s, row) in carried.iter().take(verify_samples) {
+            dijkstra_filtered_into(graph, *s, cost, |_| true, &mut scratch);
+            report.rows_verified += 1;
+            let fresh_ok = (0..n).all(|v| {
+                scratch.dists()[v].to_bits() == row.dist[v].to_bits()
+                    && scratch
+                        .parent_edge(NodeId::new(v))
+                        .map_or(NO_PARENT, |e| e.index() as u32)
+                        == row.parent[v]
+            });
+            if !fresh_ok {
+                report.verify_failed = true;
+                break;
+            }
+        }
+        if report.verify_failed {
+            report.rows_dropped += carried.len();
+            carried.clear();
+        }
+        report.rows_carried = carried.len();
+        if let Some(ctx) = ctx {
+            ctx.obs()
+                .add_counter(ROWS_CARRIED, report.rows_carried as u64);
+            ctx.obs()
+                .add_counter(ROWS_DROPPED, report.rows_dropped as u64);
+        }
+        let storage = if n <= dense_max {
+            let mut have = vec![false; n];
+            for (s, _) in &carried {
+                have[s.index()] = true;
+            }
+            let missing: Vec<NodeId> = (0..n).filter(|&s| !have[s]).map(NodeId::new).collect();
+            let computed: Vec<RowData> = match ctx {
+                Some(ctx) if !missing.is_empty() => jcr_ctx::par::par_map_init(
+                    ctx,
+                    &missing,
+                    DijkstraScratch::default,
+                    |scratch, wctx, _i, &s| {
+                        dijkstra_into_with_context(graph, s, cost, scratch, wctx);
+                        let mut data = RowData {
+                            dist: Vec::new(),
+                            parent: Vec::new(),
+                        };
+                        data.fill(scratch, n);
+                        data
+                    },
+                ),
+                _ => missing
+                    .iter()
+                    .map(|&s| {
+                        dijkstra_filtered_into(graph, s, cost, |_| true, &mut scratch);
+                        let mut data = RowData {
+                            dist: Vec::new(),
+                            parent: Vec::new(),
+                        };
+                        data.fill(&scratch, n);
+                        data
+                    })
+                    .collect(),
+            };
+            let mut dist = vec![f64::INFINITY; n * n];
+            let mut parent = vec![NO_PARENT; n * n];
+            for (s, row) in &carried {
+                let lo = s.index() * n;
+                dist[lo..lo + n].copy_from_slice(&row.dist);
+                parent[lo..lo + n].copy_from_slice(&row.parent);
+            }
+            for (s, row) in missing.iter().zip(computed.iter()) {
+                let lo = s.index() * n;
+                dist[lo..lo + n].copy_from_slice(&row.dist);
+                parent[lo..lo + n].copy_from_slice(&row.parent);
+            }
+            Storage::Dense { dist, parent }
+        } else {
+            let mut cache = RowCache::new(n, row_capacity);
+            for (s, row) in carried {
+                cache.insert(s, row);
+            }
+            Storage::OnDemand(Mutex::new(cache))
+        };
+        let oracle = DistanceOracle {
+            graph: graph.clone(),
+            cost: cost.to_vec(),
+            storage,
+            max_cost: OnceLock::new(),
+        };
+        (oracle, report)
+    }
+}
+
+impl DistanceOracle {
+    /// A clone that keeps the resident rows: dense clones copy the block
+    /// (same as [`Clone`]), while on-demand clones share the currently
+    /// cached rows (`Arc`-cheap) instead of starting cold. Rows are
+    /// re-inserted in ascending source order so the clone's LRU state is
+    /// deterministic regardless of the original's access history.
+    ///
+    /// This is the handle an hourly driver carries between hours so
+    /// [`DistanceOracle::carry_with_config`] has rows to re-certify; the
+    /// plain [`Clone`] stays cold on purpose (cached rows are derived
+    /// state), so carry paths must use this instead.
+    pub fn clone_resident(&self) -> Self {
+        let storage = match &self.storage {
+            Storage::Dense { dist, parent } => Storage::Dense {
+                dist: dist.clone(),
+                parent: parent.clone(),
+            },
+            Storage::OnDemand(cache) => {
+                let cache = cache.lock().expect("row cache poisoned");
+                let mut fresh = RowCache::new(self.graph.node_count(), cache.capacity);
+                let mut resident: Vec<u32> = cache.src_of.clone();
+                resident.sort_unstable();
+                for s in resident {
+                    if let Some(row) = cache
+                        .slot_of
+                        .get(s as usize)
+                        .filter(|&&slot| slot != u32::MAX)
+                        .map(|&slot| RowData::clone(&cache.rows[slot as usize]))
+                    {
+                        fresh.insert(NodeId::new(s as usize), row);
+                    }
+                }
+                Storage::OnDemand(Mutex::new(fresh))
+            }
+        };
+        DistanceOracle {
+            graph: self.graph.clone(),
+            cost: self.cost.clone(),
+            storage,
+            max_cost: self.max_cost.clone(),
+        }
+    }
+}
+
 impl Clone for DistanceOracle {
     /// Cloning an on-demand oracle starts with a cold cache (cached rows
     /// are derived state and recompute bit-identically); a dense clone
@@ -652,6 +928,113 @@ mod tests {
             }
         }
         assert_eq!(ctx.stats().dijkstra_calls, g.node_count() as u64);
+    }
+
+    #[test]
+    fn carry_identical_costs_keeps_every_row() {
+        let (g, cost) = ring(10);
+        let prev = DistanceOracle::with_config(&g, &cost, usize::MAX, 4, None);
+        let (next, report) =
+            DistanceOracle::carry_with_config(&prev, &g, &cost, usize::MAX, 4, 2, None);
+        assert!(report.compatible);
+        assert!(!report.verify_failed);
+        assert_eq!(report.rows_carried, 10);
+        assert_eq!(report.rows_dropped, 0);
+        assert_eq!(report.rows_verified, 2);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                assert_eq!(next.dist(s, t).to_bits(), prev.dist(s, t).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn carry_matches_fresh_bitwise_under_random_deltas() {
+        // Kills (cost -> INF), restores (INF -> finite), halvings and
+        // doublings, all at once: every carried answer must equal a
+        // cold oracle's bit for bit — the empirical check behind the
+        // delta certificate.
+        let (g, base) = ring(14);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next_u64 = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut prev_cost = base.clone();
+        let mut prev = DistanceOracle::with_config(&g, &prev_cost, usize::MAX, 4, None);
+        let mut carried_total = 0usize;
+        for trial in 0..24 {
+            let mut cost = base.clone();
+            for c in cost.iter_mut() {
+                match next_u64() % 6 {
+                    0 => *c *= 2.0,
+                    1 => *c *= 0.5,
+                    2 => *c = f64::INFINITY,
+                    _ => {}
+                }
+            }
+            let (carried, report) =
+                DistanceOracle::carry_with_config(&prev, &g, &cost, usize::MAX, 4, 2, None);
+            assert!(report.compatible, "trial {trial}");
+            assert!(!report.verify_failed, "trial {trial}");
+            carried_total += report.rows_carried;
+            let fresh = DistanceOracle::with_config(&g, &cost, usize::MAX, 4, None);
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    assert_eq!(
+                        carried.dist(s, t).to_bits(),
+                        fresh.dist(s, t).to_bits(),
+                        "trial {trial} {s}->{t}"
+                    );
+                    assert_eq!(carried.path(s, t), fresh.path(s, t), "trial {trial}");
+                }
+            }
+            prev = carried;
+            prev_cost = cost;
+        }
+        let _ = prev_cost;
+        assert!(carried_total > 0, "certificate never fired");
+    }
+
+    #[test]
+    fn carry_on_demand_seeds_cache_without_recompute() {
+        let (g, cost) = ring(12);
+        let prev = DistanceOracle::with_config(&g, &cost, 0, 6, None);
+        let warm: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        for &s in &warm {
+            prev.row(s);
+        }
+        let (next, report) = DistanceOracle::carry_with_config(&prev, &g, &cost, 0, 6, 2, None);
+        assert_eq!(report.rows_carried, 4);
+        assert!(!next.is_dense());
+        assert_eq!(next.rows_resident(), 4);
+        for &s in &warm {
+            for t in g.nodes() {
+                assert_eq!(next.dist(s, t).to_bits(), prev.dist(s, t).to_bits());
+            }
+        }
+        assert_eq!(next.rows_computed(), 0, "carried rows were not recomputed");
+        next.row(NodeId::new(9));
+        assert_eq!(next.rows_computed(), 1);
+    }
+
+    #[test]
+    fn carry_structural_mismatch_goes_cold() {
+        let (g, cost) = ring(8);
+        let (h, hcost) = ring(9);
+        let prev = DistanceOracle::with_config(&g, &cost, usize::MAX, 4, None);
+        let (next, report) =
+            DistanceOracle::carry_with_config(&prev, &h, &hcost, usize::MAX, 4, 2, None);
+        assert!(!report.compatible);
+        assert_eq!(report.rows_carried, 0);
+        let fresh = DistanceOracle::with_config(&h, &hcost, usize::MAX, 4, None);
+        for s in h.nodes() {
+            for t in h.nodes() {
+                assert_eq!(next.dist(s, t).to_bits(), fresh.dist(s, t).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -73,6 +73,62 @@ impl Basis {
     pub fn matches_dims(&self, n_vars: usize, n_rows: usize) -> bool {
         self.n_struct == n_vars && self.m == n_rows && self.num_basic() == self.m
     }
+
+    /// Serializes the snapshot to a flat byte string: two `u32`
+    /// little-endian dimensions (`n_struct`, `m`) followed by one status
+    /// byte per column. The encoding is self-describing enough for
+    /// [`Basis::from_bytes`] to validate it structurally without the
+    /// model in hand.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.statuses.len());
+        out.extend_from_slice(&(self.n_struct as u32).to_le_bytes());
+        out.extend_from_slice(&(self.m as u32).to_le_bytes());
+        out.extend(self.statuses.iter().map(|s| match s {
+            SnapStatus::Basic => 0u8,
+            SnapStatus::AtLower => 1,
+            SnapStatus::AtUpper => 2,
+            SnapStatus::FreeZero => 3,
+        }));
+        out
+    }
+
+    /// Rebuilds a snapshot from [`Basis::to_bytes`] output, rejecting
+    /// anything structurally inconsistent: short headers, status counts
+    /// that disagree with the dimensions, bytes outside the status
+    /// alphabet, or a basic-column count different from the row count.
+    /// Numerical validity (the basic set re-factorizes under the new
+    /// coefficients) is still checked at restore time by
+    /// [`ModelSolver::solve_from_basis`](crate::ModelSolver::solve_from_basis).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Basis> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let n_struct = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+        let m = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+        let body = &bytes[8..];
+        if body.len() != n_struct.checked_add(m)? {
+            return None;
+        }
+        let statuses: Option<Vec<SnapStatus>> = body
+            .iter()
+            .map(|b| match b {
+                0 => Some(SnapStatus::Basic),
+                1 => Some(SnapStatus::AtLower),
+                2 => Some(SnapStatus::AtUpper),
+                3 => Some(SnapStatus::FreeZero),
+                _ => None,
+            })
+            .collect();
+        let basis = Basis {
+            n_struct,
+            m,
+            statuses: statuses?,
+        };
+        if basis.num_basic() != m {
+            return None;
+        }
+        Some(basis)
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +154,47 @@ mod tests {
         assert!(b.matches_dims(3, 2));
         assert!(!b.matches_dims(4, 2));
         assert!(!b.matches_dims(3, 3));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let b = Basis {
+            n_struct: 3,
+            m: 2,
+            statuses: vec![
+                SnapStatus::Basic,
+                SnapStatus::AtLower,
+                SnapStatus::AtUpper,
+                SnapStatus::Basic,
+                SnapStatus::FreeZero,
+            ],
+        };
+        let bytes = b.to_bytes();
+        let back = Basis::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.n_struct, b.n_struct);
+        assert_eq!(back.m, b.m);
+        assert_eq!(back.statuses, b.statuses);
+    }
+
+    #[test]
+    fn bytes_reject_corruption() {
+        let b = Basis {
+            n_struct: 2,
+            m: 1,
+            statuses: vec![SnapStatus::Basic, SnapStatus::AtLower, SnapStatus::AtLower],
+        };
+        let bytes = b.to_bytes();
+        // Truncated header and truncated body.
+        assert!(Basis::from_bytes(&bytes[..4]).is_none());
+        assert!(Basis::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        // Status byte outside the alphabet.
+        let mut bad = bytes.clone();
+        *bad.last_mut().expect("non-empty") = 9;
+        assert!(Basis::from_bytes(&bad).is_none());
+        // Basic count no longer equal to m after a bit flip.
+        let mut demoted = bytes.clone();
+        demoted[8] = 1; // Basic -> AtLower
+        assert!(Basis::from_bytes(&demoted).is_none());
     }
 
     #[test]

@@ -309,7 +309,10 @@ impl Topology {
                 continue;
             }
             let mut parts = line.split_whitespace();
-            let keyword = parts.next().expect("non-empty line");
+            // Empty lines are filtered above; an empty keyword can only
+            // mean that invariant broke, and falls through to the
+            // unknown-keyword parse error instead of panicking.
+            let keyword = parts.next().unwrap_or_default();
             let mut next_usize = |what: &str| -> Result<usize, TopoError> {
                 parts
                     .next()
@@ -408,11 +411,18 @@ impl Topology {
     ///
     /// `demand[k]` is the total request rate of `edge_nodes[k]`.
     ///
+    /// # Errors
+    ///
+    /// [`TopoError::InvalidShape`] when an edge node is unreachable from
+    /// the origin — possible for hand-written
+    /// [`Topology::from_edge_list`] inputs, never for generated
+    /// topologies.
+    ///
     /// # Panics
     ///
-    /// Panics if `demand.len() != edge_nodes.len()` or an edge node is
-    /// unreachable from the origin.
-    pub fn augment_origin_paths(&mut self, demand: &[f64]) {
+    /// Panics if `demand.len() != edge_nodes.len()` (a caller bug, not a
+    /// data error).
+    pub fn augment_origin_paths(&mut self, demand: &[f64]) -> Result<(), TopoError> {
         assert_eq!(
             demand.len(),
             self.edge_nodes.len(),
@@ -421,11 +431,17 @@ impl Topology {
         for (k, &e_node) in self.edge_nodes.iter().enumerate() {
             let path = self
                 .random_simple_path(self.origin, e_node, k as u64)
-                .expect("edge node reachable from origin");
+                .ok_or_else(|| {
+                    TopoError::InvalidShape(format!(
+                        "edge node n{} unreachable from the origin",
+                        e_node.index()
+                    ))
+                })?;
             for e in path {
                 self.capacity[e.index()] += demand[k];
             }
         }
+        Ok(())
     }
 
     /// A seeded random simple `src → dst` path (randomized DFS).
@@ -476,6 +492,8 @@ impl Topology {
     /// two directed costs.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write;
+        // `fmt::Write` into a `String` is infallible; the expects below
+        // document that invariant rather than a reachable failure.
         let mut out = String::from("graph topology {\n  layout=neato;\n  overlap=false;\n");
         for v in self.graph.nodes() {
             let (color, shape) = match self.role(v) {
@@ -696,7 +714,7 @@ mod tests {
         t.set_uniform_capacity(10.0);
         assert!(t.capacity.iter().all(|&c| c == 10.0));
         let demand = vec![5.0; t.edge_nodes.len()];
-        t.augment_origin_paths(&demand);
+        t.augment_origin_paths(&demand).unwrap();
         // The origin's outgoing link carries every fallback path.
         let out = t.graph.out_edges(t.origin)[0];
         assert!(t.capacity[out.index()] >= 10.0 + 5.0 * t.edge_nodes.len() as f64 - 1e-9);

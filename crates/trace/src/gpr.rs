@@ -263,7 +263,10 @@ pub fn rolling_forecast(
             model = Some(Gpr::fit_grid(&times, values)?);
         }
         let t = (train_len + h) as f64;
-        predictions.push(model.as_ref().expect("fitted").predict(t).max(0.0));
+        // `refit_every >= 1` (asserted above) makes the first iteration
+        // (`h == 0`) fit, so a model is always present from then on.
+        let fitted = model.as_ref().expect("first iteration fits a model");
+        predictions.push(fitted.predict(t).max(0.0));
     }
     Ok(predictions)
 }

@@ -103,6 +103,8 @@ impl ViewTrace {
     /// `series` line per video with space-separated hourly views).
     pub fn to_text(&self) -> String {
         use std::fmt::Write;
+        // `fmt::Write` into a `String` is infallible; the expects below
+        // document that invariant rather than a reachable failure.
         let mut out = String::from("jcr-trace v1\n");
         writeln!(out, "train_hours {}", self.train_hours).expect("write to string");
         writeln!(out, "eval_hours {}", self.eval_hours).expect("write to string");
@@ -137,7 +139,10 @@ impl ViewTrace {
         let mut views: Vec<Vec<f64>> = Vec::new();
         for (lineno, line) in lines {
             let mut parts = line.split_whitespace();
-            match parts.next().expect("non-empty") {
+            // Empty lines are filtered above; an empty keyword can only
+            // mean that invariant broke, and falls through to the
+            // unknown-keyword parse error instead of panicking.
+            match parts.next().unwrap_or_default() {
                 "train_hours" => {
                     train_hours = Some(
                         parts

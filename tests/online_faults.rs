@@ -190,3 +190,94 @@ fn repeated_failures_keep_carrying_forward() {
         assert_eq!(sim.hour(), hour + 1);
     }
 }
+
+/// Satellite coverage for the compound-fault hour: a whole-node failure
+/// (every incident link dead) *and* a capacity cut land in the same
+/// hour. `Placement::repair` must evict down to the slashed cache
+/// capacities, and the full `repair_solution` pass must also route
+/// around the dead node — the repaired solution validates clean against
+/// the compound-faulted instance.
+#[test]
+fn repair_survives_node_failure_and_capacity_cut_in_one_hour() {
+    use jcr::sim::faults::FaultEvent;
+
+    let base = base_instance(23);
+    let rates = truth(&base);
+
+    // Hour 0: a clean solve whose solution we then carry into the fault.
+    let mut sim = OnlineSimulator::new(Alternating::new());
+    let carried = sim.step(&base, &rates).unwrap();
+    assert!(!carried.solution.placement.is_empty());
+
+    // Deterministically fire exactly the two fault classes under test.
+    let mut fcfg = FaultConfig::uniform(23, 0.0);
+    fcfg.node_failure = 1.0;
+    fcfg.capacity_cut = 1.0;
+    fcfg.cut_factor = 0.4;
+    let injector = FaultInjector::new(fcfg);
+    let (faulted, dead_node) = (1..32)
+        .find_map(|hour| {
+            let f = injector.inject(hour, &base, Budget::unlimited());
+            let dead = f.events.iter().find_map(|e| match e {
+                FaultEvent::NodeFailed { node, .. } => Some(*node),
+                _ => None,
+            })?;
+            let cut = f
+                .events
+                .iter()
+                .any(|e| matches!(e, FaultEvent::CapacityCut { .. }));
+            cut.then_some((f, dead))
+        })
+        .expect("some hour fires a survivable node failure plus a capacity cut");
+
+    // Compound the link-level faults with a cache-capacity cut so the
+    // placement half of the repair has real work to do.
+    let cache_cap: Vec<f64> = faulted.instance.cache_cap.iter().map(|c| c * 0.5).collect();
+    let compound = Instance::new(
+        faulted.instance.graph.clone(),
+        faulted.instance.link_cost.clone(),
+        faulted.instance.link_cap.clone(),
+        cache_cap,
+        faulted.instance.item_size.clone(),
+        faulted.instance.requests.clone(),
+        faulted.instance.origin,
+    )
+    .unwrap();
+
+    // The carried placement overflows the halved caches; repair must
+    // evict (not reset: dimensions still match) back to feasibility.
+    let mut placement = carried.solution.placement.clone();
+    assert!(!placement.is_feasible(&compound));
+    let evicted = placement.repair(&compound);
+    assert!(evicted > 0, "halved caches force evictions");
+    assert!(placement.is_feasible(&compound));
+    assert!(
+        !placement.is_empty(),
+        "dims match, so repair evicts rather than resets"
+    );
+
+    // The full carry-forward repair: placement trimmed *and* routing
+    // steered off the dead node's links, clean against the compound
+    // instance.
+    let (repaired, stats) = repair_solution(&compound, &carried.solution);
+    assert!(stats.evicted > 0 || stats.rerouted > 0);
+    assert!(
+        validate_solution(&compound, &repaired).is_empty(),
+        "repair under node failure + capacity cut must validate clean"
+    );
+    let loads = repaired.routing.link_loads(&compound);
+    for e in compound
+        .graph
+        .out_edges(dead_node)
+        .iter()
+        .chain(compound.graph.in_edges(dead_node))
+    {
+        assert_eq!(loads[e.index()], 0.0, "no flow may cross the failed node");
+    }
+
+    // And the online ladder serves the compound hour end to end.
+    let outcome = sim
+        .step_anytime(&compound, &truth(&compound), &AnytimeConfig::new())
+        .unwrap();
+    assert!(validate_solution(&compound, &outcome.solution).is_empty());
+}
