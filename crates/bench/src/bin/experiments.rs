@@ -3,6 +3,8 @@
 //! ```text
 //! experiments <id>... [--runs N] [--hours N] [--seed N] [--workers N] [--full]
 //!                     [--out PATH] [--baseline PATH] [--tolerance F]
+//!                     [--obs-out PATH] [--obs-baseline PATH]
+//! experiments diff <a> <b> [--phase NAME] [--top N] [--workers-compare] [--out PATH]
 //!
 //!   ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology
 //!        table1 table2 table3 table4 stats faults stress adversary chaos bench trace all
@@ -14,12 +16,19 @@
 //! nonzero on regressions (checksums/counters exactly, wall clock within
 //! `--tolerance`, default 0.25).
 //!
+//! `bench` also writes the merged observability snapshot next to the
+//! report (`OBS.json`, see `--obs-out`); `diff` loads two such snapshots
+//! and prints the attributed delta report — per-span self-time deltas
+//! ranked by contribution to the wall-clock difference, counter deltas,
+//! and histogram shifts — so a regression names its guilty span.
+//!
 //! `trace` runs a seeded solve under span instrumentation and writes a
 //! Chrome Trace Event file (`--out`, default `TRACE.json`, loadable at
 //! <https://ui.perfetto.dev>) plus a collapsed-stack `.folded` profile.
 //! Setting `JCR_TRACE=path` overrides the default output path and
 //! appends `trace` to any invocation that didn't request it.
 
+use jcr_bench::diff::{self, DiffOpts};
 use jcr_bench::exp::{self, ExpConfig};
 use jcr_bench::perf::{self, BenchOpts};
 use jcr_bench::profile;
@@ -31,6 +40,7 @@ fn main() {
         tolerance: 0.25,
         ..BenchOpts::default()
     };
+    let mut diff_opts = DiffOpts::default();
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -79,11 +89,52 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--tolerance needs a number"));
             }
+            "--obs-out" => {
+                bench_opts.obs_out = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--obs-out needs a path")),
+                );
+            }
+            "--obs-baseline" => {
+                bench_opts.obs_baseline = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--obs-baseline needs a path")),
+                );
+            }
+            "--phase" => {
+                diff_opts.phase = Some(
+                    it.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage("--phase needs a span name")),
+                );
+            }
+            "--top" => {
+                diff_opts.top = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--top needs a number"));
+            }
+            "--workers-compare" => diff_opts.workers_compare = true,
             "--full" => cfg.full = true,
             "--help" | "-h" => usage(""),
             id if !id.starts_with('-') => ids.push(id.to_string()),
             other => usage(&format!("unknown flag {other}")),
         }
+    }
+    // `diff <a> <b>` is a standalone subcommand: the two positional
+    // arguments are snapshot paths, not experiment ids.
+    if ids.first().map(String::as_str) == Some("diff") {
+        if ids.len() != 3 {
+            usage("diff needs exactly two snapshot paths: experiments diff <a> <b>");
+        }
+        diff_opts.out = bench_opts.out.clone();
+        if let Err(msg) = diff::run(&ids[1], &ids[2], &diff_opts) {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+        return;
     }
     let env_trace = std::env::var("JCR_TRACE").ok().filter(|p| !p.is_empty());
     if ids.is_empty() && env_trace.is_none() {
@@ -197,13 +248,16 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: experiments <id>... [--runs N] [--hours N] [--seed N] [--workers N] [--full] \
-         [--out PATH] [--baseline PATH] [--tolerance F]\n\
+         [--out PATH] [--baseline PATH] [--tolerance F] [--obs-out PATH] [--obs-baseline PATH]\n\
+       experiments diff <a> <b> [--phase NAME] [--top N] [--workers-compare] [--out PATH]\n\
          ids: fig4 fig5 fig6 fig7 fig8 fig9 fig11 fig12 fig13 fig15 cases zipf convergence online ablation topology \
          table1 table2 table3 table4 stats faults stress adversary chaos bench trace all\n\
          `adversary` fuzzes ≥ 200 seeded hostile instances (5 families) against every solver with \
          independent certificate verification; exits nonzero on any panic or unverified claim.\n\
          `chaos` kills/resumes the online loop at snapshot boundaries and replays corrupted, truncated,\n\
          stale, and foreign snapshots; exits nonzero unless resume is bit-identical with zero panics.\n\
+         `diff` compares two obs snapshots (`OBS.json`, written by `bench` next to `--out`) and prints\n\
+         span/counter/histogram deltas ranked by contribution to the wall-clock difference.\n\
          env: JCR_TRACE=path  write a Chrome trace (implies a trailing `trace` run)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -171,6 +171,7 @@ pub fn evaluate_in(
         sc.demand_base()
     };
     let runs: Vec<usize> = (0..cfg.runs).collect();
+    let _s = sweep.span("exp.evaluate");
     let per_run: Vec<Vec<Vec<f64>>> = jcr_ctx::par::par_map(sweep, &runs, |wctx, _, &run| {
         let mut sc = scenario.clone();
         sc.share_seed = scenario.share_seed.wrapping_add(run as u64 * 1009);
@@ -1688,6 +1689,7 @@ pub fn stats(cfg: ExpConfig) {
     // metrics registry whose histograms are summarized below.
     let sweep = cfg.pool_ctx();
     let runs: Vec<usize> = (0..cfg.runs.max(1)).collect();
+    let _s = sweep.span("exp.stats_sweep");
     let per_run: Vec<Vec<jcr_ctx::SolverStats>> =
         jcr_ctx::par::par_map(&sweep, &runs, |wctx, _, &run| {
             let mut s = cfg.seeded(Scenario::chunk_default());
@@ -1770,45 +1772,46 @@ pub fn faults(cfg: ExpConfig) {
         // independent. Per-hour solves inside a run stay serial.
         let runs: Vec<usize> = (0..cfg.runs.max(1)).collect();
         type FaultSamples = (Vec<f64>, Vec<f64>, usize, [usize; Rung::ALL.len()]);
-        let per_run: Vec<FaultSamples> =
-            jcr_ctx::par::par_map(&cfg.pool_ctx(), &runs, |_, _, &run| {
-                let mut s = sc.clone();
-                s.share_seed = s.share_seed.wrapping_add(run as u64 * 1009);
-                let demand = s.demand(n_edges);
-                let injector = FaultInjector::new(FaultConfig::uniform(
-                    cfg.seed.wrapping_add(run as u64 * 7919),
-                    rate,
-                ));
-                let mut sim = OnlineSimulator::new(Alternating {
-                    seed: run as u64,
-                    ..Alternating::default()
-                });
-                let mut costs = Vec::new();
-                let mut churns = Vec::new();
-                let mut fault_count = 0usize;
-                let mut hist = [0usize; Rung::ALL.len()];
-                for h in 0..s.hours {
-                    let true_rates = demand.true_rates(h, n_edges);
-                    let pred_rates = demand.predicted_rates(h, n_edges);
-                    let base = build_instance(&s, &pred_rates);
-                    let faulted = injector.inject(h, &base, base_budget);
-                    fault_count += faulted.events.len();
-                    // Demand spikes scale rates but never change the request
-                    // set or order, so the flattened truth stays aligned.
-                    let flat_true: Vec<f64> = flatten_rates(&true_rates)
-                        .into_iter()
-                        .map(|r| r.max(1e-6))
-                        .collect();
-                    let cfg_hour = AnytimeConfig::new().with_budget(faulted.budget);
-                    let outcome = sim
-                        .step_anytime(&faulted.instance, &flat_true, &cfg_hour)
-                        .expect("the ladder serves every servable hour");
-                    hist[outcome.rung.index()] += 1;
-                    costs.push(outcome.realized_cost);
-                    churns.push(outcome.placement_churn as f64);
-                }
-                (costs, churns, fault_count, hist)
+        let pool = cfg.pool_ctx();
+        let _s = pool.span("exp.fault_sweep");
+        let per_run: Vec<FaultSamples> = jcr_ctx::par::par_map(&pool, &runs, |_, _, &run| {
+            let mut s = sc.clone();
+            s.share_seed = s.share_seed.wrapping_add(run as u64 * 1009);
+            let demand = s.demand(n_edges);
+            let injector = FaultInjector::new(FaultConfig::uniform(
+                cfg.seed.wrapping_add(run as u64 * 7919),
+                rate,
+            ));
+            let mut sim = OnlineSimulator::new(Alternating {
+                seed: run as u64,
+                ..Alternating::default()
             });
+            let mut costs = Vec::new();
+            let mut churns = Vec::new();
+            let mut fault_count = 0usize;
+            let mut hist = [0usize; Rung::ALL.len()];
+            for h in 0..s.hours {
+                let true_rates = demand.true_rates(h, n_edges);
+                let pred_rates = demand.predicted_rates(h, n_edges);
+                let base = build_instance(&s, &pred_rates);
+                let faulted = injector.inject(h, &base, base_budget);
+                fault_count += faulted.events.len();
+                // Demand spikes scale rates but never change the request
+                // set or order, so the flattened truth stays aligned.
+                let flat_true: Vec<f64> = flatten_rates(&true_rates)
+                    .into_iter()
+                    .map(|r| r.max(1e-6))
+                    .collect();
+                let cfg_hour = AnytimeConfig::new().with_budget(faulted.budget);
+                let outcome = sim
+                    .step_anytime(&faulted.instance, &flat_true, &cfg_hour)
+                    .expect("the ladder serves every servable hour");
+                hist[outcome.rung.index()] += 1;
+                costs.push(outcome.realized_cost);
+                churns.push(outcome.placement_churn as f64);
+            }
+            (costs, churns, fault_count, hist)
+        });
         let mut costs = Vec::new();
         let mut churns = Vec::new();
         let mut fault_count = 0usize;

@@ -10,9 +10,20 @@
 //! checksums must agree (the pool's deterministic-merge contract), and
 //! across commits the checksums and counters must match the baseline
 //! exactly; only wall time gets a tolerance band.
+//!
+//! Each phase also runs under a span named after itself, and the bench
+//! entry point merges the per-phase [`ObsSnapshot`]s into one document
+//! written next to `BENCH.json` as `OBS.json` (the canonical wire
+//! format of `jcr_ctx::obs::wire`). Two such artifacts feed the
+//! differential profiler (`experiments diff`, [`crate::diff`]); when
+//! the gate trips on a wall-clock regression and an obs baseline is
+//! available, the failure summary names the guilty spans, not just the
+//! guilty phase.
 
 use std::time::Instant;
 
+use jcr_ctx::obs::wire::WireSnapshot;
+use jcr_ctx::obs::ObsSnapshot;
 use jcr_ctx::rng::{Rng, SeedableRng, StdRng};
 use jcr_ctx::{Counter, SolverContext};
 use jcr_flow::multicommodity::{min_cost_multicommodity_with_context, Commodity};
@@ -36,6 +47,15 @@ pub struct BenchOpts {
     /// Relative wall-clock tolerance for the baseline compare (0.25 = the
     /// CI gate's ±25%).
     pub tolerance: f64,
+    /// Write the merged observability snapshot (canonical wire format)
+    /// here. Defaults to `out` with `BENCH` renamed to `OBS` (so
+    /// `BENCH_PR.json` → `OBS_PR.json`); no obs artifact is written when
+    /// neither this nor `out` is set.
+    pub obs_out: Option<String>,
+    /// The committed obs baseline (`OBS_BASELINE.json`). When the gate
+    /// fails on a wall-clock regression, the step summary appends the
+    /// top-10 span attribution of baseline → this run.
+    pub obs_baseline: Option<String>,
 }
 
 /// One benchmark phase's measurements.
@@ -145,23 +165,36 @@ fn median(mut xs: Vec<f64>) -> f64 {
 }
 
 /// Runs one leg [`TIMING_SAMPLES`] times on fresh `workers`-wide
-/// contexts, asserting the deterministic outputs are identical across
-/// repetitions, and returns `(median wall ms, checksum, counters)`.
-fn time_leg<F>(workers: usize, work: &mut F) -> (f64, String, Vec<(&'static str, u64)>)
+/// contexts, each repetition under a span named `phase`, asserting the
+/// deterministic outputs are identical across repetitions. Returns
+/// `(median wall ms, checksum, counters, obs snapshot)`; the snapshot is
+/// the first repetition's (one clean tree per phase, not a 3× sum).
+/// One timed leg's deterministic outputs: checksum, counters, and the
+/// first repetition's observability snapshot.
+type LegOutput = (String, Vec<(&'static str, u64)>, ObsSnapshot);
+
+fn time_leg<F>(
+    workers: usize,
+    phase: &'static str,
+    work: &mut F,
+) -> (f64, String, Vec<(&'static str, u64)>, ObsSnapshot)
 where
     F: FnMut(&SolverContext) -> String,
 {
     let mut walls = Vec::with_capacity(TIMING_SAMPLES);
-    let mut first: Option<(String, Vec<(&'static str, u64)>)> = None;
+    let mut first: Option<LegOutput> = None;
     for rep in 0..TIMING_SAMPLES {
         let ctx = SolverContext::new().with_workers(workers);
         let start = Instant::now();
-        let sum = work(&ctx);
+        let sum = {
+            let _phase_span = ctx.span(phase);
+            work(&ctx)
+        };
         walls.push(start.elapsed().as_secs_f64() * 1e3);
         let counters = counters_of(&ctx);
         match &first {
-            None => first = Some((sum, counters)),
-            Some((sum0, counters0)) => {
+            None => first = Some((sum, counters, ctx.obs_snapshot())),
+            Some((sum0, counters0, _)) => {
                 assert_eq!(
                     *sum0, sum,
                     "repetition {rep} checksum diverged at {workers} worker(s)"
@@ -173,19 +206,25 @@ where
             }
         }
     }
-    let (sum, counters) = first.expect("TIMING_SAMPLES >= 1");
-    (median(walls), sum, counters)
+    let (sum, counters, snap) = first.expect("TIMING_SAMPLES >= 1");
+    (median(walls), sum, counters, snap)
 }
 
 /// Times `work` on both legs — serial context, then a `workers`-wide
 /// context — each as the median of [`TIMING_SAMPLES`] repetitions, and
-/// returns both wall times and the shared (checksum, counters).
-fn run_pair<F>(workers: usize, mut work: F) -> (f64, f64, String, Vec<(&'static str, u64)>)
+/// returns both wall times, the shared (checksum, counters), and the
+/// parallel leg's observability snapshot (rooted at a span named
+/// `phase`, so merged bench snapshots attribute by phase).
+fn run_pair<F>(
+    workers: usize,
+    phase: &'static str,
+    mut work: F,
+) -> (f64, f64, String, Vec<(&'static str, u64)>, ObsSnapshot)
 where
     F: FnMut(&SolverContext) -> String,
 {
-    let (wall_serial, serial_sum, serial_counters) = time_leg(1, &mut work);
-    let (wall_parallel, par_sum, par_counters) = time_leg(workers, &mut work);
+    let (wall_serial, serial_sum, serial_counters, _) = time_leg(1, phase, &mut work);
+    let (wall_parallel, par_sum, par_counters, par_obs) = time_leg(workers, phase, &mut work);
 
     assert_eq!(
         serial_sum, par_sum,
@@ -195,27 +234,31 @@ where
         serial_counters, par_counters,
         "parallel counters diverged from the serial path"
     );
-    (wall_serial, wall_parallel, par_sum, par_counters)
+    (wall_serial, wall_parallel, par_sum, par_counters, par_obs)
 }
 
-fn all_pairs_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
+fn all_pairs_phase(cfg: ExpConfig, workers: usize) -> (PhaseReport, ObsSnapshot) {
     let n = if cfg.full { 700 } else { 350 };
     let (g, cost) = seeded_graph(n, 4, cfg.seed.wrapping_add(11));
-    let (wall_serial, wall_parallel, checksum, counters) = run_pair(workers, |ctx| {
-        let rows = shortest::all_pairs_with_context(&g, &cost, ctx);
-        checksum_slice(rows.iter().flatten().copied())
-    });
-    PhaseReport {
-        name: "all_pairs".into(),
-        wall_ms_serial: wall_serial,
-        wall_ms_parallel: wall_parallel,
-        speedup: wall_serial / wall_parallel.max(1e-9),
-        checksum,
-        counters,
-    }
+    let (wall_serial, wall_parallel, checksum, counters, obs) =
+        run_pair(workers, "all_pairs", |ctx| {
+            let rows = shortest::all_pairs_with_context(&g, &cost, ctx);
+            checksum_slice(rows.iter().flatten().copied())
+        });
+    (
+        PhaseReport {
+            name: "all_pairs".into(),
+            wall_ms_serial: wall_serial,
+            wall_ms_parallel: wall_parallel,
+            speedup: wall_serial / wall_parallel.max(1e-9),
+            checksum,
+            counters,
+        },
+        obs,
+    )
 }
 
-fn column_generation_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
+fn column_generation_phase(cfg: ExpConfig, workers: usize) -> (PhaseReport, ObsSnapshot) {
     let n = if cfg.full { 120 } else { 60 };
     let n_comm = if cfg.full { 60 } else { 30 };
     let (g, cost) = seeded_graph(n, 3, cfg.seed.wrapping_add(23));
@@ -246,30 +289,34 @@ fn column_generation_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
             }
         })
         .collect();
-    let (wall_serial, wall_parallel, checksum, counters) = run_pair(workers, |ctx| {
-        let sol = min_cost_multicommodity_with_context(&g, &cost, &cap, &commodities, ctx)
-            .expect("the ring guarantees feasibility");
-        let mut h = Checksum::new();
-        h.push(sol.cost);
-        for flows in &sol.path_flows {
-            for pf in flows {
-                h.push(pf.amount);
-                h.push(pf.path.len() as f64);
+    let (wall_serial, wall_parallel, checksum, counters, obs) =
+        run_pair(workers, "column_generation", |ctx| {
+            let sol = min_cost_multicommodity_with_context(&g, &cost, &cap, &commodities, ctx)
+                .expect("the ring guarantees feasibility");
+            let mut h = Checksum::new();
+            h.push(sol.cost);
+            for flows in &sol.path_flows {
+                for pf in flows {
+                    h.push(pf.amount);
+                    h.push(pf.path.len() as f64);
+                }
             }
-        }
-        h.hex()
-    });
-    PhaseReport {
-        name: "column_generation".into(),
-        wall_ms_serial: wall_serial,
-        wall_ms_parallel: wall_parallel,
-        speedup: wall_serial / wall_parallel.max(1e-9),
-        checksum,
-        counters,
-    }
+            h.hex()
+        });
+    (
+        PhaseReport {
+            name: "column_generation".into(),
+            wall_ms_serial: wall_serial,
+            wall_ms_parallel: wall_parallel,
+            speedup: wall_serial / wall_parallel.max(1e-9),
+            checksum,
+            counters,
+        },
+        obs,
+    )
 }
 
-fn monte_carlo_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
+fn monte_carlo_phase(cfg: ExpConfig, workers: usize) -> (PhaseReport, ObsSnapshot) {
     let mut sc = Scenario::chunk_default();
     sc.seed = sc.seed.wrapping_add(cfg.seed);
     sc.share_seed = sc.share_seed.wrapping_add(cfg.seed);
@@ -294,27 +341,31 @@ fn monte_carlo_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
     // `run_pair` hands each leg its own context, so the sweep fans out on
     // that context's pool and its counters/checksum are compared between
     // the serial and parallel legs like every other phase.
-    let (wall_serial, wall_parallel, checksum, counters) = run_pair(workers, |ctx| {
-        let metrics = evaluate_in(ctx, &sc, &algos, eval_cfg, &default_factory);
-        checksum_slice(metrics.iter().flat_map(|m| {
-            [
-                m.cost_true,
-                m.congestion_true,
-                m.occupancy_true,
-                m.cost_pred,
-                m.congestion_pred,
-                m.occupancy_pred,
-            ]
-        }))
-    });
-    PhaseReport {
-        name: "monte_carlo".into(),
-        wall_ms_serial: wall_serial,
-        wall_ms_parallel: wall_parallel,
-        speedup: wall_serial / wall_parallel.max(1e-9),
-        checksum,
-        counters,
-    }
+    let (wall_serial, wall_parallel, checksum, counters, obs) =
+        run_pair(workers, "monte_carlo", |ctx| {
+            let metrics = evaluate_in(ctx, &sc, &algos, eval_cfg, &default_factory);
+            checksum_slice(metrics.iter().flat_map(|m| {
+                [
+                    m.cost_true,
+                    m.congestion_true,
+                    m.occupancy_true,
+                    m.cost_pred,
+                    m.congestion_pred,
+                    m.occupancy_pred,
+                ]
+            }))
+        });
+    (
+        PhaseReport {
+            name: "monte_carlo".into(),
+            wall_ms_serial: wall_serial,
+            wall_ms_parallel: wall_parallel,
+            speedup: wall_serial / wall_parallel.max(1e-9),
+            checksum,
+            counters,
+        },
+        obs,
+    )
 }
 
 /// Stress-scale inputs: a [`TopologyKind::Stress`] network (1000 nodes,
@@ -386,88 +437,93 @@ fn stress_inputs(cfg: ExpConfig) -> StressInputs {
     }
 }
 
-fn stress_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
+fn stress_phase(cfg: ExpConfig, workers: usize) -> (PhaseReport, ObsSnapshot) {
     let StressInputs {
         inst,
         edge_nodes,
         zeta,
     } = stress_inputs(cfg);
     let origin = inst.origin.expect("stress topology has an origin");
-    let (wall_serial, wall_parallel, checksum, counters) = run_pair(workers, |ctx| {
-        // A fresh oracle per leg, so both legs pay the same cold-cache cost.
-        let oracle = jcr_graph::DistanceOracle::with_config(
-            &inst.graph,
-            &inst.link_cost,
-            0,
-            jcr_graph::oracle::default_row_capacity().max(edge_nodes.len() + 1),
-            Some(ctx),
-        );
-        assert!(!oracle.is_dense(), "stress phase must stay on-demand");
-        // One row per requester plus the origin, primed in parallel.
-        let mut sources = edge_nodes.clone();
-        sources.push(origin);
-        oracle.prime_rows_with_context(&sources, ctx);
-
-        // Greedy placement: each edge node caches the top-ζ items of its
-        // own demand (rate order, item-index tie-break) — serial and
-        // deterministic, and it exercises the flat placement bitset at
-        // a 10⁵-item catalog width.
-        let mut placement = Placement::empty(&inst);
-        let mut local: Vec<(usize, f64)> = Vec::new();
-        for &v in &edge_nodes {
-            local.clear();
-            local.extend(
-                inst.requests
-                    .iter()
-                    .filter(|r| r.node == v)
-                    .map(|r| (r.item, r.rate)),
+    let (wall_serial, wall_parallel, checksum, counters, obs) =
+        run_pair(workers, "stress", |ctx| {
+            // A fresh oracle per leg, so both legs pay the same cold-cache cost.
+            let oracle = jcr_graph::DistanceOracle::with_config(
+                &inst.graph,
+                &inst.link_cost,
+                0,
+                jcr_graph::oracle::default_row_capacity().max(edge_nodes.len() + 1),
+                Some(ctx),
             );
-            local.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-            for &(item, _) in local.iter().take(zeta) {
-                placement.set(v, item, true);
-            }
-        }
+            assert!(!oracle.is_dense(), "stress phase must stay on-demand");
+            // One row per requester plus the origin, primed in parallel.
+            let mut sources = edge_nodes.clone();
+            sources.push(origin);
+            oracle.prime_rows_with_context(&sources, ctx);
 
-        // Route-to-nearest-replica cost over 64 fixed request ranges:
-        // each range walks its requests through cached row handles and
-        // sums rate × nearest-replica distance; partials merge in range
-        // order, so the checksum is bit-identical at any width.
-        let n_req = inst.requests.len();
-        let ranges: Vec<(usize, usize)> = (0..64)
-            .map(|k| (k * n_req / 64, (k + 1) * n_req / 64))
-            .collect();
-        let partials = jcr_ctx::par::par_map(ctx, &ranges, |_wctx, _, &(lo, hi)| {
-            let mut sum = 0.0;
-            for r in &inst.requests[lo..hi] {
-                let row = oracle.row(r.node);
-                let mut best = row.dist(origin);
-                for &v in &edge_nodes {
-                    if placement.has(v, r.item) {
-                        let d = row.dist(v);
-                        if d < best {
-                            best = d;
+            // Greedy placement: each edge node caches the top-ζ items of its
+            // own demand (rate order, item-index tie-break) — serial and
+            // deterministic, and it exercises the flat placement bitset at
+            // a 10⁵-item catalog width.
+            let mut placement = Placement::empty(&inst);
+            let mut local: Vec<(usize, f64)> = Vec::new();
+            for &v in &edge_nodes {
+                local.clear();
+                local.extend(
+                    inst.requests
+                        .iter()
+                        .filter(|r| r.node == v)
+                        .map(|r| (r.item, r.rate)),
+                );
+                local.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                for &(item, _) in local.iter().take(zeta) {
+                    placement.set(v, item, true);
+                }
+            }
+
+            // Route-to-nearest-replica cost over 64 fixed request ranges:
+            // each range walks its requests through cached row handles and
+            // sums rate × nearest-replica distance; partials merge in range
+            // order, so the checksum is bit-identical at any width.
+            let n_req = inst.requests.len();
+            let ranges: Vec<(usize, usize)> = (0..64)
+                .map(|k| (k * n_req / 64, (k + 1) * n_req / 64))
+                .collect();
+            let _route = ctx.span("stress.route_cost");
+            let partials = jcr_ctx::par::par_map(ctx, &ranges, |_wctx, _, &(lo, hi)| {
+                let mut sum = 0.0;
+                for r in &inst.requests[lo..hi] {
+                    let row = oracle.row(r.node);
+                    let mut best = row.dist(origin);
+                    for &v in &edge_nodes {
+                        if placement.has(v, r.item) {
+                            let d = row.dist(v);
+                            if d < best {
+                                best = d;
+                            }
                         }
                     }
+                    sum += r.rate * best;
                 }
-                sum += r.rate * best;
+                sum
+            });
+            let mut h = Checksum::new();
+            for &p in &partials {
+                h.push(p);
             }
-            sum
+            h.push(placement.len() as f64);
+            h.hex()
         });
-        let mut h = Checksum::new();
-        for &p in &partials {
-            h.push(p);
-        }
-        h.push(placement.len() as f64);
-        h.hex()
-    });
-    PhaseReport {
-        name: "stress".into(),
-        wall_ms_serial: wall_serial,
-        wall_ms_parallel: wall_parallel,
-        speedup: wall_serial / wall_parallel.max(1e-9),
-        checksum,
-        counters,
-    }
+    (
+        PhaseReport {
+            name: "stress".into(),
+            wall_ms_serial: wall_serial,
+            wall_ms_parallel: wall_parallel,
+            speedup: wall_serial / wall_parallel.max(1e-9),
+            checksum,
+            counters,
+        },
+        obs,
+    )
 }
 
 /// The warm-start LP family: a seeded covering LP `min c·x` over
@@ -519,120 +575,124 @@ fn warm_lp_columns(n_cols: usize, m: usize, seed: u64) -> Vec<(f64, Vec<(usize, 
 /// cold pivots — so the bench gate fails loudly if warm starting ever
 /// regresses to cold-solve behavior, and records all four pivot counts
 /// in the checksum so the baseline pins them exactly.
-fn lp_warm_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
+fn lp_warm_phase(cfg: ExpConfig, workers: usize) -> (PhaseReport, ObsSnapshot) {
     let (n, m) = if cfg.full { (160, 80) } else { (80, 40) };
     let n_cg_cols = 8;
     let seed = cfg.seed.wrapping_add(53);
-    let (wall_serial, wall_parallel, checksum, counters) = run_pair(workers, |ctx| {
-        let pivots = |ctx: &SolverContext| ctx.stats().counter(Counter::SimplexPivots);
+    let (wall_serial, wall_parallel, checksum, counters, obs) =
+        run_pair(workers, "lp_warm", |ctx| {
+            let pivots = |ctx: &SolverContext| ctx.stats().counter(Counter::SimplexPivots);
 
-        // Online-hour leg: solve the base hour, snapshot the basis, then
-        // solve the drifted-objective "next hour" cold vs warm.
-        let mut base = warm_lp(n, m, seed, 0.0).into_solver();
-        let base_sol = base
-            .solve_with_context(ctx)
-            .expect("warm bench base LP is feasible");
-        let basis = base.basis().expect("solved LP exposes a basis");
+            // Online-hour leg: solve the base hour, snapshot the basis, then
+            // solve the drifted-objective "next hour" cold vs warm.
+            let mut base = warm_lp(n, m, seed, 0.0).into_solver();
+            let base_sol = base
+                .solve_with_context(ctx)
+                .expect("warm bench base LP is feasible");
+            let basis = base.basis().expect("solved LP exposes a basis");
 
-        let mark = pivots(ctx);
-        let cold_next = warm_lp(n, m, seed, 0.03)
-            .into_solver()
-            .solve_with_context(ctx)
-            .expect("drifted LP is feasible");
-        let cold_hour_pivots = pivots(ctx) - mark;
+            let mark = pivots(ctx);
+            let cold_next = warm_lp(n, m, seed, 0.03)
+                .into_solver()
+                .solve_with_context(ctx)
+                .expect("drifted LP is feasible");
+            let cold_hour_pivots = pivots(ctx) - mark;
 
-        let mark = pivots(ctx);
-        let warm_next = warm_lp(n, m, seed, 0.03)
-            .into_solver()
-            .solve_from_basis(&basis, ctx)
-            .expect("warm solve of the drifted LP succeeds");
-        let warm_hour_pivots = pivots(ctx) - mark;
+            let mark = pivots(ctx);
+            let warm_next = warm_lp(n, m, seed, 0.03)
+                .into_solver()
+                .solve_from_basis(&basis, ctx)
+                .expect("warm solve of the drifted LP succeeds");
+            let warm_hour_pivots = pivots(ctx) - mark;
 
-        assert!(
-            (warm_next.objective - cold_next.objective).abs()
-                <= 1e-7 * cold_next.objective.abs().max(1.0),
-            "warm and cold solves disagree: {} vs {}",
-            warm_next.objective,
-            cold_next.objective
-        );
-        assert!(
-            warm_hour_pivots * 2 <= cold_hour_pivots,
-            "online warm re-solve took {warm_hour_pivots} pivots, cold took \
+            assert!(
+                (warm_next.objective - cold_next.objective).abs()
+                    <= 1e-7 * cold_next.objective.abs().max(1.0),
+                "warm and cold solves disagree: {} vs {}",
+                warm_next.objective,
+                cold_next.objective
+            );
+            assert!(
+                warm_hour_pivots * 2 <= cold_hour_pivots,
+                "online warm re-solve took {warm_hour_pivots} pivots, cold took \
              {cold_hour_pivots}: warm starting must at least halve the work"
-        );
+            );
 
-        // CG-master leg: the retained solver re-solves after a batch of
-        // added columns vs a cold solve of the final (extended) model.
-        let columns = warm_lp_columns(n_cg_cols, m, seed.wrapping_add(7));
-        let mut master = warm_lp(n, m, seed, 0.0).into_solver();
-        master
-            .solve_with_context(ctx)
-            .expect("CG master base LP is feasible");
-        let mark = pivots(ctx);
-        for (obj, entries) in &columns {
-            let entries: Vec<_> = entries
-                .iter()
-                .map(|&(r, a)| (jcr_lp::ConId::from_index(r), a))
-                .collect();
-            master.add_column(0.0, 5.0, *obj, &entries);
-        }
-        let warm_cg = master
-            .solve_with_context(ctx)
-            .expect("CG master re-solve succeeds");
-        let warm_cg_pivots = pivots(ctx) - mark;
+            // CG-master leg: the retained solver re-solves after a batch of
+            // added columns vs a cold solve of the final (extended) model.
+            let columns = warm_lp_columns(n_cg_cols, m, seed.wrapping_add(7));
+            let mut master = warm_lp(n, m, seed, 0.0).into_solver();
+            master
+                .solve_with_context(ctx)
+                .expect("CG master base LP is feasible");
+            let mark = pivots(ctx);
+            for (obj, entries) in &columns {
+                let entries: Vec<_> = entries
+                    .iter()
+                    .map(|&(r, a)| (jcr_lp::ConId::from_index(r), a))
+                    .collect();
+                master.add_column(0.0, 5.0, *obj, &entries);
+            }
+            let warm_cg = master
+                .solve_with_context(ctx)
+                .expect("CG master re-solve succeeds");
+            let warm_cg_pivots = pivots(ctx) - mark;
 
-        let mut extended = warm_lp(n, m, seed, 0.0);
-        for (obj, entries) in &columns {
-            let entries: Vec<_> = entries
-                .iter()
-                .map(|&(r, a)| (jcr_lp::ConId::from_index(r), a))
-                .collect();
-            extended.add_var_with_column(0.0, 5.0, *obj, &entries);
-        }
-        let mark = pivots(ctx);
-        let cold_cg = extended
-            .into_solver()
-            .solve_with_context(ctx)
-            .expect("extended LP is feasible");
-        let cold_cg_pivots = pivots(ctx) - mark;
+            let mut extended = warm_lp(n, m, seed, 0.0);
+            for (obj, entries) in &columns {
+                let entries: Vec<_> = entries
+                    .iter()
+                    .map(|&(r, a)| (jcr_lp::ConId::from_index(r), a))
+                    .collect();
+                extended.add_var_with_column(0.0, 5.0, *obj, &entries);
+            }
+            let mark = pivots(ctx);
+            let cold_cg = extended
+                .into_solver()
+                .solve_with_context(ctx)
+                .expect("extended LP is feasible");
+            let cold_cg_pivots = pivots(ctx) - mark;
 
-        assert!(
-            (warm_cg.objective - cold_cg.objective).abs()
-                <= 1e-7 * cold_cg.objective.abs().max(1.0),
-            "CG warm and cold solves disagree: {} vs {}",
-            warm_cg.objective,
-            cold_cg.objective
-        );
-        assert!(
-            warm_cg_pivots * 2 <= cold_cg_pivots,
-            "CG master re-solve took {warm_cg_pivots} pivots, cold took \
+            assert!(
+                (warm_cg.objective - cold_cg.objective).abs()
+                    <= 1e-7 * cold_cg.objective.abs().max(1.0),
+                "CG warm and cold solves disagree: {} vs {}",
+                warm_cg.objective,
+                cold_cg.objective
+            );
+            assert!(
+                warm_cg_pivots * 2 <= cold_cg_pivots,
+                "CG master re-solve took {warm_cg_pivots} pivots, cold took \
              {cold_cg_pivots}: warm starting must at least halve the work"
-        );
+            );
 
-        let mut h = Checksum::new();
-        for v in [
-            base_sol.objective,
-            cold_next.objective,
-            warm_next.objective,
-            cold_cg.objective,
-            warm_cg.objective,
-            cold_hour_pivots as f64,
-            warm_hour_pivots as f64,
-            cold_cg_pivots as f64,
-            warm_cg_pivots as f64,
-        ] {
-            h.push(v);
-        }
-        h.hex()
-    });
-    PhaseReport {
-        name: "lp_warm".into(),
-        wall_ms_serial: wall_serial,
-        wall_ms_parallel: wall_parallel,
-        speedup: wall_serial / wall_parallel.max(1e-9),
-        checksum,
-        counters,
-    }
+            let mut h = Checksum::new();
+            for v in [
+                base_sol.objective,
+                cold_next.objective,
+                warm_next.objective,
+                cold_cg.objective,
+                warm_cg.objective,
+                cold_hour_pivots as f64,
+                warm_hour_pivots as f64,
+                cold_cg_pivots as f64,
+                warm_cg_pivots as f64,
+            ] {
+                h.push(v);
+            }
+            h.hex()
+        });
+    (
+        PhaseReport {
+            name: "lp_warm".into(),
+            wall_ms_serial: wall_serial,
+            wall_ms_parallel: wall_parallel,
+            speedup: wall_serial / wall_parallel.max(1e-9),
+            checksum,
+            counters,
+        },
+        obs,
+    )
 }
 
 /// Per-hour instances for the `online_warm` phase: one seeded topology
@@ -673,71 +733,75 @@ fn online_warm_instance(seed: u64, hour: usize, full: bool) -> Instance {
 /// at most half the cold pivots — so the bench gate fails loudly if the
 /// carry chain ever stops paying for itself, and records every per-hour
 /// cost and both pivot totals in the checksum.
-fn online_warm_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
+fn online_warm_phase(cfg: ExpConfig, workers: usize) -> (PhaseReport, ObsSnapshot) {
     let hours = if cfg.full { 6 } else { 4 };
     let seed = cfg.seed.wrapping_add(89);
-    let (wall_serial, wall_parallel, checksum, counters) = run_pair(workers, |ctx| {
-        let pivots = |ctx: &SolverContext| ctx.stats().counter(Counter::SimplexPivots);
-        let solver = Alternating::new();
-        let mut h = Checksum::new();
+    let (wall_serial, wall_parallel, checksum, counters, obs) =
+        run_pair(workers, "online_warm", |ctx| {
+            let pivots = |ctx: &SolverContext| ctx.stats().counter(Counter::SimplexPivots);
+            let solver = Alternating::new();
+            let mut h = Checksum::new();
 
-        // Cold leg: every hour from scratch (the crash-without-snapshot
-        // baseline). Hour 0 is cold in both legs and excluded from the
-        // steady-state totals.
-        let mut cold_steady = 0u64;
-        for hour in 0..hours {
-            let inst = online_warm_instance(seed, hour, cfg.full);
-            let mark = pivots(ctx);
-            let (out, _, _) = solver
-                .solve_from_with_carry(&inst, Placement::empty(&inst), None, &[], ctx)
-                .expect("cold online_warm hour solves");
-            if hour > 0 {
-                cold_steady += pivots(ctx) - mark;
+            // Cold leg: every hour from scratch (the crash-without-snapshot
+            // baseline). Hour 0 is cold in both legs and excluded from the
+            // steady-state totals.
+            let mut cold_steady = 0u64;
+            for hour in 0..hours {
+                let inst = online_warm_instance(seed, hour, cfg.full);
+                let mark = pivots(ctx);
+                let (out, _, _) = solver
+                    .solve_from_with_carry(&inst, Placement::empty(&inst), None, &[], ctx)
+                    .expect("cold online_warm hour solves");
+                if hour > 0 {
+                    cold_steady += pivots(ctx) - mark;
+                }
+                h.push(out.solution.cost(&inst));
             }
-            h.push(out.solution.cost(&inst));
-        }
 
-        // Warm leg: thread placement, basis, and column pool hour over
-        // hour exactly as `OnlineSimulator` commits them.
-        let mut warm_steady = 0u64;
-        let mut basis: Option<jcr_lp::Basis> = None;
-        let mut pool: Vec<(usize, Vec<NodeId>)> = Vec::new();
-        let mut prev: Option<Placement> = None;
-        for hour in 0..hours {
-            let inst = online_warm_instance(seed, hour, cfg.full);
-            let initial = prev
-                .filter(|p: &Placement| p.dims_match(&inst) && p.is_feasible(&inst))
-                .unwrap_or_else(|| Placement::empty(&inst));
-            let mark = pivots(ctx);
-            let (out, b, p) = solver
-                .solve_from_with_carry(&inst, initial, basis.as_ref(), &pool, ctx)
-                .expect("warm online_warm hour solves");
-            if hour > 0 {
-                warm_steady += pivots(ctx) - mark;
+            // Warm leg: thread placement, basis, and column pool hour over
+            // hour exactly as `OnlineSimulator` commits them.
+            let mut warm_steady = 0u64;
+            let mut basis: Option<jcr_lp::Basis> = None;
+            let mut pool: Vec<(usize, Vec<NodeId>)> = Vec::new();
+            let mut prev: Option<Placement> = None;
+            for hour in 0..hours {
+                let inst = online_warm_instance(seed, hour, cfg.full);
+                let initial = prev
+                    .filter(|p: &Placement| p.dims_match(&inst) && p.is_feasible(&inst))
+                    .unwrap_or_else(|| Placement::empty(&inst));
+                let mark = pivots(ctx);
+                let (out, b, p) = solver
+                    .solve_from_with_carry(&inst, initial, basis.as_ref(), &pool, ctx)
+                    .expect("warm online_warm hour solves");
+                if hour > 0 {
+                    warm_steady += pivots(ctx) - mark;
+                }
+                basis = b;
+                pool = p;
+                prev = Some(out.solution.placement.clone());
+                h.push(out.solution.cost(&inst));
             }
-            basis = b;
-            pool = p;
-            prev = Some(out.solution.placement.clone());
-            h.push(out.solution.cost(&inst));
-        }
 
-        assert!(
-            warm_steady * 2 <= cold_steady,
-            "steady-state warm hours took {warm_steady} pivots, cold took \
+            assert!(
+                warm_steady * 2 <= cold_steady,
+                "steady-state warm hours took {warm_steady} pivots, cold took \
              {cold_steady}: the online carry chain must at least halve the work"
-        );
-        h.push(cold_steady as f64);
-        h.push(warm_steady as f64);
-        h.hex()
-    });
-    PhaseReport {
-        name: "online_warm".into(),
-        wall_ms_serial: wall_serial,
-        wall_ms_parallel: wall_parallel,
-        speedup: wall_serial / wall_parallel.max(1e-9),
-        checksum,
-        counters,
-    }
+            );
+            h.push(cold_steady as f64);
+            h.push(warm_steady as f64);
+            h.hex()
+        });
+    (
+        PhaseReport {
+            name: "online_warm".into(),
+            wall_ms_serial: wall_serial,
+            wall_ms_parallel: wall_parallel,
+            speedup: wall_serial / wall_parallel.max(1e-9),
+            checksum,
+            counters,
+        },
+        obs,
+    )
 }
 
 /// Entry point of `experiments stress`: the stress phase alone, printed
@@ -746,28 +810,40 @@ fn online_warm_phase(cfg: ExpConfig, workers: usize) -> PhaseReport {
 pub fn stress(cfg: ExpConfig) {
     let workers = parallel_width(cfg);
     eprintln!("[stress] pool width: {workers} worker(s)");
+    let (phase, _obs) = stress_phase(cfg, workers);
     let report = BenchReport {
         workers,
-        phases: vec![stress_phase(cfg, workers)],
+        phases: vec![phase],
     };
     report.print();
 }
 
-/// Runs every bench phase at the configured width.
-pub fn run(cfg: ExpConfig) -> BenchReport {
+/// Runs every bench phase at the configured width, returning the report
+/// plus the merged observability snapshot (one top-level span per phase,
+/// recorded on the parallel leg's first repetition).
+pub fn run(cfg: ExpConfig) -> (BenchReport, ObsSnapshot) {
     let workers = parallel_width(cfg);
     eprintln!("[bench] pool width: {workers} worker(s)");
-    BenchReport {
-        workers,
-        phases: vec![
-            all_pairs_phase(cfg, workers),
-            column_generation_phase(cfg, workers),
-            lp_warm_phase(cfg, workers),
-            online_warm_phase(cfg, workers),
-            monte_carlo_phase(cfg, workers),
-            stress_phase(cfg, workers),
-        ],
+    // The collector context never opens a span, so each absorbed phase
+    // snapshot grafts at its root and the merged document reads as a
+    // forest of phase trees.
+    let collector = SolverContext::new();
+    type PhaseFn = fn(ExpConfig, usize) -> (PhaseReport, ObsSnapshot);
+    let phase_fns: [PhaseFn; 6] = [
+        all_pairs_phase,
+        column_generation_phase,
+        lp_warm_phase,
+        online_warm_phase,
+        monte_carlo_phase,
+        stress_phase,
+    ];
+    let mut phases = Vec::with_capacity(phase_fns.len());
+    for phase_fn in phase_fns {
+        let (phase, obs) = phase_fn(cfg, workers);
+        collector.absorb_obs(&obs);
+        phases.push(phase);
     }
+    (BenchReport { workers, phases }, collector.obs_snapshot())
 }
 
 impl BenchReport {
@@ -878,14 +954,34 @@ pub fn compare(report: &BenchReport, baseline: &Json, tolerance: f64) -> Vec<Str
         }
         if let Some(Json::Obj(base_counters)) = base.get("counters") {
             for &(name, value) in &phase.counters {
-                if let Some(expected) = base_counters.get(name).and_then(Json::as_f64) {
-                    if expected != value as f64 {
-                        violations.push(format!(
-                            "phase {:?}: counter {name} = {value} != baseline {expected} \
-                             (deterministic regression)",
-                            phase.name
-                        ));
-                    }
+                match base_counters.get(name).and_then(Json::as_f64) {
+                    Some(expected) if expected != value as f64 => violations.push(format!(
+                        "phase {:?}: counter {name} = {value} != baseline {expected} \
+                         (deterministic regression)",
+                        phase.name
+                    )),
+                    Some(_) => {}
+                    // A counter this run produced that the baseline never
+                    // recorded is the same silent-coverage problem as a
+                    // missing phase: the baseline predates the counter and
+                    // must be re-recorded to keep gating it.
+                    None if value != 0 => violations.push(format!(
+                        "phase {:?}: counter {name} = {value} has no baseline entry \
+                         (re-record the baseline to gate it)",
+                        phase.name
+                    )),
+                    None => {}
+                }
+            }
+            // And the reverse: a counter the baseline gates that this run
+            // no longer reports means the instrumentation was dropped.
+            for name in base_counters.keys() {
+                if !phase.counters.iter().any(|&(n, _)| n == name) {
+                    violations.push(format!(
+                        "phase {:?}: counter {name} is recorded in the baseline but missing \
+                         from this run (dropped instrumentation must re-record the baseline)",
+                        phase.name
+                    ));
                 }
             }
         }
@@ -1030,18 +1126,78 @@ fn write_step_summary(md: &str) {
     }
 }
 
+/// The obs artifact path derived from a `BENCH*.json` path: the filename
+/// has `BENCH` renamed to `OBS` (`BENCH_PR.json` → `OBS_PR.json`), or an
+/// `OBS_` prefix when the filename never says `BENCH`.
+fn obs_sibling_path(out: &str) -> String {
+    let path = std::path::Path::new(out);
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("BENCH.json");
+    let obs_name = if name.contains("BENCH") {
+        name.replacen("BENCH", "OBS", 1)
+    } else {
+        format!("OBS_{name}")
+    };
+    path.with_file_name(obs_name).to_string_lossy().into_owned()
+}
+
+/// Renders the merged obs snapshot in the canonical wire format, stamped
+/// with the artifact kind and pool width (so `diff --workers-compare`
+/// can report per-width efficiency without re-deriving it).
+fn obs_document(obs: &ObsSnapshot, workers: usize) -> String {
+    let mut wire = WireSnapshot::from_snapshot(obs);
+    wire.meta.insert("kind".into(), "jcr-bench-obs".into());
+    wire.meta.insert("workers".into(), workers.to_string());
+    wire.render()
+}
+
+/// When the gate tripped on a wall-clock regression and an obs baseline
+/// is on disk, renders the span-level attribution table (baseline → this
+/// run, top 10 by |Δself|) so the step summary names the guilty span
+/// instead of just the guilty phase. Attribution is best-effort: any
+/// problem reading or diffing the baseline is reported, never fatal —
+/// the gate verdict already stands on the bench compare alone.
+fn regression_attribution_markdown(obs: &ObsSnapshot, workers: usize, base_path: &str) -> String {
+    let fresh = match WireSnapshot::parse(&obs_document(obs, workers)) {
+        Ok(w) => w,
+        Err(e) => return format!("\n(span attribution unavailable: {e})\n"),
+    };
+    let base = match crate::diff::load(base_path) {
+        Ok(w) => w,
+        Err(e) => return format!("\n(span attribution unavailable: {e})\n"),
+    };
+    match crate::diff::diff_snapshots(&base, &fresh, None) {
+        Ok(report) => format!(
+            "\n### Span attribution ({base_path} → this run)\n\n{}",
+            report.markdown_table(10)
+        ),
+        Err(e) => format!("\n(span attribution unavailable: {e})\n"),
+    }
+}
+
 /// Entry point of `experiments bench`: run, print, optionally write the
-/// JSON artifact, optionally gate against a baseline.
+/// JSON + obs artifacts, optionally gate against a baseline.
 ///
 /// # Errors
 ///
 /// A description of the gate violations or an I/O problem; callers exit
 /// nonzero on `Err`.
 pub fn bench(cfg: ExpConfig, opts: &BenchOpts) -> Result<(), String> {
-    let report = run(cfg);
+    let (report, obs) = run(cfg);
     report.print();
     if let Some(path) = &opts.out {
         std::fs::write(path, report.to_json().render())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("[bench] wrote {path}");
+    }
+    let obs_path = opts
+        .obs_out
+        .clone()
+        .or_else(|| opts.out.as_deref().map(obs_sibling_path));
+    if let Some(path) = &obs_path {
+        std::fs::write(path, obs_document(&obs, report.workers))
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("[bench] wrote {path}");
     }
@@ -1052,11 +1208,18 @@ pub fn bench(cfg: ExpConfig, opts: &BenchOpts) -> Result<(), String> {
         let violations = compare(&report, &baseline, opts.tolerance);
         // The summary is written pass or fail — the failing run is the
         // one whose table someone actually reads.
-        write_step_summary(&step_summary_markdown(
-            &report,
-            Some(&baseline),
-            &violations,
-        ));
+        let mut md = step_summary_markdown(&report, Some(&baseline), &violations);
+        let wall_regressed = violations.iter().any(|v| v.contains("exceeds baseline"));
+        if wall_regressed {
+            if let Some(base_obs) = &opts.obs_baseline {
+                md.push_str(&regression_attribution_markdown(
+                    &obs,
+                    report.workers,
+                    base_obs,
+                ));
+            }
+        }
+        write_step_summary(&md);
         if !violations.is_empty() {
             return Err(format!("bench gate failed:\n  {}", violations.join("\n  ")));
         }
@@ -1211,8 +1374,8 @@ mod tests {
             hours: 1,
             ..ExpConfig::default()
         };
-        let a = lp_warm_phase(cfg, 2);
-        let b = lp_warm_phase(cfg, 4);
+        let (a, _) = lp_warm_phase(cfg, 2);
+        let (b, _) = lp_warm_phase(cfg, 4);
         assert_eq!(a.checksum, b.checksum);
         assert_eq!(a.counters, b.counters);
         assert!(phase_counter(&a, "simplex pivots") > 0);
@@ -1235,9 +1398,52 @@ mod tests {
             hours: 1,
             ..ExpConfig::default()
         };
-        let a = all_pairs_phase(cfg, 2);
-        let b = all_pairs_phase(cfg, 4);
+        let (a, obs) = all_pairs_phase(cfg, 2);
+        let (b, _) = all_pairs_phase(cfg, 4);
         assert_eq!(a.checksum, b.checksum);
         assert_eq!(a.counters, b.counters);
+        // The phase snapshot's root child is the phase span itself, so
+        // the obs artifact attributes the whole leg to a named span.
+        assert_eq!(obs.nodes[0].children.len(), 1);
+        assert_eq!(obs.nodes[obs.nodes[0].children[0]].name, "all_pairs");
+    }
+
+    #[test]
+    fn obs_sibling_path_renames_bench_to_obs() {
+        assert_eq!(obs_sibling_path("BENCH_PR.json"), "OBS_PR.json");
+        assert_eq!(obs_sibling_path("out/BENCH.json"), "out/OBS.json");
+        assert_eq!(obs_sibling_path("report.json"), "OBS_report.json");
+    }
+
+    #[test]
+    fn compare_flags_missing_counters_in_both_directions() {
+        let report = tiny_report();
+        let baseline = Json::parse(&report.to_json().render()).unwrap();
+
+        // Run gains a counter the baseline never recorded.
+        let mut more = report.clone();
+        more.phases[0].counters.push(("simplex pivots", 12));
+        let violations = compare(&more, &baseline, 0.25);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("simplex pivots") && violations[0].contains("no baseline"),
+            "{violations:?}"
+        );
+
+        // Run drops a counter the baseline gates.
+        let mut less = report.clone();
+        less.phases[0].counters.clear();
+        let violations = compare(&less, &baseline, 0.25);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("dijkstra_calls")
+                && violations[0].contains("missing from this run"),
+            "{violations:?}"
+        );
+
+        // A new always-zero counter is not a violation (nothing to gate).
+        let mut zero = report.clone();
+        zero.phases[0].counters.push(("simplex pivots", 0));
+        assert!(compare(&zero, &baseline, 0.25).is_empty());
     }
 }

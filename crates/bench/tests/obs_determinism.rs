@@ -48,6 +48,78 @@ fn span_tree_and_metrics_are_identical_across_worker_counts() {
 }
 
 #[test]
+fn pool_accounting_is_bit_identical_across_repeated_runs() {
+    // The per-worker accounting contract: at a fixed seed and width, the
+    // deterministic side of the pool metrics — region/chunk/item
+    // counters, the chunk-length histogram, and the *number* of
+    // busy/idle/steal observations (= regions × width) — is bit-identical
+    // run to run. `shape()` covers the counters and Count histograms;
+    // the Nanos observation counts are pinned explicitly because their
+    // values (durations) are the one thing allowed to vary.
+    let width = jcr_ctx::default_workers().max(1);
+    let a = instrumented_solve(width);
+    let b = instrumented_solve(width);
+    assert_eq!(a.shape(), b.shape(), "repeated run at width {width}");
+
+    let regions = a.counters["pool.regions"];
+    assert!(regions > 0, "the solve fans out at least once");
+    assert_eq!(a.counters["pool.chunks"], b.counters["pool.chunks"]);
+    assert_eq!(a.counters["pool.items"], b.counters["pool.items"]);
+    for name in [
+        jcr_ctx::par::WORKER_BUSY_NS,
+        jcr_ctx::par::WORKER_IDLE_NS,
+        jcr_ctx::par::STEAL_WAIT_NS,
+    ] {
+        let ha = &a.histograms[name];
+        let hb = &b.histograms[name];
+        assert_eq!(
+            ha.count(),
+            regions * width as u64,
+            "{name}: one observation per worker per region"
+        );
+        assert_eq!(ha.count(), hb.count(), "{name}: repeated run");
+    }
+    for name in [jcr_ctx::par::CHUNK_START_NS, jcr_ctx::par::CHUNK_END_NS] {
+        assert_eq!(
+            a.histograms[name].count(),
+            a.counters["pool.chunks"],
+            "{name}: one offset per chunk"
+        );
+    }
+    assert_eq!(
+        a.histograms[jcr_ctx::par::REGION_WALL_NS].count(),
+        regions,
+        "one wall observation per region"
+    );
+    // The imbalance gauge exists and is ≥ 1 by construction
+    // (max busy ÷ mean busy).
+    assert!(a.gauges[jcr_ctx::par::IMBALANCE] >= 1.0);
+    assert!(a.gauges[jcr_ctx::par::CRITICAL_CHUNK_NS] >= 0.0);
+}
+
+#[test]
+fn pool_accounting_counts_match_across_worker_widths() {
+    // Chunking is width-independent, so the chunk/item counters and the
+    // chunk-length histogram agree at any width; only the *per-worker*
+    // observation counts scale with the width.
+    let s1 = instrumented_solve(1);
+    for width in [2usize, 8] {
+        let sw = instrumented_solve(width);
+        assert_eq!(sw.counters["pool.regions"], s1.counters["pool.regions"]);
+        assert_eq!(sw.counters["pool.chunks"], s1.counters["pool.chunks"]);
+        assert_eq!(sw.counters["pool.items"], s1.counters["pool.items"]);
+        let ha = &s1.histograms[jcr_ctx::par::CHUNK_LEN];
+        let hb = &sw.histograms[jcr_ctx::par::CHUNK_LEN];
+        assert_eq!(ha.buckets(), hb.buckets(), "width {width}: chunk lengths");
+        assert_eq!(
+            sw.histograms[jcr_ctx::par::WORKER_BUSY_NS].count(),
+            sw.counters["pool.regions"] * width as u64,
+            "width {width}: busy observations scale with width"
+        );
+    }
+}
+
+#[test]
 fn chrome_trace_from_a_real_solve_is_valid_at_any_width() {
     for workers in [1, 2] {
         let snap = instrumented_solve(workers);

@@ -38,6 +38,9 @@ use std::time::Instant;
 
 use crate::SolverContext;
 
+#[path = "wire.rs"]
+pub mod wire;
+
 /// Completed-span event-log cap per context. Beyond this, spans still
 /// feed the aggregate tree but no longer append events;
 /// [`ObsSnapshot::dropped_events`] counts the overflow.
@@ -186,22 +189,61 @@ impl Histogram {
         &self.buckets
     }
 
-    /// An upper bound on the `q`-quantile (`0 ≤ q ≤ 1`): the upper edge
-    /// of the first bucket whose cumulative count reaches `q · count`,
-    /// clamped to the recorded max. Deterministic given bucket counts.
+    /// An upper bound on the `q`-quantile. The edge contract is exact:
+    /// `q ≤ 0` returns the recorded minimum and `q ≥ 1` the recorded
+    /// maximum — real observed values, never a bucket bound — and an
+    /// empty histogram returns 0 for every `q`. Interior quantiles
+    /// return the upper edge of the first bucket whose cumulative count
+    /// reaches `q · count`, clamped into `[min, max]`. Deterministic
+    /// given bucket counts.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
         }
         let rank = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_hi(i).min(self.max);
+                return bucket_hi(i).clamp(self.min(), self.max);
             }
         }
         self.max
+    }
+
+    /// Reassembles a histogram from serialized parts, validating that
+    /// the bucket mass matches `count` and that `min ≤ max` when
+    /// non-empty. `min` is the *reported* minimum (0 for an empty
+    /// histogram, as [`Histogram::min`] returns it).
+    pub fn from_parts(
+        unit: Unit,
+        buckets: [u64; NBUCKETS],
+        count: u64,
+        sum: u128,
+        min: u64,
+        max: u64,
+    ) -> Result<Histogram, String> {
+        let mass: u128 = buckets.iter().map(|&c| c as u128).sum();
+        if mass != count as u128 {
+            return Err(format!("histogram bucket mass {mass} != count {count}"));
+        }
+        if count > 0 && min > max {
+            return Err(format!("histogram min {min} > max {max}"));
+        }
+        Ok(Histogram {
+            unit,
+            buckets,
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max: if count == 0 { 0 } else { max },
+        })
     }
 }
 
@@ -356,6 +398,18 @@ impl Obs {
     /// Sets the named gauge (merges as max across snapshots).
     pub fn set_gauge(&self, name: &'static str, value: f64) {
         self.inner.borrow_mut().gauges.insert(name, value);
+    }
+
+    /// Raises the named gauge to `value` if it exceeds the current
+    /// reading — the in-context analogue of the max-merge snapshots use,
+    /// for gauges that should keep the worst observation (e.g. the most
+    /// imbalanced parallel region) rather than the latest.
+    pub fn set_gauge_max(&self, name: &'static str, value: f64) {
+        let mut inner = self.inner.borrow_mut();
+        let slot = inner.gauges.entry(name).or_insert(f64::NEG_INFINITY);
+        if value > *slot {
+            *slot = value;
+        }
     }
 
     /// Records one observation into the named histogram.
@@ -535,6 +589,23 @@ impl ObsSnapshot {
             .map(|&c| self.nodes[c].total_nanos)
             .sum()
     }
+
+    /// Canonical, versioned serialization of the aggregate state —
+    /// span tree, counters, gauges (exact f64 bits), and histograms.
+    /// The event log is *not* serialized; export it via the
+    /// Chrome-trace path instead. See [`wire`] for the format.
+    pub fn to_wire(&self) -> String {
+        wire::WireSnapshot::from_snapshot(self).render()
+    }
+
+    /// Deterministic deep equality on the aggregate state: the span
+    /// tree (canonically ordered, exact counts and nanosecond totals),
+    /// counters, gauge bit patterns, and full histogram contents. The
+    /// event log and epoch are excluded — use [`ObsSnapshot::shape`]
+    /// for the width-independent determinism contract instead.
+    pub fn deep_eq(&self, other: &ObsSnapshot) -> bool {
+        wire::WireSnapshot::from_snapshot(self) == wire::WireSnapshot::from_snapshot(other)
+    }
 }
 
 /// RAII guard returned by [`SolverContext::span`]; closes the span when
@@ -656,6 +727,82 @@ mod tests {
         assert!((95..=100).contains(&p95), "p95 = {p95}");
         assert_eq!(h.quantile(1.0), 100);
         assert_eq!(Histogram::new(Unit::Count).quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_edges_return_recorded_extremes_exactly() {
+        // The edge contract: q ≤ 0 is the exact recorded min, q ≥ 1 the
+        // exact recorded max — never a bucket bound. 5 and 1000 are both
+        // strictly inside their buckets ([4,8) and [512,1024)), so a
+        // bucket-edge answer would be visibly wrong here.
+        let mut h = Histogram::new(Unit::Count);
+        for v in [5u64, 17, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 5);
+        assert_eq!(h.quantile(-1.0), 5);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.quantile(2.0), 1000);
+        // Interior quantiles stay within the recorded range.
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let v = h.quantile(q);
+            assert!((5..=1000).contains(&v), "q={q} -> {v}");
+        }
+        // A single observation answers every quantile with itself.
+        let mut one = Histogram::new(Unit::Nanos);
+        one.record(6);
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(one.quantile(q), 6, "q={q}");
+        }
+        // Empty histograms return 0 for every q, including the edges.
+        let empty = Histogram::new(Unit::Count);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn histogram_from_parts_validates_and_round_trips() {
+        let mut h = Histogram::new(Unit::Count);
+        for v in [0u64, 3, 99, 1 << 40] {
+            h.record(v);
+        }
+        let rebuilt =
+            Histogram::from_parts(h.unit(), *h.buckets(), h.count(), h.sum(), h.min(), h.max())
+                .expect("valid parts");
+        assert_eq!(rebuilt, h);
+        // Empty round-trip: the reported min is 0, internal sentinel
+        // must be restored so later records still track the true min.
+        let empty = Histogram::new(Unit::Nanos);
+        let mut rebuilt = Histogram::from_parts(
+            empty.unit(),
+            *empty.buckets(),
+            empty.count(),
+            empty.sum(),
+            empty.min(),
+            empty.max(),
+        )
+        .expect("empty parts");
+        assert_eq!(rebuilt, empty);
+        rebuilt.record(7);
+        assert_eq!(rebuilt.min(), 7);
+        // Mass/count mismatch is rejected.
+        let mut buckets = [0u64; NBUCKETS];
+        buckets[3] = 2;
+        assert!(Histogram::from_parts(Unit::Count, buckets, 3, 10, 4, 7).is_err());
+        // min > max on a non-empty histogram is rejected.
+        buckets[3] = 3;
+        assert!(Histogram::from_parts(Unit::Count, buckets, 3, 10, 9, 7).is_err());
+    }
+
+    #[test]
+    fn set_gauge_max_keeps_the_worst_reading() {
+        let ctx = SolverContext::default();
+        ctx.obs().set_gauge_max("imb", 1.5);
+        ctx.obs().set_gauge_max("imb", 1.2);
+        assert_eq!(ctx.obs_snapshot().gauges["imb"], 1.5);
+        ctx.obs().set_gauge_max("imb", 2.5);
+        assert_eq!(ctx.obs_snapshot().gauges["imb"], 2.5);
     }
 
     #[test]

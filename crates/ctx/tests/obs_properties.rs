@@ -1,0 +1,212 @@
+//! Randomized property tests for the observability merge algebra and the
+//! canonical wire format: `Histogram::absorb` is associative and
+//! commutative, absorbing the same set of [`ObsSnapshot`]s in any order
+//! yields byte-identical canonical documents, and serialize → parse →
+//! serialize is the identity on bytes. Cases are drawn from the in-tree
+//! seeded PRNG, so every run checks the same cases.
+
+use std::time::Instant;
+
+use jcr_ctx::obs::wire::WireSnapshot;
+use jcr_ctx::obs::{Histogram, Obs, ObsSnapshot, Unit};
+use jcr_ctx::rng::{Rng, RngCore, SeedableRng, StdRng};
+
+const CASES: u64 = 32;
+
+/// A value whose magnitude is uniform over bit widths, so small and huge
+/// values are equally likely to appear.
+fn random_magnitude(rng: &mut StdRng) -> u64 {
+    let shift = rng.gen_range(0..64u32);
+    rng.next_u64() >> shift
+}
+
+fn random_histogram(rng: &mut StdRng, unit: Unit) -> Histogram {
+    let mut h = Histogram::new(unit);
+    for _ in 0..rng.gen_range(0..40usize) {
+        h.record(random_magnitude(rng));
+    }
+    h
+}
+
+/// Exact equality on every observable field (buckets, count, sum, min,
+/// max, unit) — the merge algebra is over integers, so no tolerance.
+fn assert_hist_eq(a: &Histogram, b: &Histogram, what: &str) {
+    assert_eq!(a.unit(), b.unit(), "{what}: unit");
+    assert_eq!(a.count(), b.count(), "{what}: count");
+    assert_eq!(a.sum(), b.sum(), "{what}: sum");
+    assert_eq!(a.min(), b.min(), "{what}: min");
+    assert_eq!(a.max(), b.max(), "{what}: max");
+    assert_eq!(a.buckets(), b.buckets(), "{what}: buckets");
+}
+
+#[test]
+fn histogram_absorb_is_commutative_and_associative() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x0b5e55ed ^ case);
+        let a = random_histogram(&mut rng, Unit::Count);
+        let b = random_histogram(&mut rng, Unit::Count);
+        let c = random_histogram(&mut rng, Unit::Count);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        assert_hist_eq(&ab, &ba, &format!("case {case}: commutativity"));
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut ab_c = ab.clone();
+        ab_c.absorb(&c);
+        let mut bc = b.clone();
+        bc.absorb(&c);
+        let mut a_bc = a.clone();
+        a_bc.absorb(&bc);
+        assert_hist_eq(&ab_c, &a_bc, &format!("case {case}: associativity"));
+    }
+}
+
+#[test]
+fn absorbing_the_empty_histogram_is_the_identity() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x1de97 ^ case);
+        let a = random_histogram(&mut rng, Unit::Nanos);
+        let mut merged = a.clone();
+        merged.absorb(&Histogram::new(Unit::Nanos));
+        assert_hist_eq(&merged, &a, &format!("case {case}: right identity"));
+        let mut onto_empty = Histogram::new(Unit::Nanos);
+        onto_empty.absorb(&a);
+        assert_hist_eq(&onto_empty, &a, &format!("case {case}: left identity"));
+    }
+}
+
+/// Span names the generator draws from — `Obs` keys spans by `&'static
+/// str`, so the pool is fixed and the tree shape is driven by the PRNG.
+const NAMES: [&str; 6] = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+const METRICS: [&str; 4] = ["m.widgets", "m.latency_ns", "m.depth", "m.fill"];
+
+/// Builds a snapshot with a random span tree (explicit enter/exit nanos,
+/// so the tree is fully deterministic given the seed), plus random
+/// counters, gauges, and histograms.
+fn random_snapshot(rng: &mut StdRng) -> ObsSnapshot {
+    let obs = Obs::new(Instant::now(), 0);
+    let mut clock = 0u64;
+    let spans = rng.gen_range(1..12usize);
+    for _ in 0..spans {
+        let outer = obs.enter(NAMES[rng.gen_range(0..NAMES.len())]);
+        let outer_start = clock;
+        clock += rng.gen_range(1..1000u64);
+        if rng.gen_range(0..2u8) == 1 {
+            let inner = obs.enter(NAMES[rng.gen_range(0..NAMES.len())]);
+            let inner_start = clock;
+            clock += rng.gen_range(1..1000u64);
+            obs.exit(inner, inner_start, clock);
+        }
+        clock += rng.gen_range(1..1000u64);
+        obs.exit(outer, outer_start, clock);
+    }
+    for _ in 0..rng.gen_range(0..6usize) {
+        obs.add_counter(
+            METRICS[rng.gen_range(0..METRICS.len())],
+            rng.gen_range(0..1_000_000u64),
+        );
+    }
+    for _ in 0..rng.gen_range(0..4usize) {
+        obs.set_gauge(
+            METRICS[rng.gen_range(0..METRICS.len())],
+            f64::from(rng.gen_range(-1000..1000i32)) * 1.25,
+        );
+    }
+    for _ in 0..rng.gen_range(0..30usize) {
+        obs.record(
+            METRICS[rng.gen_range(0..METRICS.len())],
+            Unit::Count,
+            random_magnitude(rng),
+        );
+    }
+    obs.snapshot()
+}
+
+#[test]
+fn snapshot_merge_is_order_independent_on_the_wire() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x9e3779b9 ^ case);
+        let parts: Vec<ObsSnapshot> = (0..rng.gen_range(2..5usize))
+            .map(|_| random_snapshot(&mut rng))
+            .collect();
+
+        // Forward order and reverse order into fresh collectors; the
+        // canonical render must be byte-identical (counters sum, gauges
+        // max-merge, histograms add, span children sort by name).
+        let forward = Obs::new(Instant::now(), 0);
+        for p in &parts {
+            forward.absorb(p);
+        }
+        let reverse = Obs::new(Instant::now(), 0);
+        for p in parts.iter().rev() {
+            reverse.absorb(p);
+        }
+        let fwd = WireSnapshot::from_snapshot(&forward.snapshot()).render();
+        let rev = WireSnapshot::from_snapshot(&reverse.snapshot()).render();
+        assert_eq!(fwd, rev, "case {case}: merge order leaked into the wire");
+
+        // And deep equality agrees with the bytes.
+        assert!(
+            forward.snapshot().deep_eq(&reverse.snapshot()),
+            "case {case}: deep_eq disagrees with byte identity"
+        );
+    }
+}
+
+#[test]
+fn serialize_parse_serialize_is_the_identity_on_bytes() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xfeedc0de ^ case);
+        let snap = random_snapshot(&mut rng);
+        let mut wire = WireSnapshot::from_snapshot(&snap);
+        // Exercise the meta block too — the artifact writer stamps it.
+        wire.meta.insert("kind".into(), "prop-test".into());
+        wire.meta.insert("workers".into(), "8".into());
+        let once = wire.render();
+        let parsed = WireSnapshot::parse(&once)
+            .unwrap_or_else(|e| panic!("case {case}: canonical document rejected: {e}"));
+        let twice = parsed.render();
+        assert_eq!(once, twice, "case {case}: round-trip changed bytes");
+        // A second round trip is free once the first is the identity,
+        // but pin it anyway: parse(render(parse(render(x)))) == parse(render(x)).
+        let thrice = WireSnapshot::parse(&twice).unwrap().render();
+        assert_eq!(twice, thrice, "case {case}");
+    }
+}
+
+#[test]
+fn absorb_into_open_span_grafts_under_it_deterministically() {
+    // Grafting the same snapshot under the same open span twice doubles
+    // counts but keeps the shape — the wire document of (graft ⊕ graft)
+    // equals absorbing a pre-doubled child. This pins the graft point
+    // the pool relies on for per-worker accounting.
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xab5 ^ case);
+        let child = random_snapshot(&mut rng);
+
+        let host = Obs::new(Instant::now(), 0);
+        let region = host.enter("region");
+        host.absorb(&child);
+        host.absorb(&child);
+        host.exit(region, 0, 1);
+
+        let doubled = Obs::new(Instant::now(), 0);
+        doubled.absorb(&child);
+        doubled.absorb(&child);
+        let pre = doubled.snapshot();
+        let host2 = Obs::new(Instant::now(), 0);
+        let region2 = host2.enter("region");
+        host2.absorb(&pre);
+        host2.exit(region2, 0, 1);
+
+        assert_eq!(
+            WireSnapshot::from_snapshot(&host.snapshot()).render(),
+            WireSnapshot::from_snapshot(&host2.snapshot()).render(),
+            "case {case}: graft is not additive"
+        );
+    }
+}

@@ -536,6 +536,7 @@ impl DistanceOracle {
         ctx: Option<&SolverContext>,
     ) -> (Self, CarryReport) {
         assert_eq!(cost.len(), graph.edge_count(), "cost slice length mismatch");
+        let _s = ctx.map(|c| c.span("graph.oracle.carry"));
         let n = graph.node_count();
         let mut report = CarryReport {
             compatible: prev.graph.node_count() == n
